@@ -1,0 +1,424 @@
+// Command etlopt analyzes ETL workflow documents (workflow + catalog JSON)
+// and determines the essential statistics to observe, per Halasipuram et
+// al., EDBT 2014.
+//
+// Usage:
+//
+//	etlopt suite                      # list the built-in 30-workflow suite
+//	etlopt export -wf 3               # print suite workflow 3 as JSON
+//	etlopt analyze -f flow.json       # blocks and sub-expressions
+//	etlopt stats   -f flow.json       # optimal statistics to observe
+//	etlopt stats   -wf 3 -method greedy -union-division=false
+//	etlopt baseline -wf 21            # trivial-CSS-only execution counts
+//	etlopt dot     -wf 8 | dot -Tsvg  # Graphviz rendering with block clusters
+//	etlopt run     -wf 3 -scale 0.002 # full cycle over generated data
+//	etlopt run     -f flow.json -data dir/   # full cycle over CSV flat files
+//	etlopt explain -wf 3 -scale 0.002 # derivation tree of every SE cardinality
+//	etlopt gendata -wf 3 -out dir/    # export a suite workflow's data as CSVs
+//	etlopt schedule -wf 3 -budget 64  # Section 6.1 multi-run observation schedule
+//	etlopt report  -wf 3 > cycle.md   # markdown report of one full cycle
+//
+// A workflow document is the JSON form of workflow.Document: the operator
+// DAG plus the catalog of relations, domains and (optionally) functional
+// dependencies. `etlopt export` produces examples to start from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"github.com/essential-stats/etlopt/internal/core"
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/estimate"
+	"github.com/essential-stats/etlopt/internal/payg"
+	"github.com/essential-stats/etlopt/internal/schedule"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/suite"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	file := fs.String("f", "", "workflow document (JSON) to load")
+	wfID := fs.Int("wf", 0, "built-in suite workflow id (1..30) instead of -f")
+	method := fs.String("method", "exact", "selection method: exact|greedy|lp")
+	ud := fs.Bool("union-division", true, "enable the union–division rules J4/J5")
+	scale := fs.Float64("scale", 0.002, "data scale for run/explain (suite workflows only)")
+	dataDir := fs.String("data", "", "directory of CSV flat files to run over (instead of generated data)")
+	outDir := fs.String("out", "", "output directory for gendata")
+	budget := fs.Int64("budget", 0, "per-run memory budget for schedule (integer units)")
+	_ = fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "suite":
+		err = listSuite()
+	case "export":
+		err = export(*wfID)
+	case "analyze":
+		err = withDoc(*file, *wfID, analyze)
+	case "stats":
+		err = withDoc(*file, *wfID, func(doc *workflow.Document) error {
+			return statsCmd(doc, *method, *ud)
+		})
+	case "baseline":
+		err = withDoc(*file, *wfID, baseline)
+	case "dot":
+		err = withDoc(*file, *wfID, func(doc *workflow.Document) error {
+			an, err := workflow.Analyze(doc.Workflow, doc.Catalog)
+			if err != nil {
+				return err
+			}
+			fmt.Print(doc.Workflow.DOT(an))
+			return nil
+		})
+	case "run":
+		err = runCycle(*file, *wfID, *dataDir, *scale, false)
+	case "explain":
+		err = runCycle(*file, *wfID, *dataDir, *scale, true)
+	case "gendata":
+		err = genData(*wfID, *scale, *outDir)
+	case "schedule":
+		err = scheduleCmd(*wfID, *scale, *budget)
+	case "report":
+		err = reportCmd(*wfID, *scale)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlopt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report> [-f flow.json | -wf N] [flags]")
+}
+
+// runCycle executes one full optimization cycle — over a suite workflow's
+// generated data, or over a directory of CSV flat files (the paper's
+// no-statistics worst case: the catalog is inferred from the data) —
+// optionally printing the derivation tree of every SE cardinality.
+func runCycle(file string, wfID int, dataDir string, scale float64, explain bool) error {
+	var (
+		g   *workflow.Graph
+		cat *workflow.Catalog
+		db  engine.DB
+	)
+	switch {
+	case dataDir != "":
+		doc, err := loadDoc(file, wfID)
+		if err != nil {
+			return err
+		}
+		tables, err := data.LoadDir(dataDir)
+		if err != nil {
+			return err
+		}
+		g = doc.Workflow
+		cat = data.InferCatalog(tables)
+		db = engine.DB(tables)
+	case wfID >= 1 && wfID <= 30:
+		w := suite.Get(wfID)
+		g, cat, db = w.Graph, w.Catalog, w.Data(scale)
+	default:
+		return fmt.Errorf("run/explain need -wf <1..30>, or -f flow.json with -data dir/")
+	}
+	cy, err := core.Run(g, cat, db, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s\n", g.Name)
+	fmt.Printf("observed %d statistics (memory %d units) in one instrumented run\n\n",
+		len(cy.Selection.Observe), cy.Selection.Memory)
+	for bi, p := range cy.Plans.Plans {
+		blk := cy.Analysis.Blocks[bi]
+		if p.Tree == nil {
+			continue
+		}
+		fmt.Printf("block %d designed:  %s (cost %.0f)\n", bi, blk.Initial.Render(blk), p.InitialCost)
+		fmt.Printf("block %d optimized: %s (cost %.0f)\n", bi, p.Tree.Render(blk), p.Cost)
+	}
+	fmt.Printf("\nplan-cost improvement: %.2fx\n", cy.Improvement())
+	_ = scale
+	if !explain {
+		return nil
+	}
+	fmt.Println("\nderivations:")
+	for bi, sp := range cy.CSS.Spaces {
+		blk := cy.Analysis.Blocks[bi]
+		for _, se := range sp.SEs {
+			ex, err := cy.Estimator.Explain(stats.NewCard(stats.BlockSE(bi, se)))
+			if err != nil {
+				return err
+			}
+			fmt.Print(ex.Render(blk))
+		}
+	}
+	return nil
+}
+
+// reportCmd runs one cycle over a suite workflow and writes the markdown
+// report to stdout.
+func reportCmd(wfID int, scale float64) error {
+	if wfID < 1 || wfID > 30 {
+		return fmt.Errorf("report needs -wf <1..30>")
+	}
+	w := suite.Get(wfID)
+	cy, err := core.Run(w.Graph, w.Catalog, w.Data(scale), core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	return cy.Report(os.Stdout)
+}
+
+// scheduleCmd builds and executes a Section 6.1 multi-run observation
+// schedule under a per-run memory budget, then derives every SE cardinality
+// from the merged observations.
+func scheduleCmd(wfID int, scale float64, budget int64) error {
+	if wfID < 1 || wfID > 30 {
+		return fmt.Errorf("schedule needs -wf <1..30>")
+	}
+	if budget <= 0 {
+		return fmt.Errorf("schedule needs -budget <units>")
+	}
+	w := suite.Get(wfID)
+	an, err := workflow.Analyze(w.Graph, w.Catalog)
+	if err != nil {
+		return err
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	u, err := selector.NewUniverse(res, coster)
+	if err != nil {
+		return err
+	}
+	plan, err := schedule.Build(u, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("budget %d units → %d scheduled run(s)\n", budget, len(plan.Runs))
+	for r, run := range plan.Runs {
+		fmt.Printf("run %d:\n", r+1)
+		for bi, tree := range run.Trees {
+			fmt.Printf("  block %d re-ordered: %s\n", bi, tree.Render(an.Blocks[bi]))
+		}
+		for _, st := range run.Observe {
+			fmt.Printf("  observe %s\n", st.Label(an.Blocks[st.Target.Block]))
+		}
+	}
+	db := w.Data(scale)
+	eng := engine.New(an, db, nil)
+	store, err := schedule.Execute(eng, res, plan)
+	if err != nil {
+		return err
+	}
+	est := estimate.New(res, store)
+	fmt.Println("\nderived cardinalities after the schedule:")
+	for bi, sp := range res.Spaces {
+		blk := an.Blocks[bi]
+		for _, se := range sp.SEs {
+			card, err := est.CardOf(bi, se)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  |%s| = %d\n", se.Label(blk), card)
+		}
+	}
+	return nil
+}
+
+// genData exports a suite workflow's generated relations as CSV files, so
+// the flat-file path can be tried end to end.
+func genData(wfID int, scale float64, outDir string) error {
+	if wfID < 1 || wfID > 30 {
+		return fmt.Errorf("gendata needs -wf <1..30>")
+	}
+	if outDir == "" {
+		return fmt.Errorf("gendata needs -out <dir>")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	w := suite.Get(wfID)
+	db := w.Data(scale)
+	for rel, tbl := range db {
+		f, err := os.Create(filepath.Join(outDir, rel+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := data.WriteCSV(f, tbl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d relations to %s\n", len(db), outDir)
+	return nil
+}
+
+func withDoc(file string, wfID int, f func(*workflow.Document) error) error {
+	doc, err := loadDoc(file, wfID)
+	if err != nil {
+		return err
+	}
+	return f(doc)
+}
+
+func loadDoc(file string, wfID int) (*workflow.Document, error) {
+	switch {
+	case file != "":
+		fh, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		return workflow.Decode(fh)
+	case wfID >= 1 && wfID <= 30:
+		w := suite.Get(wfID)
+		return &workflow.Document{Workflow: w.Graph, Catalog: w.Catalog}, nil
+	default:
+		return nil, fmt.Errorf("need -f <file> or -wf <1..30>")
+	}
+}
+
+func listSuite() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tname\tnote")
+	for _, wf := range suite.All() {
+		fmt.Fprintf(w, "%d\t%s\t%s\n", wf.ID, wf.Name, wf.Note)
+	}
+	return w.Flush()
+}
+
+func export(wfID int) error {
+	if wfID < 1 || wfID > 30 {
+		return fmt.Errorf("export needs -wf <1..30>")
+	}
+	w := suite.Get(wfID)
+	doc := &workflow.Document{Workflow: w.Graph, Catalog: w.Catalog}
+	return doc.Encode(os.Stdout)
+}
+
+func analyze(doc *workflow.Document) error {
+	an, err := workflow.Analyze(doc.Workflow, doc.Catalog)
+	if err != nil {
+		return err
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %q: %d nodes, %d optimizable block(s)\n\n",
+		doc.Workflow.Name, len(doc.Workflow.Nodes), len(an.Blocks))
+	for bi, blk := range an.Blocks {
+		sp := res.Space(bi)
+		fmt.Printf("block %d: %d input(s), %d join(s)", bi, len(blk.Inputs), len(blk.Joins))
+		if blk.RejectPinned {
+			fmt.Print(" [pinned by reject link]")
+		}
+		fmt.Println()
+		for _, in := range blk.Inputs {
+			src := in.SourceRel
+			if src == "" {
+				src = fmt.Sprintf("output of block %d", in.FromBlock)
+			}
+			fmt.Printf("  input %-14s ← %s (%d pushed-down op(s))\n", in.Name, src, len(in.Ops))
+		}
+		if blk.Initial != nil {
+			fmt.Printf("  designed plan: %s\n", blk.Initial.Render(blk))
+		}
+		fmt.Printf("  sub-expressions (%d):\n", len(sp.SEs))
+		for _, se := range sp.SEs {
+			mark := " "
+			if sp.Initial[se] {
+				mark = "*"
+			}
+			fmt.Printf("   %s %s\n", mark, se.Label(blk))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("statistic universe: %d statistics, %d candidate statistics sets\n",
+		len(res.Stats), res.NumCSS())
+	return nil
+}
+
+func statsCmd(doc *workflow.Document, method string, ud bool) error {
+	an, err := workflow.Analyze(doc.Workflow, doc.Catalog)
+	if err != nil {
+		return err
+	}
+	opt := css.DefaultOptions()
+	opt.UnionDivision = ud
+	res, err := css.Generate(an, opt)
+	if err != nil {
+		return err
+	}
+	var m selector.Method
+	switch method {
+	case "exact":
+		m = selector.MethodExact
+	case "greedy":
+		m = selector.MethodGreedy
+	case "lp":
+		m = selector.MethodLP
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	sel, err := selector.Select(res, coster, selector.Options{Method: m})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("method=%s optimal=%v cost=%.0f memory=%d units\n\n", sel.Method, sel.Optimal, sel.Cost, sel.Memory)
+	fmt.Println("observe:")
+	for _, s := range sel.Observe {
+		blk := an.Blocks[s.Target.Block]
+		extra := ""
+		if res.NeedsRejectLink[s.Key()] {
+			extra = "   [requires added reject link]"
+		}
+		fmt.Printf("  block %d: %s%s\n", s.Target.Block, s.Label(blk), extra)
+	}
+	return nil
+}
+
+func baseline(doc *workflow.Document) error {
+	an, err := workflow.Analyze(doc.Workflow, doc.Catalog)
+	if err != nil {
+		return err
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rep := payg.Evaluate(res)
+	fmt.Println("trivial-CSS-only baseline (pay-as-you-go, Section 7.3):")
+	fmt.Printf("  formula lower bound:  %d execution(s)\n", rep.FormulaLB)
+	fmt.Printf("  semantic lower bound: %d execution(s)\n", rep.SemanticLB)
+	fmt.Printf("  found plan sequence:  %d execution(s)\n", rep.Found)
+	fmt.Printf("  this framework:       1 execution\n")
+	for _, br := range rep.PerBlock {
+		fmt.Printf("  block %d (%d inputs): formula %d, semantic %d, found %d\n",
+			br.Block, br.Inputs, br.FormulaLB, br.SemanticLB, br.Found)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/essential-stats/etlopt
+
+go 1.22

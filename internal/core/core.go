@@ -1,0 +1,229 @@
+// Package core ties the whole framework of the paper together into the
+// optimization loop of Figure 2: analyze the workflow into optimizable
+// blocks, enumerate sub-expressions, generate candidate statistics sets,
+// select a minimum-cost observable set, run the initial plan instrumented
+// to collect it, and finally cost-optimize every block with the (exact)
+// derived cardinalities. The loop can be repeated as data drifts: each
+// optimized run is itself re-instrumented, keeping statistics current.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/estimate"
+	"github.com/essential-stats/etlopt/internal/optimizer"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Config tunes one optimization cycle.
+type Config struct {
+	// CSS controls the rule families (union–division, cross-block, FK).
+	CSS css.Options
+	// Method selects the statistics-selection solver.
+	Method selector.Method
+	// CostModel prices plans during join-order optimization.
+	CostModel optimizer.CostModel
+	// UseFDs enables the functional-dependency cost reduction.
+	UseFDs bool
+	// CPUWeight adds the Section 5.4 CPU metric (tuples scanned per
+	// statistic update) to the selection objective; 0 selects on memory
+	// alone, the paper's Figure 11 setting.
+	CPUWeight float64
+	// Sizes supplies SE sizes for the CPU metric — typically the previous
+	// cycle's estimator (Cycle.Estimator), closing the Section 5.4 loop.
+	// Nil falls back to the independence approximation.
+	Sizes costmodel.Sizes
+	// FreeSourceStats prices unfiltered source-relation statistics at zero
+	// when the relation advertises source-system statistics (Section 6.2).
+	FreeSourceStats bool
+	// Registry resolves transform UDFs at execution time (nil = defaults).
+	Registry engine.Registry
+	// Streaming executes with the pipelined Volcano engine instead of the
+	// batch engine; results and observations are identical, only the
+	// execution strategy (and intermediate materialization) differs.
+	Streaming bool
+}
+
+// DefaultConfig enables every rule family with the exact solver and the
+// C_out plan metric.
+func DefaultConfig() Config {
+	return Config{CSS: css.DefaultOptions(), Method: selector.MethodExact, CostModel: optimizer.Cout}
+}
+
+// Cycle is the outcome of one optimization cycle over a workflow.
+type Cycle struct {
+	Analysis  *workflow.Analysis
+	CSS       *css.Result
+	Selection *selector.Selection
+	// Observed is the instrumented initial run.
+	Observed *engine.Result
+	// Estimator derives any statistic from the observations.
+	Estimator *estimate.Estimator
+	// Plans is the cost-based optimization outcome.
+	Plans *optimizer.Result
+	// Optimized is the re-execution under the optimized plans (nil until
+	// RunOptimized is called).
+	Optimized *engine.Result
+	// Timings records the wall-clock duration of each phase.
+	Timings Timings
+
+	cfg Config
+	db  engine.DB
+}
+
+// Timings holds per-phase wall-clock durations of a cycle.
+type Timings struct {
+	Analyze, GenerateCSS, Select, ObserveRun, Optimize time.Duration
+}
+
+// executor abstracts the two execution engines (batch and streaming).
+type executor interface {
+	RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*engine.Result, error)
+}
+
+// newExecutor picks the engine per the configuration.
+func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
+	if cfg.Streaming {
+		return engine.NewStream(an, db, cfg.Registry)
+	}
+	return engine.New(an, db, cfg.Registry)
+}
+
+// Run executes one full cycle (steps 1–7 of Figure 2) over the workflow and
+// database: the initial plan runs once, instrumented with the selected
+// statistics, and the returned cycle carries the optimized per-block plans.
+func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*Cycle, error) {
+	cy := &Cycle{cfg: cfg, db: db}
+	start := time.Now()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	cy.Analysis = an
+	cy.Timings.Analyze = time.Since(start)
+
+	start = time.Now()
+	res, err := css.Generate(an, cfg.CSS)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate CSS: %w", err)
+	}
+	cy.CSS = res
+	cy.Timings.GenerateCSS = time.Since(start)
+
+	start = time.Now()
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	coster.UseFDs = cfg.UseFDs
+	coster.FreeSourceStats = cfg.FreeSourceStats
+	coster.CPUWeight = cfg.CPUWeight
+	coster.Sizes = cfg.Sizes
+	sel, err := selector.Select(res, coster, selector.Options{Method: cfg.Method})
+	if err != nil {
+		return nil, fmt.Errorf("core: select statistics: %w", err)
+	}
+	cy.Selection = sel
+	cy.Timings.Select = time.Since(start)
+
+	start = time.Now()
+	eng := newExecutor(an, db, cfg)
+	run, err := eng.RunPlans(nil, res, sel.Observe)
+	if err != nil {
+		return nil, fmt.Errorf("core: instrumented run: %w", err)
+	}
+	cy.Observed = run
+	cy.Timings.ObserveRun = time.Since(start)
+
+	start = time.Now()
+	cy.Estimator = estimate.New(res, run.Observed)
+	plans, err := optimizer.Optimize(res, cy.Estimator, cfg.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimize: %w", err)
+	}
+	cy.Plans = plans
+	cy.Timings.Optimize = time.Since(start)
+	return cy, nil
+}
+
+// RunOptimized executes the workflow under the optimized per-block plans
+// and records the result in the cycle. Subsequent cycles would instrument
+// this run in turn; here it returns the executed result so callers can
+// compare work metrics against the initial run.
+func (cy *Cycle) RunOptimized() (*engine.Result, error) {
+	eng := newExecutor(cy.Analysis, cy.db, cy.cfg)
+	out, err := eng.RunPlans(cy.Plans.Trees(), nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimized run: %w", err)
+	}
+	cy.Optimized = out
+	return out, nil
+}
+
+// NextConfig returns the configuration for the following cycle: identical,
+// but with this cycle's learned sizes feeding the CPU cost metric, the way
+// Section 5.4 breaks the circular size dependency after the first run.
+func (cy *Cycle) NextConfig() Config {
+	cfg := cy.cfg
+	cfg.Sizes = cy.Estimator
+	return cfg
+}
+
+// SaveStats persists the cycle's observed statistics so a later process can
+// optimize without re-observing (ETL runs are usually scheduled in fresh
+// processes).
+func (cy *Cycle) SaveStats(w io.Writer) error {
+	if cy.Observed == nil || cy.Observed.Observed == nil {
+		return fmt.Errorf("core: no observed statistics to save")
+	}
+	_, err := cy.Observed.Observed.WriteTo(w)
+	return err
+}
+
+// OptimizeFromSaved rebuilds the optimization outcome from previously saved
+// statistics, without executing the workflow: analyze, regenerate the CSS
+// result, load the store, and cost-optimize. It returns the estimator and
+// plans a fresh process needs to run the optimized plan.
+func OptimizeFromSaved(g *workflow.Graph, cat *workflow.Catalog, r io.Reader, cfg Config) (*estimate.Estimator, *optimizer.Result, error) {
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	res, err := css.Generate(an, cfg.CSS)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generate CSS: %w", err)
+	}
+	store, err := stats.ReadStore(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: load statistics: %w", err)
+	}
+	est := estimate.New(res, store)
+	plans, err := optimizer.Optimize(res, est, cfg.CostModel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: optimize: %w", err)
+	}
+	return est, plans, nil
+}
+
+// DriftFrom measures how far this cycle's observations moved relative to a
+// previous cycle's; callers re-optimize when the drift exceeds their
+// threshold (the paper's "repeat periodically" made data-driven).
+func (cy *Cycle) DriftFrom(prev *Cycle) stats.Drift {
+	if cy.Observed == nil || prev == nil || prev.Observed == nil {
+		return stats.Drift{}
+	}
+	return stats.MeasureDrift(prev.Observed.Observed, cy.Observed.Observed)
+}
+
+// Improvement returns the ratio of initial plan cost to optimized plan cost
+// under the cycle's cost model (1.0 = the initial plan was already optimal).
+func (cy *Cycle) Improvement() float64 {
+	if cy.Plans == nil || cy.Plans.TotalCost == 0 {
+		return 1
+	}
+	return cy.Plans.TotalInitialCost / cy.Plans.TotalCost
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func statsTarget(block int, se expr.Set) stats.Target { return stats.BlockSE(block, se) }
+
+// skewedRetail builds a flow whose designed order is bad: Orders joins the
+// huge Log first although the Region filter join would shrink it far more.
+func skewedRetail(t *testing.T) (*workflow.Graph, *workflow.Catalog, engine.DB) {
+	t.Helper()
+	specs := []data.TableSpec{
+		{Rel: "Orders", Card: 3000, Columns: []data.ColumnSpec{
+			{Name: "oid", Serial: true},
+			{Name: "lid", Domain: 40, Skew: 1.5},
+			{Name: "rid", Domain: 30, Skew: 1.3},
+		}},
+		{Rel: "Log", Card: 2000, Columns: []data.ColumnSpec{
+			{Name: "lid", Domain: 40, Skew: 1.5},
+		}},
+		{Rel: "Region", Card: 8, Columns: []data.ColumnSpec{
+			{Name: "rid", Domain: 30},
+		}},
+	}
+	db := engine.DB{}
+	cat := &workflow.Catalog{}
+	for i, s := range specs {
+		tbl := data.Generate(s, 31+int64(i))
+		db[s.Rel] = tbl
+		cat.Relations = append(cat.Relations, data.CatalogEntry(tbl, s))
+	}
+	b := workflow.NewBuilder("skewed")
+	o := b.Source("Orders")
+	l := b.Source("Log")
+	r := b.Source("Region")
+	j1 := b.Join(o, l, workflow.Attr{Rel: "Orders", Col: "lid"}, workflow.Attr{Rel: "Log", Col: "lid"})
+	j2 := b.Join(j1, r, workflow.Attr{Rel: "Orders", Col: "rid"}, workflow.Attr{Rel: "Region", Col: "rid"})
+	b.Sink(j2, "dw")
+	return b.Graph(), cat, db
+}
+
+func TestRunFullCycle(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if cy.Selection == nil || len(cy.Selection.Observe) == 0 {
+		t.Fatal("no statistics selected")
+	}
+	if cy.Observed == nil || cy.Observed.Observed.Len() == 0 {
+		t.Fatal("no statistics observed")
+	}
+	// The optimizer must find a plan at least as good as the designed one,
+	// and the improvement metric must be consistent.
+	if cy.Plans.TotalCost > cy.Plans.TotalInitialCost {
+		t.Fatalf("optimized cost %v worse than initial %v", cy.Plans.TotalCost, cy.Plans.TotalInitialCost)
+	}
+	if cy.Improvement() < 1 {
+		t.Fatalf("improvement %v < 1", cy.Improvement())
+	}
+	// Executing the optimized plan must produce identical output
+	// cardinality (plans are semantically equivalent).
+	init, err := engine.New(cy.Analysis, db, nil).Run()
+	if err != nil {
+		t.Fatalf("initial run: %v", err)
+	}
+	opt, err := cy.RunOptimized()
+	if err != nil {
+		t.Fatalf("RunOptimized: %v", err)
+	}
+	if init.Sinks["dw"].Card() != opt.Sinks["dw"].Card() {
+		t.Fatalf("optimized output %d rows, initial %d", opt.Sinks["dw"].Card(), init.Sinks["dw"].Card())
+	}
+	if cy.Optimized == nil {
+		t.Fatal("cycle did not record the optimized run")
+	}
+}
+
+func TestCycleTimingsPopulated(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if cy.Timings.GenerateCSS <= 0 || cy.Timings.Select <= 0 || cy.Timings.ObserveRun <= 0 {
+		t.Fatalf("timings not populated: %+v", cy.Timings)
+	}
+}
+
+func TestRunGreedyMethod(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cfg := DefaultConfig()
+	cfg.Method = selector.MethodGreedy
+	cy, err := Run(g, cat, db, cfg)
+	if err != nil {
+		t.Fatalf("Run(greedy): %v", err)
+	}
+	if cy.Plans.TotalCost > cy.Plans.TotalInitialCost {
+		t.Fatal("greedy-selected statistics still must allow full optimization")
+	}
+}
+
+func TestDriftReoptimization(t *testing.T) {
+	// Simulate the paper's design-once-execute-repeatedly drift story: after
+	// data changes, a fresh cycle over the new data may choose a different
+	// plan; both cycles' optimized plans must stay correct.
+	g, cat, db := skewedRetail(t)
+	cy1, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cycle 1: %v", err)
+	}
+	// Drift: Region grows tenfold and Log shrinks.
+	db["Region"] = data.Generate(data.TableSpec{Rel: "Region", Card: 500, Columns: []data.ColumnSpec{
+		{Name: "rid", Domain: 30},
+	}}, 77)
+	db["Log"] = data.Generate(data.TableSpec{Rel: "Log", Card: 50, Columns: []data.ColumnSpec{
+		{Name: "lid", Domain: 40, Skew: 1.5},
+	}}, 78)
+	cy2, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cycle 2: %v", err)
+	}
+	for _, cy := range []*Cycle{cy1, cy2} {
+		if _, err := cy.RunOptimized(); err != nil {
+			t.Fatalf("RunOptimized: %v", err)
+		}
+	}
+}
+
+func TestSecondCycleUsesLearnedSizes(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cfg := DefaultConfig()
+	cfg.CPUWeight = 0.001 // engage the CPU metric
+	cy1, err := Run(g, cat, db, cfg)
+	if err != nil {
+		t.Fatalf("cycle 1: %v", err)
+	}
+	// The second cycle prices CPU with the first cycle's exact sizes.
+	cfg2 := cy1.NextConfig()
+	if cfg2.Sizes == nil {
+		t.Fatal("NextConfig did not carry the learned sizes")
+	}
+	cy2, err := Run(g, cat, db, cfg2)
+	if err != nil {
+		t.Fatalf("cycle 2: %v", err)
+	}
+	// Both cycles produce valid, coverage-complete selections; the learned
+	// sizes may change which statistics win, but never correctness.
+	for _, cy := range []*Cycle{cy1, cy2} {
+		if cy.Plans.TotalCost > cy.Plans.TotalInitialCost {
+			t.Fatal("optimizer regressed")
+		}
+	}
+	// Learned sizes answer SE targets exactly.
+	blk0full := cy1.CSS.Space(0).Full()
+	got, ok := cy1.Estimator.SizeOf(statsTarget(0, blk0full))
+	if !ok || got <= 0 {
+		t.Fatalf("SizeOf(full) = %v, %v", got, ok)
+	}
+}
+
+func TestSaveAndOptimizeFromSaved(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := cy.SaveStats(&buf); err != nil {
+		t.Fatalf("SaveStats: %v", err)
+	}
+	// A "fresh process": rebuild everything from the saved statistics.
+	est, plans, err := OptimizeFromSaved(g, cat, &buf, DefaultConfig())
+	if err != nil {
+		t.Fatalf("OptimizeFromSaved: %v", err)
+	}
+	if plans.TotalCost != cy.Plans.TotalCost {
+		t.Fatalf("reloaded optimization cost %v != original %v", plans.TotalCost, cy.Plans.TotalCost)
+	}
+	full := cy.CSS.Space(0).Full()
+	a, err := cy.Estimator.CardOf(0, full)
+	if err != nil {
+		t.Fatalf("original CardOf: %v", err)
+	}
+	b, err := est.CardOf(0, full)
+	if err != nil {
+		t.Fatalf("reloaded CardOf: %v", err)
+	}
+	if a != b {
+		t.Fatalf("reloaded estimate %d != original %d", b, a)
+	}
+}
+
+func TestDriftFromTriggersOnChange(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy1, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cycle 1: %v", err)
+	}
+	// Same data: negligible drift.
+	cy2, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cycle 2: %v", err)
+	}
+	if d := cy2.DriftFrom(cy1); d.Exceeds(0.01) {
+		t.Fatalf("same-data drift = %+v", d)
+	}
+	// Changed data: drift exceeds a reasonable threshold.
+	db["Log"] = data.Generate(data.TableSpec{Rel: "Log", Card: 16000, Columns: []data.ColumnSpec{
+		{Name: "lid", Domain: 40, Skew: 1.9},
+	}}, 123)
+	cy3, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("cycle 3: %v", err)
+	}
+	if d := cy3.DriftFrom(cy1); !d.Exceeds(0.2) {
+		t.Fatalf("grown-data drift = %+v, expected above 0.2", d)
+	}
+}
+
+func TestStreamingCycleMatchesBatch(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	batchCfg := DefaultConfig()
+	cyB, err := Run(g, cat, db, batchCfg)
+	if err != nil {
+		t.Fatalf("batch cycle: %v", err)
+	}
+	streamCfg := DefaultConfig()
+	streamCfg.Streaming = true
+	cyS, err := Run(g, cat, db, streamCfg)
+	if err != nil {
+		t.Fatalf("streaming cycle: %v", err)
+	}
+	if cyB.Plans.TotalCost != cyS.Plans.TotalCost {
+		t.Fatalf("plan costs differ across engines: %v vs %v", cyB.Plans.TotalCost, cyS.Plans.TotalCost)
+	}
+	full := cyB.CSS.Space(0).Full()
+	a, _ := cyB.Estimator.CardOf(0, full)
+	b, _ := cyS.Estimator.CardOf(0, full)
+	if a != b {
+		t.Fatalf("estimates differ across engines: %d vs %d", a, b)
+	}
+	optS, err := cyS.RunOptimized()
+	if err != nil {
+		t.Fatalf("streaming optimized run: %v", err)
+	}
+	optB, err := cyB.RunOptimized()
+	if err != nil {
+		t.Fatalf("batch optimized run: %v", err)
+	}
+	if optS.Sinks["dw"].Card() != optB.Sinks["dw"].Card() {
+		t.Fatalf("optimized outputs differ: %d vs %d", optS.Sinks["dw"].Card(), optB.Sinks["dw"].Card())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := cy.Report(&buf); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Optimization cycle", "## Statistics observed", "## Observed values",
+		"## Plans", "## Derivations", "improvement:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package costmodel implements the observation cost metrics of Section 5.4
+// of the paper: the memory overhead of maintaining a statistic (one counter
+// for a cardinality, the attribute domain size — conservatively, the
+// product of domain sizes for multi-attribute histograms — for
+// distributions) and the CPU cost of updating it (proportional to the
+// number of tuples flowing past the observation point).
+package costmodel
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Sizes estimates the tuple count of a statistic's target, used for the
+// CPU cost metric. Section 5.4 breaks the circular dependency (the sizes
+// are what the statistics will estimate) by taking sizes from the previous
+// run when available and from an independence-assumption approximation on
+// the first run.
+type Sizes interface {
+	// SizeOf returns the estimated tuple count of the target, or false
+	// when unknown.
+	SizeOf(t stats.Target) (float64, bool)
+}
+
+// Coster prices statistics for the selection step.
+type Coster struct {
+	// Res is the CSS generation result the statistics belong to.
+	Res *css.Result
+	// Cat supplies domain sizes and functional dependencies.
+	Cat *workflow.Catalog
+	// Sizes supplies target tuple counts for the CPU metric; nil falls
+	// back to Independence.
+	Sizes Sizes
+	// MemWeight and CPUWeight combine the two metrics into one objective.
+	// The paper's experiments report memory, so the default selection uses
+	// MemWeight=1, CPUWeight=0.
+	MemWeight, CPUWeight float64
+	// UseFDs enables the functional-dependency enhancement of Section 6:
+	// attributes functionally determined by others in a histogram's
+	// attribute set do not enlarge its domain-size bound.
+	UseFDs bool
+	// FreeSourceStats implements Section 6.2: statistics over unfiltered
+	// base relations whose source system exposes its own statistics cost
+	// nothing to "observe".
+	FreeSourceStats bool
+}
+
+// NewMemoryCoster prices statistics by memory units only, the metric of
+// Figure 11.
+func NewMemoryCoster(res *css.Result, cat *workflow.Catalog) *Coster {
+	return &Coster{Res: res, Cat: cat, MemWeight: 1}
+}
+
+// Memory returns the memory overhead of observing the statistic, in
+// abstract integer units as in the paper: 1 for a cardinality counter, and
+// the (FD-reduced) product of attribute domain sizes for distinct counts
+// and histograms.
+func (c *Coster) Memory(s stats.Stat) (int64, error) {
+	if s.Kind == stats.Card {
+		return 1, nil
+	}
+	phys, err := c.Res.PhysicalAttrs(s)
+	if err != nil {
+		return 0, err
+	}
+	if c.UseFDs {
+		phys = c.reduceByFDs(phys)
+	}
+	total := int64(1)
+	for _, a := range phys {
+		d, err := c.domainOf(a)
+		if err != nil {
+			return 0, err
+		}
+		if total > 0 && d > 0 && total > (1<<62)/d {
+			return 1 << 62, nil // saturate instead of overflowing
+		}
+		total *= d
+	}
+	return total, nil
+}
+
+// domainOf returns the domain of an attribute, falling back across the
+// attribute's join-equivalence class when the physical attribute itself is
+// a derived column without registered domain.
+func (c *Coster) domainOf(a workflow.Attr) (int64, error) {
+	if d, err := c.Cat.Domain(a); err == nil {
+		return d, nil
+	}
+	return 0, fmt.Errorf("costmodel: no domain for attribute %s", a)
+}
+
+// reduceByFDs drops attributes functionally determined by the remaining
+// attributes of the set; such attributes cannot increase the number of
+// distinct combinations.
+func (c *Coster) reduceByFDs(attrs []workflow.Attr) []workflow.Attr {
+	out := append([]workflow.Attr(nil), attrs...)
+	for changed := true; changed; {
+		changed = false
+		for i, a := range out {
+			rest := append(append([]workflow.Attr(nil), out[:i]...), out[i+1:]...)
+			if c.Cat.Determined(rest, a) {
+				out = rest
+				changed = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CPU returns the CPU observation cost: the estimated number of tuples at
+// the observation point (each tuple costs one statistic update).
+func (c *Coster) CPU(s stats.Stat) float64 {
+	if c.Sizes != nil {
+		if n, ok := c.Sizes.SizeOf(s.Target); ok {
+			return n
+		}
+	}
+	if n, ok := NewIndependence(c.Res, c.Cat).SizeOf(s.Target); ok {
+		return n
+	}
+	return 0
+}
+
+// Cost combines the metrics per the configured weights. Statistics over
+// source relations with free source-system statistics cost zero when
+// FreeSourceStats is set.
+func (c *Coster) Cost(s stats.Stat) (float64, error) {
+	if c.FreeSourceStats && c.isFreeSourceStat(s) {
+		return 0, nil
+	}
+	mem, err := c.Memory(s)
+	if err != nil {
+		return 0, err
+	}
+	cost := c.MemWeight * float64(mem)
+	if c.CPUWeight != 0 {
+		cost += c.CPUWeight * c.CPU(s)
+	}
+	return cost, nil
+}
+
+// isFreeSourceStat reports whether the statistic describes an unmodified
+// base relation whose source system publishes statistics (Section 6.2).
+func (c *Coster) isFreeSourceStat(s stats.Stat) bool {
+	t := s.Target
+	if t.IsReject() || t.Set.Len() != 1 {
+		return false
+	}
+	bc := c.Res.Analysis.Blocks[t.Block]
+	i := t.Set.Lowest()
+	in := bc.Inputs[i]
+	if in.SourceRel == "" {
+		return false
+	}
+	// Only the raw relation is covered by source statistics: either the
+	// raw chain point, or the cooked input when it has no operators.
+	if t.IsChainPoint() && t.Depth != 0 {
+		return false
+	}
+	if !t.IsChainPoint() && len(in.Ops) > 0 {
+		return false
+	}
+	rel := c.Cat.Relation(in.SourceRel)
+	return rel != nil && rel.HasSourceStats
+}
+
+// Independence estimates target sizes under attribute independence and
+// uniformity, the paper's first-run approximation: base sizes from the
+// catalog, selectivity 1/domain for equality predicates and 1/3 for range
+// predicates, and joins scaled by 1/domain of the join attribute.
+type Independence struct {
+	res *css.Result
+	cat *workflow.Catalog
+	// RejectFraction approximates the share of rows a reject link
+	// captures.
+	RejectFraction float64
+}
+
+// NewIndependence returns an independence-assumption size estimator.
+func NewIndependence(res *css.Result, cat *workflow.Catalog) *Independence {
+	return &Independence{res: res, cat: cat, RejectFraction: 0.1}
+}
+
+// SizeOf implements Sizes.
+func (ind *Independence) SizeOf(t stats.Target) (float64, bool) {
+	bc := ind.res.Analysis.Blocks[t.Block]
+	size := 1.0
+	for _, i := range t.Set.Members() {
+		s, ok := ind.inputSize(bc, i, t)
+		if !ok {
+			return 0, false
+		}
+		if t.IsReject() && i == t.RejectInput {
+			s *= ind.RejectFraction
+		}
+		size *= s
+	}
+	// Each join edge internal to the SE divides by its attribute domain.
+	for _, e := range bc.Joins {
+		if t.Set.Has(e.LeftInput) && t.Set.Has(e.RightInput) {
+			if d, err := ind.cat.Domain(e.LeftAttr); err == nil && d > 0 {
+				size /= float64(d)
+			}
+		}
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size, true
+}
+
+// inputSize estimates the tuple count of one input at the depth addressed
+// by the target (full chain for cooked SEs).
+func (ind *Independence) inputSize(blk *workflow.Block, i int, t stats.Target) (float64, bool) {
+	in := blk.Inputs[i]
+	var base float64
+	switch {
+	case in.SourceRel != "":
+		rel := ind.cat.Relation(in.SourceRel)
+		if rel == nil || rel.Card <= 0 {
+			return 0, false
+		}
+		base = float64(rel.Card)
+	case in.FromBlock >= 0:
+		up := ind.res.Analysis.Blocks[in.FromBlock]
+		s, ok := ind.SizeOf(stats.BlockSE(in.FromBlock, fullSet(up)))
+		if !ok {
+			return 0, false
+		}
+		// A terminating group-by shrinks the boundary record-set.
+		for _, op := range up.TopOps {
+			if op.Kind == workflow.KindGroupBy || op.Kind == workflow.KindAggregateUDF {
+				s /= 3
+			}
+		}
+		base = s
+	default:
+		return 0, false
+	}
+	depth := len(in.Ops)
+	if t.IsChainPoint() && t.Set.Lowest() == i {
+		depth = t.Depth
+	}
+	for d := 0; d < depth; d++ {
+		op := in.Ops[d]
+		if op.Kind != workflow.KindSelect {
+			continue
+		}
+		if op.Pred.Op == workflow.CmpEq {
+			if dom, err := ind.cat.Domain(op.Pred.Attr); err == nil && dom > 0 {
+				base /= float64(dom)
+				continue
+			}
+		}
+		base /= 3
+	}
+	return base, true
+}
+
+func fullSet(b *workflow.Block) expr.Set {
+	var s expr.Set
+	for i := range b.Inputs {
+		s = s.Add(i)
+	}
+	return s
+}

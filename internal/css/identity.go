@@ -1,0 +1,65 @@
+package css
+
+import (
+	"sort"
+
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// applyIdentityRules implements lines 17–21 of Algorithm 1. The identity
+// rules are applied one level and only over statistics the regular rules
+// already generated — otherwise repeated application of I2 would blow the
+// universe up exponentially (a histogram on any attribute superset can
+// stand in for a histogram, but a coarser histogram is always cheaper, so
+// new supersets are never worth introducing).
+//
+//   - I1: a target's cardinality is computable from any existing histogram
+//     on the same target (sum the buckets).
+//   - I2: a histogram is computable from any existing histogram on a strict
+//     attribute superset of the same target (marginalize). Expressing I2 as
+//     its own candidate set — rather than substituting supersets into every
+//     CSS as the paper's prose does — yields identical coverage through the
+//     closure (the substituted CSS is covered exactly when the superset
+//     histogram makes the coarser one computable) while keeping the CSS
+//     count linear in the number of statistics.
+func (g *generator) applyIdentityRules() {
+	// Index the generated histogram statistics by target, so superset
+	// lookups touch only existing statistics.
+	histsByTarget := make(map[stats.Target][]stats.Stat)
+	for _, s := range g.res.Stats {
+		if s.Kind == stats.Hist {
+			histsByTarget[s.Target] = append(histsByTarget[s.Target], s)
+		}
+	}
+	for t := range histsByTarget {
+		sort.Slice(histsByTarget[t], func(i, j int) bool {
+			a, b := histsByTarget[t][i], histsByTarget[t][j]
+			if len(a.Attrs) != len(b.Attrs) {
+				return len(a.Attrs) < len(b.Attrs)
+			}
+			return workflow.AttrsString(a.Attrs) < workflow.AttrsString(b.Attrs)
+		})
+	}
+
+	for k, s := range g.res.Stats {
+		switch s.Kind {
+		case stats.Card:
+			// I1: |T| from any histogram on T.
+			for _, h := range histsByTarget[s.Target] {
+				g.res.CSS[k] = append(g.res.CSS[k], stats.CSS{Rule: "I1", Inputs: []stats.Stat{h}})
+			}
+		case stats.Hist:
+			// I2: H^a_T from any existing H^{a∪b}_T.
+			for _, super := range histsByTarget[s.Target] {
+				if len(super.Attrs) <= len(s.Attrs) {
+					continue
+				}
+				if !repsSubset(s.Attrs, super.Attrs) {
+					continue
+				}
+				g.res.CSS[k] = append(g.res.CSS[k], stats.CSS{Rule: "I2", Inputs: []stats.Stat{super}})
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := Generate(TableSpec{Rel: "orders", Card: 200, Columns: []ColumnSpec{
+		{Name: "id", Serial: true},
+		{Name: "k", Domain: 20, Skew: 1.4},
+	}}, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := readCSV(&buf, "orders")
+	if err != nil {
+		t.Fatalf("readCSV: %v", err)
+	}
+	if back.Card() != tbl.Card() || len(back.Attrs) != len(tbl.Attrs) {
+		t.Fatalf("shape changed: %dx%d vs %dx%d", back.Card(), len(back.Attrs), tbl.Card(), len(tbl.Attrs))
+	}
+	for i := range tbl.Rows {
+		for j := range tbl.Rows[i] {
+			if tbl.Rows[i][j] != back.Rows[i][j] {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty column", "a,,c\n1,2,3\n"},
+		{"ragged row", "a,b\n1,2\n3\n"},
+		{"non-integer", "a,b\n1,x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := readCSV(strings.NewReader(tc.in), "t"); err == nil {
+				t.Fatalf("want error for %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestLoadDirAndInferCatalog(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("orders.csv", "oid,pid\n1,10\n2,10\n3,20\n")
+	write("product.csv", "pid,price\n10,100\n20,250\n")
+	write("notes.txt", "ignored")
+
+	tables, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("loaded %d tables, want 2", len(tables))
+	}
+	if tables["orders"].Card() != 3 || tables["product"].Card() != 2 {
+		t.Fatalf("cards wrong: %d / %d", tables["orders"].Card(), tables["product"].Card())
+	}
+	cat := InferCatalog(tables)
+	ord := cat.Relation("orders")
+	if ord == nil || ord.Card != 3 {
+		t.Fatalf("orders catalog: %+v", ord)
+	}
+	pid := ord.Column("pid")
+	if pid == nil || pid.Distinct != 2 {
+		t.Fatalf("orders.pid distinct = %+v, want 2", pid)
+	}
+	// Domain is the observed range 10..20 → 11.
+	if pid.Domain != 11 {
+		t.Fatalf("orders.pid domain = %d, want 11", pid.Domain)
+	}
+	// The inferred catalog drives a real analysis.
+	b := workflow.NewBuilder("csvflow")
+	o := b.Source("orders")
+	p := b.Source("product")
+	j := b.Join(o, p, workflow.Attr{Rel: "orders", Col: "pid"}, workflow.Attr{Rel: "product", Col: "pid"})
+	b.Sink(j, "dw")
+	if _, err := workflow.Analyze(b.Graph(), cat); err != nil {
+		t.Fatalf("Analyze over inferred catalog: %v", err)
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir: want error")
+	}
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir: want error")
+	}
+}

@@ -1,0 +1,459 @@
+// Package engine executes ETL workflows over materialized tables, the way
+// a batch ETL runtime does: each optimizable block's input chains run
+// first, then its join tree (either the designed initial order or any
+// reordering supplied by the optimizer), then its pinned top operators; the
+// block output feeds downstream blocks until the sinks are written.
+//
+// The engine realizes Sections 3.2.5–3.2.6 of the paper: it can be
+// instrumented with per-point statistic collectors (tuple counters,
+// distinct counters, exact frequency histograms, and reject-link
+// observation) so a single execution of the initial plan gathers the
+// statistics chosen by the selector.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// DB maps base relation names to materialized tables.
+type DB map[string]*data.Table
+
+// UDF is a scalar transformation function applied per tuple.
+type UDF func(vals []int64) int64
+
+// Registry resolves transform function names to implementations.
+type Registry map[string]UDF
+
+// DefaultRegistry returns the built-in UDFs used by the examples and the
+// benchmark suite.
+func DefaultRegistry() Registry {
+	return Registry{
+		// identity passes the first input through.
+		"identity": func(v []int64) int64 { return v[0] },
+		// bucket10 maps values into ten buckets.
+		"bucket10": func(v []int64) int64 { return v[0]%10 + 1 },
+		// sum adds all inputs.
+		"sum": func(v []int64) int64 {
+			var t int64
+			for _, x := range v {
+				t += x
+			}
+			return t
+		},
+		// scramble is a cheap value scrambler standing in for opaque
+		// cleansing code.
+		"scramble": func(v []int64) int64 { return (v[0]*2654435761 + 17) % 100003 },
+	}
+}
+
+// Engine executes workflows.
+type Engine struct {
+	An  *workflow.Analysis
+	DB  DB
+	Reg Registry
+}
+
+// New returns an engine for the analyzed workflow over the database.
+func New(an *workflow.Analysis, db DB, reg Registry) *Engine {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	return &Engine{An: an, DB: db, Reg: reg}
+}
+
+// Result is the outcome of one workflow execution.
+type Result struct {
+	// BlockOut holds each block's boundary output.
+	BlockOut map[int]*data.Table
+	// Sinks holds the target record-sets by name.
+	Sinks map[string]*data.Table
+	// Materialized holds explicitly materialized intermediate results by
+	// target name, including the reject links of reject joins.
+	Materialized map[string]*data.Table
+	// Observed holds the collected statistics when the run was
+	// instrumented (nil otherwise).
+	Observed *stats.Store
+	// Rows counts tuples processed across all operators (a simple work
+	// metric used to compare plan costs empirically).
+	Rows int64
+}
+
+// Run executes the workflow with each block using its initial join tree.
+func (e *Engine) Run() (*Result, error) {
+	return e.RunPlans(nil, nil, nil)
+}
+
+// RunObserved executes the initial plan instrumented to collect the given
+// statistics (which must be observable; others are silently skipped).
+func (e *Engine) RunObserved(res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.RunPlans(nil, res, observe)
+}
+
+// RunPlans executes the workflow using the supplied join tree per block
+// (nil map or missing entry = the initial tree), instrumented with the
+// given statistics when res is non-nil. Statistics not observable under
+// the initial plan are skipped; use RunPlansObserving for re-ordered plans
+// that expose different sub-expressions (the pay-as-you-go baseline).
+func (e *Engine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(plans, res, observe, false)
+}
+
+// RunPlansObserving is RunPlans without the initial-plan observability
+// filter: any statistic whose target the executed plans actually produce is
+// collected. Targets the plans do not produce are silently absent from the
+// store.
+func (e *Engine) RunPlansObserving(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(plans, res, observe, true)
+}
+
+func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
+	out := &Result{
+		BlockOut:     make(map[int]*data.Table),
+		Sinks:        make(map[string]*data.Table),
+		Materialized: make(map[string]*data.Table),
+	}
+	var taps *tapSet
+	if res != nil {
+		var err error
+		taps, err = newTapSet(res, observe, anyPoint)
+		if err != nil {
+			return nil, err
+		}
+		out.Observed = taps.store
+	}
+	for _, blk := range e.An.Blocks {
+		tree := blk.Initial
+		if plans != nil {
+			if t, ok := plans[blk.Index]; ok && t != nil {
+				tree = t
+			}
+		}
+		tbl, err := e.runBlock(blk, tree, taps, out)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", blk.Index, err)
+		}
+		out.BlockOut[blk.Index] = tbl
+	}
+	// Route block outputs to sinks.
+	for _, sink := range e.An.Graph.Sinks() {
+		blk := e.An.BlockOf(sink.Inputs[0])
+		if blk == nil {
+			// The sink's input is a block terminal.
+			for _, b := range e.An.Blocks {
+				if b.Terminal == sink.Inputs[0] {
+					blk = b
+					break
+				}
+			}
+		}
+		if blk == nil {
+			return nil, fmt.Errorf("sink %q: cannot locate producing block", sink.ID)
+		}
+		out.Sinks[sink.Rel] = out.BlockOut[blk.Index]
+	}
+	return out, nil
+}
+
+// runBlock executes one block: input chains, join tree, top operators.
+func (e *Engine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *Result) (*data.Table, error) {
+	// Materialize the inputs.
+	inputs := make([]*data.Table, len(blk.Inputs))
+	for i := range blk.Inputs {
+		tbl, err := e.runChain(blk, i, taps, out)
+		if err != nil {
+			return nil, fmt.Errorf("input %d (%s): %w", i, blk.Inputs[i].Name, err)
+		}
+		inputs[i] = tbl
+	}
+	var result *data.Table
+	if tree == nil {
+		if len(inputs) != 1 {
+			return nil, fmt.Errorf("join-free block with %d inputs", len(inputs))
+		}
+		result = inputs[0]
+	} else {
+		var err error
+		result, _, err = e.runTree(blk, tree, inputs, taps, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Top operators.
+	for _, op := range blk.TopOps {
+		var err error
+		result, err = e.applyOp(result, op, out)
+		if err != nil {
+			return nil, fmt.Errorf("top op %q: %w", op.ID, err)
+		}
+	}
+	// A reject-pinned block's terminal join already ran inside the tree;
+	// its materialized reject link is recorded there.
+	return result, nil
+}
+
+// runChain materializes input i of the block and applies its pushed-down
+// operators, feeding chain-point taps at every depth.
+func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result) (*data.Table, error) {
+	in := blk.Inputs[i]
+	var tbl *data.Table
+	switch {
+	case in.SourceRel != "":
+		src, ok := e.DB[in.SourceRel]
+		if !ok {
+			return nil, fmt.Errorf("relation %q not in database", in.SourceRel)
+		}
+		tbl = src
+	case in.FromBlock >= 0:
+		up, ok := out.BlockOut[in.FromBlock]
+		if !ok {
+			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
+		}
+		tbl = up
+	default:
+		return nil, fmt.Errorf("input %d has neither source nor upstream block", i)
+	}
+	if taps != nil {
+		taps.observeChainPoint(blk.Index, i, 0, len(in.Ops), tbl)
+	}
+	out.Rows += tbl.Card()
+	for d, op := range in.Ops {
+		var err error
+		tbl, err = e.applyOp(tbl, op, out)
+		if err != nil {
+			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
+		}
+		if taps != nil {
+			taps.observeChainPoint(blk.Index, i, d+1, len(in.Ops), tbl)
+		}
+	}
+	return tbl, nil
+}
+
+// runTree evaluates a join tree bottom-up, returning the result table and
+// the SE it represents, feeding SE taps and reject taps along the way.
+func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *Result) (*data.Table, expr.Set, error) {
+	if t.IsLeaf() {
+		se := expr.NewSet(t.Leaf)
+		if taps != nil {
+			taps.observeSE(blk.Index, se, inputs[t.Leaf])
+		}
+		return inputs[t.Leaf], se, nil
+	}
+	left, lse, err := e.runTree(blk, t.Left, inputs, taps, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	right, rse, err := e.runTree(blk, t.Right, inputs, taps, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	edge := blk.Joins[t.Join]
+	la, ra := edge.LeftAttr, edge.RightAttr
+	// Normalize the attributes to the sides as executed.
+	if left.Col(la) < 0 {
+		la, ra = ra, la
+	}
+	joined, leftMisses, rightMisses, err := hashJoin(left, right, la, ra)
+	if err != nil {
+		return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
+	}
+	out.Rows += joined.Card()
+	se := lse.Union(rse)
+	if taps != nil {
+		taps.observeSE(blk.Index, se, joined)
+		// Union–division reject observation: a side that is a bare input
+		// joined over this edge can feed reject-singleton taps.
+		if lse.Len() == 1 {
+			taps.observeReject(blk, lse.Lowest(), t.Join, leftMisses, inputs)
+		}
+		if rse.Len() == 1 {
+			taps.observeReject(blk, rse.Lowest(), t.Join, rightMisses, inputs)
+		}
+	}
+	// A designed reject link materializes the left side's misses.
+	if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
+		name := string(edge.Node) + ".reject"
+		out.Materialized[name] = leftMisses
+	}
+	return joined, se, nil
+}
+
+// hashJoin equi-joins two tables, also returning each side's non-matching
+// rows (the reject sets).
+func hashJoin(left, right *data.Table, la, ra workflow.Attr) (joined, leftMiss, rightMiss *data.Table, err error) {
+	lc := left.Col(la)
+	rc := right.Col(ra)
+	if lc < 0 || rc < 0 {
+		return nil, nil, nil, fmt.Errorf("join attrs %s/%s not found (schemas %v / %v)", la, ra, left.Attrs, right.Attrs)
+	}
+	index := make(map[int64][]data.Row)
+	for _, r := range right.Rows {
+		index[r[rc]] = append(index[r[rc]], r)
+	}
+	joined = &data.Table{
+		Rel:   left.Rel + "⋈" + right.Rel,
+		Attrs: append(append([]workflow.Attr(nil), left.Attrs...), right.Attrs...),
+	}
+	leftMiss = &data.Table{Rel: left.Rel + "!", Attrs: left.Attrs}
+	matchedRight := make(map[int64]bool)
+	for _, lrow := range left.Rows {
+		matches := index[lrow[lc]]
+		if len(matches) == 0 {
+			leftMiss.Rows = append(leftMiss.Rows, lrow)
+			continue
+		}
+		matchedRight[lrow[lc]] = true
+		for _, rrow := range matches {
+			row := make(data.Row, 0, len(lrow)+len(rrow))
+			row = append(append(row, lrow...), rrow...)
+			joined.Rows = append(joined.Rows, row)
+		}
+	}
+	rightMiss = &data.Table{Rel: right.Rel + "!", Attrs: right.Attrs}
+	for _, rrow := range right.Rows {
+		if !matchedRight[rrow[rc]] {
+			rightMiss.Rows = append(rightMiss.Rows, rrow)
+		}
+	}
+	return joined, leftMiss, rightMiss, nil
+}
+
+// applyOp executes one unary operator.
+func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data.Table, error) {
+	switch op.Kind {
+	case workflow.KindSelect:
+		c := tbl.Col(op.Pred.Attr)
+		if c < 0 {
+			return nil, fmt.Errorf("select attr %s not in schema", op.Pred.Attr)
+		}
+		res := &data.Table{Rel: tbl.Rel, Attrs: tbl.Attrs}
+		for _, r := range tbl.Rows {
+			if op.Pred.Matches(r[c]) {
+				res.Rows = append(res.Rows, r)
+			}
+		}
+		out.Rows += res.Card()
+		return res, nil
+	case workflow.KindProject:
+		cols := make([]int, len(op.Cols))
+		for i, a := range op.Cols {
+			cols[i] = tbl.Col(a)
+			if cols[i] < 0 {
+				return nil, fmt.Errorf("project attr %s not in schema", a)
+			}
+		}
+		res := &data.Table{Rel: tbl.Rel, Attrs: append([]workflow.Attr(nil), op.Cols...)}
+		for _, r := range tbl.Rows {
+			row := make(data.Row, len(cols))
+			for i, c := range cols {
+				row[i] = r[c]
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		out.Rows += res.Card()
+		return res, nil
+	case workflow.KindTransform:
+		fn, ok := e.Reg[op.Transform.Fn]
+		if !ok {
+			return nil, fmt.Errorf("unknown UDF %q", op.Transform.Fn)
+		}
+		ins := make([]int, len(op.Transform.Ins))
+		for i, a := range op.Transform.Ins {
+			ins[i] = tbl.Col(a)
+			if ins[i] < 0 {
+				return nil, fmt.Errorf("transform attr %s not in schema", a)
+			}
+		}
+		res := &data.Table{Rel: tbl.Rel, Attrs: append(append([]workflow.Attr(nil), tbl.Attrs...), op.Transform.Out)}
+		buf := make([]int64, len(ins))
+		for _, r := range tbl.Rows {
+			for i, c := range ins {
+				buf[i] = r[c]
+			}
+			row := make(data.Row, 0, len(r)+1)
+			row = append(append(row, r...), fn(buf))
+			res.Rows = append(res.Rows, row)
+		}
+		out.Rows += res.Card()
+		return res, nil
+	case workflow.KindGroupBy:
+		cols := make([]int, len(op.Cols))
+		for i, a := range op.Cols {
+			cols[i] = tbl.Col(a)
+			if cols[i] < 0 {
+				return nil, fmt.Errorf("group-by attr %s not in schema", a)
+			}
+		}
+		res := &data.Table{Rel: tbl.Rel, Attrs: append([]workflow.Attr(nil), op.Cols...)}
+		seen := make(map[string]bool)
+		for _, r := range tbl.Rows {
+			key := make(data.Row, len(cols))
+			for i, c := range cols {
+				key[i] = r[c]
+			}
+			k := rowKey(key)
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, key)
+			}
+		}
+		out.Rows += res.Card()
+		return res, nil
+	case workflow.KindAggregateUDF:
+		fn, ok := e.Reg[op.Transform.Fn]
+		if !ok {
+			return nil, fmt.Errorf("unknown aggregate UDF %q", op.Transform.Fn)
+		}
+		ins := make([]int, len(op.Transform.Ins))
+		for i, a := range op.Transform.Ins {
+			ins[i] = tbl.Col(a)
+			if ins[i] < 0 {
+				return nil, fmt.Errorf("aggregate attr %s not in schema", a)
+			}
+		}
+		// The opaque aggregate groups by its input attributes and emits
+		// one row per group: (inputs..., fn(inputs)).
+		attrs := make([]workflow.Attr, 0, len(op.Transform.Ins)+1)
+		attrs = append(attrs, op.Transform.Ins...)
+		attrs = append(attrs, op.Transform.Out)
+		res := &data.Table{Rel: tbl.Rel, Attrs: attrs}
+		seen := make(map[string]bool)
+		buf := make([]int64, len(ins))
+		for _, r := range tbl.Rows {
+			for i, c := range ins {
+				buf[i] = r[c]
+			}
+			k := rowKey(buf)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			row := make(data.Row, 0, len(buf)+1)
+			row = append(append(row, buf...), fn(buf))
+			res.Rows = append(res.Rows, row)
+		}
+		out.Rows += res.Card()
+		return res, nil
+	case workflow.KindMaterialize:
+		out.Materialized[op.Rel] = tbl
+		return tbl, nil
+	default:
+		return nil, fmt.Errorf("unexpected operator kind %v in block", op.Kind)
+	}
+}
+
+func rowKey(r []int64) string {
+	buf := make([]byte, 0, len(r)*8)
+	for _, v := range r {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(v>>s))
+		}
+	}
+	return string(buf)
+}

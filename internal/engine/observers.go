@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// rowObserver is a per-tuple statistic handler; finish records the
+// completed statistic into the store at end of stream.
+type rowObserver interface {
+	observe(data.Row)
+	finish()
+}
+
+// cardObserver counts tuples.
+type cardObserver struct {
+	taps *tapSet
+	stat stats.Stat
+	n    int64
+}
+
+func (c *cardObserver) observe(data.Row) { c.n++ }
+func (c *cardObserver) finish() {
+	if !c.taps.store.Has(c.stat) {
+		c.taps.store.PutScalar(c.stat, c.n)
+	}
+}
+
+// histObserver builds an exact frequency histogram.
+type histObserver struct {
+	taps *tapSet
+	stat stats.Stat
+	cols []int
+	h    *stats.Histogram
+	vals []int64
+}
+
+func (h *histObserver) observe(r data.Row) {
+	for i, c := range h.cols {
+		h.vals[i] = r[c]
+	}
+	h.h.Inc(h.vals, 1)
+}
+func (h *histObserver) finish() {
+	if !h.taps.store.Has(h.stat) {
+		h.taps.store.PutHist(h.stat, h.h)
+	}
+}
+
+// distinctObserver counts distinct combinations.
+type distinctObserver struct {
+	taps *tapSet
+	stat stats.Stat
+	cols []int
+	seen map[string]bool
+	vals []int64
+}
+
+func (d *distinctObserver) observe(r data.Row) {
+	for i, c := range d.cols {
+		d.vals[i] = r[c]
+	}
+	d.seen[rowKey(d.vals)] = true
+}
+func (d *distinctObserver) finish() {
+	if !d.taps.store.Has(d.stat) {
+		d.taps.store.PutScalar(d.stat, int64(len(d.seen)))
+	}
+}
+
+// observersFor builds the per-row handlers for the given statistics against
+// a record-set schema.
+func observersFor(taps *tapSet, list []stats.Stat, attrs []workflow.Attr) ([]rowObserver, error) {
+	var out []rowObserver
+	for _, s := range list {
+		switch s.Kind {
+		case stats.Card:
+			out = append(out, &cardObserver{taps: taps, stat: s})
+		case stats.Hist:
+			cols, err := taps.colsForSchema(s, attrs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &histObserver{
+				taps: taps, stat: s, cols: cols,
+				h: stats.NewHistogram(s.Attrs...), vals: make([]int64, len(cols)),
+			})
+		case stats.Distinct:
+			cols, err := taps.colsForSchema(s, attrs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &distinctObserver{
+				taps: taps, stat: s, cols: cols,
+				seen: make(map[string]bool), vals: make([]int64, len(cols)),
+			})
+		}
+	}
+	return out, nil
+}

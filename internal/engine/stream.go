@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// This file implements a Volcano-style streaming execution mode. Commercial
+// ETL engines (the paper's substrate included) are pipelined: tuples flow
+// through operator chains without materializing intermediate join results,
+// and statistic handlers fire per tuple at the instrumented points — which
+// is exactly the paper's Section 3.2.5 instrumentation model. The streaming
+// engine shares the batch engine's semantics (the tests cross-check them
+// row for row) while keeping only hash-join build sides materialized.
+
+// Iterator is a pull-based row stream.
+type Iterator interface {
+	// Open prepares the stream (blocking operators consume their input
+	// here).
+	Open() error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row data.Row, ok bool, err error)
+	// Close releases resources; it runs end-of-stream observers.
+	Close() error
+}
+
+// scanIter streams a materialized table.
+type scanIter struct {
+	tbl *data.Table
+	pos int
+}
+
+func (s *scanIter) Open() error { s.pos = 0; return nil }
+func (s *scanIter) Next() (data.Row, bool, error) {
+	if s.pos >= len(s.tbl.Rows) {
+		return nil, false, nil
+	}
+	r := s.tbl.Rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+func (s *scanIter) Close() error { return nil }
+
+// filterIter applies a selection predicate.
+type filterIter struct {
+	src  Iterator
+	col  int
+	pred *workflow.Predicate
+}
+
+func (f *filterIter) Open() error { return f.src.Open() }
+func (f *filterIter) Next() (data.Row, bool, error) {
+	for {
+		r, ok, err := f.src.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.pred.Matches(r[f.col]) {
+			return r, true, nil
+		}
+	}
+}
+func (f *filterIter) Close() error { return f.src.Close() }
+
+// projectIter keeps a column subset.
+type projectIter struct {
+	src  Iterator
+	cols []int
+}
+
+func (p *projectIter) Open() error { return p.src.Open() }
+func (p *projectIter) Next() (data.Row, bool, error) {
+	r, ok, err := p.src.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(data.Row, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = r[c]
+	}
+	return out, true, nil
+}
+func (p *projectIter) Close() error { return p.src.Close() }
+
+// transformIter appends a derived column.
+type transformIter struct {
+	src Iterator
+	fn  UDF
+	ins []int
+	buf []int64
+}
+
+func (t *transformIter) Open() error { t.buf = make([]int64, len(t.ins)); return t.src.Open() }
+func (t *transformIter) Next() (data.Row, bool, error) {
+	r, ok, err := t.src.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, c := range t.ins {
+		t.buf[i] = r[c]
+	}
+	out := make(data.Row, 0, len(r)+1)
+	out = append(append(out, r...), t.fn(t.buf))
+	return out, true, nil
+}
+func (t *transformIter) Close() error { return t.src.Close() }
+
+// groupByIter is blocking: it drains its input on Open and emits one row
+// per distinct key combination.
+type groupByIter struct {
+	src  Iterator
+	cols []int
+	out  []data.Row
+	pos  int
+}
+
+func (g *groupByIter) Open() error {
+	if err := g.src.Open(); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for {
+		r, ok, err := g.src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(data.Row, len(g.cols))
+		for i, c := range g.cols {
+			key[i] = r[c]
+		}
+		k := rowKey(key)
+		if !seen[k] {
+			seen[k] = true
+			g.out = append(g.out, key)
+		}
+	}
+	g.pos = 0
+	return g.src.Close()
+}
+func (g *groupByIter) Next() (data.Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+func (g *groupByIter) Close() error { return nil }
+
+// aggUDFIter is blocking: one output row per distinct input-attribute
+// combination, carrying the UDF value.
+type aggUDFIter struct {
+	src Iterator
+	fn  UDF
+	ins []int
+	out []data.Row
+	pos int
+}
+
+func (a *aggUDFIter) Open() error {
+	if err := a.src.Open(); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	buf := make([]int64, len(a.ins))
+	for {
+		r, ok, err := a.src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, c := range a.ins {
+			buf[i] = r[c]
+		}
+		k := rowKey(buf)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		row := make(data.Row, 0, len(buf)+1)
+		row = append(append(row, buf...), a.fn(buf))
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return a.src.Close()
+}
+func (a *aggUDFIter) Next() (data.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+func (a *aggUDFIter) Close() error { return nil }
+
+// hashJoinIter builds a hash table over the (materialized) right input on
+// Open and streams the left input through it. Misses on the streamed side
+// surface immediately through onLeftMiss; right-side misses are computed at
+// Close from the matched-key set.
+type hashJoinIter struct {
+	left        Iterator
+	right       *data.Table
+	lc, rc      int
+	onLeftMiss  func(data.Row)
+	onRightMiss func(data.Row)
+	// leftMissFinish and rightMissFinish run after the stream ends, so
+	// per-row miss observers can record their totals.
+	leftMissFinish, rightMissFinish []rowObserver
+
+	index   map[int64][]data.Row
+	matched map[int64]bool
+	pending []data.Row
+	cur     data.Row
+}
+
+func (h *hashJoinIter) Open() error {
+	h.index = make(map[int64][]data.Row)
+	for _, r := range h.right.Rows {
+		h.index[r[h.rc]] = append(h.index[r[h.rc]], r)
+	}
+	h.matched = make(map[int64]bool)
+	return h.left.Open()
+}
+
+func (h *hashJoinIter) Next() (data.Row, bool, error) {
+	for {
+		if len(h.pending) > 0 {
+			rrow := h.pending[0]
+			h.pending = h.pending[1:]
+			out := make(data.Row, 0, len(h.cur)+len(rrow))
+			out = append(append(out, h.cur...), rrow...)
+			return out, true, nil
+		}
+		lrow, ok, err := h.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matches := h.index[lrow[h.lc]]
+		if len(matches) == 0 {
+			if h.onLeftMiss != nil {
+				h.onLeftMiss(lrow)
+			}
+			continue
+		}
+		h.matched[lrow[h.lc]] = true
+		h.cur = lrow
+		h.pending = matches
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	if h.onRightMiss != nil {
+		for _, r := range h.right.Rows {
+			if !h.matched[r[h.rc]] {
+				h.onRightMiss(r)
+			}
+		}
+	}
+	for _, o := range h.leftMissFinish {
+		o.finish()
+	}
+	for _, o := range h.rightMissFinish {
+		o.finish()
+	}
+	return h.left.Close()
+}
+
+// tapIter invokes per-row observers — the paper's "user defined handlers
+// invoked for every tuple that passes through that point".
+type tapIter struct {
+	src       Iterator
+	observers []rowObserver
+	rows      *int64
+}
+
+func (t *tapIter) Open() error { return t.src.Open() }
+func (t *tapIter) Next() (data.Row, bool, error) {
+	r, ok, err := t.src.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for _, o := range t.observers {
+		o.observe(r)
+	}
+	if t.rows != nil {
+		*t.rows++
+	}
+	return r, true, nil
+}
+func (t *tapIter) Close() error {
+	for _, o := range t.observers {
+		o.finish()
+	}
+	return t.src.Close()
+}
+
+// drain materializes an iterator into a table with the given schema.
+func drain(it Iterator, rel string, attrs []workflow.Attr) (*data.Table, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	out := &data.Table{Rel: rel, Attrs: attrs}
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, it.Close()
+}
+
+// colsOf maps attributes to positions within a schema.
+func colsOf(attrs []workflow.Attr, want []workflow.Attr) ([]int, error) {
+	out := make([]int, len(want))
+	for i, a := range want {
+		out[i] = -1
+		for j, x := range attrs {
+			if x == a {
+				out[i] = j
+				break
+			}
+		}
+		if out[i] < 0 {
+			return nil, fmt.Errorf("attribute %s not in schema %v", a, attrs)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,438 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// StreamEngine executes workflows in pipelined (Volcano) mode: tuples flow
+// through operator iterators, statistic handlers fire per tuple, and only
+// hash-join build sides, block inputs and block outputs are materialized.
+// Its results and observations are row-for-row identical to Engine's (the
+// tests cross-check), so either mode can back the optimization loop.
+type StreamEngine struct {
+	An  *workflow.Analysis
+	DB  DB
+	Reg Registry
+}
+
+// NewStream returns a streaming engine.
+func NewStream(an *workflow.Analysis, db DB, reg Registry) *StreamEngine {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	return &StreamEngine{An: an, DB: db, Reg: reg}
+}
+
+// Run executes the workflow with each block's initial join tree.
+func (e *StreamEngine) Run() (*Result, error) { return e.RunPlans(nil, nil, nil) }
+
+// RunObserved executes the initial plan instrumented with the given
+// statistics.
+func (e *StreamEngine) RunObserved(res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.RunPlans(nil, res, observe)
+}
+
+// RunPlans mirrors Engine.RunPlans in streaming mode.
+func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	out := &Result{
+		BlockOut:     make(map[int]*data.Table),
+		Sinks:        make(map[string]*data.Table),
+		Materialized: make(map[string]*data.Table),
+	}
+	var taps *tapSet
+	if res != nil {
+		var err error
+		taps, err = newTapSet(res, observe, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Observed = taps.store
+	}
+	for _, blk := range e.An.Blocks {
+		tree := blk.Initial
+		if plans != nil {
+			if t, ok := plans[blk.Index]; ok && t != nil {
+				tree = t
+			}
+		}
+		tbl, err := e.runBlock(blk, tree, taps, out)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", blk.Index, err)
+		}
+		out.BlockOut[blk.Index] = tbl
+	}
+	for _, sink := range e.An.Graph.Sinks() {
+		blk := e.An.BlockOf(sink.Inputs[0])
+		if blk == nil {
+			for _, b := range e.An.Blocks {
+				if b.Terminal == sink.Inputs[0] {
+					blk = b
+					break
+				}
+			}
+		}
+		if blk == nil {
+			return nil, fmt.Errorf("sink %q: cannot locate producing block", sink.ID)
+		}
+		out.Sinks[sink.Rel] = out.BlockOut[blk.Index]
+	}
+	return out, nil
+}
+
+// stream pairs an iterator with its schema.
+type stream struct {
+	it    Iterator
+	attrs []workflow.Attr
+}
+
+func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *Result) (*data.Table, error) {
+	// Materialize inputs through streaming chains (chain-point handlers
+	// fire per tuple on the way).
+	inputs := make([]*data.Table, len(blk.Inputs))
+	for i := range blk.Inputs {
+		tbl, err := e.runChain(blk, i, taps, out)
+		if err != nil {
+			return nil, fmt.Errorf("input %d (%s): %w", i, blk.Inputs[i].Name, err)
+		}
+		inputs[i] = tbl
+	}
+	var result *data.Table
+	if tree == nil {
+		if len(inputs) != 1 {
+			return nil, fmt.Errorf("join-free block with %d inputs", len(inputs))
+		}
+		result = inputs[0]
+	} else {
+		st, se, aux, err := e.buildTree(blk, tree, inputs, taps, out)
+		if err != nil {
+			return nil, err
+		}
+		_ = se
+		// The root's rows were already counted by its output tap.
+		tbl, err := drain(st.it, "block", st.attrs)
+		if err != nil {
+			return nil, err
+		}
+		result = tbl
+		// Post-stream auxiliary reject joins (union–division counters).
+		for _, a := range aux {
+			a.run(blk, taps, inputs)
+		}
+	}
+	for _, op := range blk.TopOps {
+		if op.Kind == workflow.KindMaterialize {
+			out.Materialized[op.Rel] = result
+			continue
+		}
+		st, err := e.opStream(&stream{it: &scanIter{tbl: result}, attrs: result.Attrs}, op, out)
+		if err != nil {
+			return nil, fmt.Errorf("top op %q: %w", op.ID, err)
+		}
+		tbl, err := drain(st.it, result.Rel, st.attrs)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows += tbl.Card()
+		result = tbl
+	}
+	return result, nil
+}
+
+// runChain streams one block input's pushed-down operators into a
+// materialized table, tapping every chain point per tuple.
+func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result) (*data.Table, error) {
+	in := blk.Inputs[i]
+	var base *data.Table
+	switch {
+	case in.SourceRel != "":
+		src, ok := e.DB[in.SourceRel]
+		if !ok {
+			return nil, fmt.Errorf("relation %q not in database", in.SourceRel)
+		}
+		base = src
+	case in.FromBlock >= 0:
+		up, ok := out.BlockOut[in.FromBlock]
+		if !ok {
+			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
+		}
+		base = up
+	default:
+		return nil, fmt.Errorf("input %d has neither source nor upstream block", i)
+	}
+	st := &stream{it: &scanIter{tbl: base}, attrs: base.Attrs}
+	st, err := e.tapChainPoint(st, blk, i, 0, len(in.Ops), taps, out)
+	if err != nil {
+		return nil, err
+	}
+	for d, op := range in.Ops {
+		st, err = e.opStream(st, op, out)
+		if err != nil {
+			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
+		}
+		st, err = e.tapChainPoint(st, blk, i, d+1, len(in.Ops), taps, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tbl, err := drain(st.it, in.Name, st.attrs)
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// tapChainPoint wraps a stream with the observers registered at a chain
+// point (the cooked end doubles as the singleton SE) and the work counter.
+func (e *StreamEngine) tapChainPoint(st *stream, blk *workflow.Block, input, depth, chainLen int, taps *tapSet, out *Result) (*stream, error) {
+	var obs []rowObserver
+	if taps != nil {
+		var statsHere []stats.Stat
+		statsHere = append(statsHere, taps.chain[[3]int{blk.Index, input, depth}]...)
+		if depth == chainLen {
+			statsHere = append(statsHere, taps.se[seKey{blk.Index, expr.NewSet(input)}]...)
+		}
+		var err error
+		obs, err = observersFor(taps, statsHere, st.attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &stream{it: &tapIter{src: st.it, observers: obs, rows: &out.Rows}, attrs: st.attrs}, nil
+}
+
+// auxReject remembers a pending union–division auxiliary join: the misses
+// of input t (w.r.t. edge f) joined with a single partner input.
+type auxReject struct {
+	t, f   int
+	misses *data.Table
+}
+
+// run executes the auxiliary joins for every registered two-input reject
+// statistic at (t, f).
+func (a *auxReject) run(blk *workflow.Block, taps *tapSet, inputs []*data.Table) {
+	for _, s := range taps.reject[[3]int{blk.Index, a.t, a.f}] {
+		rest := s.Target.Set.Without(expr.NewSet(a.t))
+		if rest.Len() != 1 {
+			continue
+		}
+		r := rest.Lowest()
+		g := -1
+		for j, e := range blk.Joins {
+			if e.LeftInput == a.t && e.RightInput == r || e.LeftInput == r && e.RightInput == a.t {
+				g = j
+				break
+			}
+		}
+		if g < 0 || inputs[r] == nil {
+			continue
+		}
+		la, ra := blk.Joins[g].LeftAttr, blk.Joins[g].RightAttr
+		if a.misses.Col(la) < 0 {
+			la, ra = ra, la
+		}
+		joined, _, _, err := hashJoin(a.misses, inputs[r], la, ra)
+		if err != nil {
+			continue
+		}
+		taps.collect(s, joined)
+	}
+}
+
+// buildTree assembles the streaming join pipeline for a join tree: the
+// right side of each join is materialized (the hash build), the left side
+// streams.
+func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *Result) (*stream, expr.Set, []*auxReject, error) {
+	if t.IsLeaf() {
+		tbl := inputs[t.Leaf]
+		// Chain taps already observed the cooked input; the leaf stream
+		// needs no further handlers.
+		return &stream{it: &scanIter{tbl: tbl}, attrs: tbl.Attrs}, expr.NewSet(t.Leaf), nil, nil
+	}
+	left, lse, lAux, err := e.buildTree(blk, t.Left, inputs, taps, out)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	rightStream, rse, rAux, err := e.buildTree(blk, t.Right, inputs, taps, out)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	aux := append(lAux, rAux...)
+	// Materialize the build side.
+	right, err := drain(rightStream.it, "build", rightStream.attrs)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	edge := blk.Joins[t.Join]
+	la, ra := edge.LeftAttr, edge.RightAttr
+	lc, err := colsOf(left.attrs, []workflow.Attr{la})
+	if err != nil {
+		la, ra = ra, la
+		lc, err = colsOf(left.attrs, []workflow.Attr{la})
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("join %q: %w", edge.Node, err)
+		}
+	}
+	rc, err := colsOf(right.Attrs, []workflow.Attr{ra})
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("join %q: %w", edge.Node, err)
+	}
+
+	join := &hashJoinIter{left: left.it, right: right, lc: lc[0], rc: rc[0]}
+	se := lse.Union(rse)
+
+	// Reject handlers: streamed-side misses surface per tuple; build-side
+	// misses at Close.
+	var missSinks []*auxReject
+	if taps != nil {
+		if lse.Len() == 1 {
+			tIdx := lse.Lowest()
+			sink, obs, err := rejectHandlers(blk, taps, tIdx, t.Join, left.attrs)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			if sink != nil {
+				missSinks = append(missSinks, sink)
+			}
+			if obs != nil || sink != nil {
+				join.onLeftMiss = func(r data.Row) {
+					for _, o := range obs {
+						o.observe(r)
+					}
+					if sink != nil {
+						sink.misses.Rows = append(sink.misses.Rows, r)
+					}
+				}
+				join.leftMissFinish = obs
+			}
+		}
+		if rse.Len() == 1 {
+			tIdx := rse.Lowest()
+			sink, obs, err := rejectHandlers(blk, taps, tIdx, t.Join, right.Attrs)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			if sink != nil {
+				missSinks = append(missSinks, sink)
+			}
+			if obs != nil || sink != nil {
+				join.onRightMiss = func(r data.Row) {
+					for _, o := range obs {
+						o.observe(r)
+					}
+					if sink != nil {
+						sink.misses.Rows = append(sink.misses.Rows, r)
+					}
+				}
+				join.rightMissFinish = obs
+			}
+		}
+	}
+	// A designed reject link materializes the left side's misses.
+	if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
+		sink := &data.Table{Rel: "reject", Attrs: left.attrs}
+		prev := join.onLeftMiss
+		join.onLeftMiss = func(r data.Row) {
+			if prev != nil {
+				prev(r)
+			}
+			sink.Rows = append(sink.Rows, r)
+		}
+		out.Materialized[string(edge.Node)+".reject"] = sink
+	}
+	aux = append(aux, missSinks...)
+
+	attrs := append(append([]workflow.Attr(nil), left.attrs...), right.Attrs...)
+	// Tap the join output: SE handlers per tuple + work counter.
+	var obs []rowObserver
+	if taps != nil {
+		var err error
+		obs, err = observersFor(taps, taps.se[seKey{blk.Index, se}], attrs)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	return &stream{it: &tapIter{src: join, observers: obs, rows: &out.Rows}, attrs: attrs}, se, aux, nil
+}
+
+// rejectHandlers prepares the per-row observers for singleton reject
+// statistics at (t, f) and, when two-input reject statistics are
+// registered, a miss sink feeding the post-stream auxiliary join.
+func rejectHandlers(blk *workflow.Block, taps *tapSet, t, f int, attrs []workflow.Attr) (*auxReject, []rowObserver, error) {
+	var singles []stats.Stat
+	needAux := false
+	for _, s := range taps.reject[[3]int{blk.Index, t, f}] {
+		if s.Target.Set.Len() == 1 {
+			singles = append(singles, s)
+		} else {
+			needAux = true
+		}
+	}
+	obs, err := observersFor(taps, singles, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink *auxReject
+	if needAux {
+		sink = &auxReject{t: t, f: f, misses: &data.Table{Rel: "miss", Attrs: attrs}}
+	}
+	return sink, obs, nil
+}
+
+// opStream wraps one unary operator around a stream.
+func (e *StreamEngine) opStream(st *stream, op *workflow.Node, out *Result) (*stream, error) {
+	switch op.Kind {
+	case workflow.KindSelect:
+		cols, err := colsOf(st.attrs, []workflow.Attr{op.Pred.Attr})
+		if err != nil {
+			return nil, err
+		}
+		return &stream{it: &filterIter{src: st.it, col: cols[0], pred: op.Pred}, attrs: st.attrs}, nil
+	case workflow.KindProject:
+		cols, err := colsOf(st.attrs, op.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return &stream{it: &projectIter{src: st.it, cols: cols}, attrs: append([]workflow.Attr(nil), op.Cols...)}, nil
+	case workflow.KindTransform:
+		fn, ok := e.Reg[op.Transform.Fn]
+		if !ok {
+			return nil, fmt.Errorf("unknown UDF %q", op.Transform.Fn)
+		}
+		cols, err := colsOf(st.attrs, op.Transform.Ins)
+		if err != nil {
+			return nil, err
+		}
+		attrs := append(append([]workflow.Attr(nil), st.attrs...), op.Transform.Out)
+		return &stream{it: &transformIter{src: st.it, fn: fn, ins: cols}, attrs: attrs}, nil
+	case workflow.KindGroupBy:
+		cols, err := colsOf(st.attrs, op.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return &stream{it: &groupByIter{src: st.it, cols: cols}, attrs: append([]workflow.Attr(nil), op.Cols...)}, nil
+	case workflow.KindAggregateUDF:
+		fn, ok := e.Reg[op.Transform.Fn]
+		if !ok {
+			return nil, fmt.Errorf("unknown aggregate UDF %q", op.Transform.Fn)
+		}
+		cols, err := colsOf(st.attrs, op.Transform.Ins)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]workflow.Attr, 0, len(op.Transform.Ins)+1)
+		attrs = append(attrs, op.Transform.Ins...)
+		attrs = append(attrs, op.Transform.Out)
+		return &stream{it: &aggUDFIter{src: st.it, fn: fn, ins: cols}, attrs: attrs}, nil
+	case workflow.KindMaterialize:
+		// Handled by the caller: the drained result is recorded.
+		return st, nil
+	default:
+		return nil, fmt.Errorf("unexpected operator kind %v", op.Kind)
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func tbl2(rel string, cols []string, rows ...[]int64) *data.Table {
+	t := &data.Table{Rel: rel}
+	for _, c := range cols {
+		t.Attrs = append(t.Attrs, workflow.Attr{Rel: rel, Col: c})
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, data.Row(r))
+	}
+	return t
+}
+
+func drainAll(t *testing.T, it Iterator) []data.Row {
+	t.Helper()
+	if err := it.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var out []data.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return out
+}
+
+func TestScanIter(t *testing.T) {
+	src := tbl2("T", []string{"a"}, []int64{1}, []int64{2}, []int64{3})
+	rows := drainAll(t, &scanIter{tbl: src})
+	if len(rows) != 3 || rows[2][0] != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Re-open restarts the scan.
+	it := &scanIter{tbl: src}
+	_ = drainAll(t, it)
+	again := drainAll(t, it)
+	if len(again) != 3 {
+		t.Fatalf("reopened scan returned %d rows", len(again))
+	}
+}
+
+func TestFilterIter(t *testing.T) {
+	src := tbl2("T", []string{"a"}, []int64{1}, []int64{5}, []int64{9})
+	pred := &workflow.Predicate{Attr: workflow.Attr{Rel: "T", Col: "a"}, Op: workflow.CmpGt, Const: 3}
+	rows := drainAll(t, &filterIter{src: &scanIter{tbl: src}, col: 0, pred: pred})
+	if len(rows) != 2 || rows[0][0] != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestProjectAndTransformIter(t *testing.T) {
+	src := tbl2("T", []string{"a", "b"}, []int64{1, 10}, []int64{2, 20})
+	proj := &projectIter{src: &scanIter{tbl: src}, cols: []int{1}}
+	rows := drainAll(t, proj)
+	if len(rows) != 2 || rows[1][0] != 20 {
+		t.Fatalf("project rows = %v", rows)
+	}
+	double := func(v []int64) int64 { return v[0] * 2 }
+	tr := &transformIter{src: &scanIter{tbl: src}, fn: double, ins: []int{0}}
+	rows = drainAll(t, tr)
+	if len(rows) != 2 || rows[0][2] != 2 || rows[1][2] != 4 {
+		t.Fatalf("transform rows = %v", rows)
+	}
+}
+
+func TestGroupByIter(t *testing.T) {
+	src := tbl2("T", []string{"a", "b"}, []int64{1, 1}, []int64{1, 2}, []int64{2, 1})
+	g := &groupByIter{src: &scanIter{tbl: src}, cols: []int{0}}
+	rows := drainAll(t, g)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+}
+
+func TestHashJoinIterMisses(t *testing.T) {
+	left := tbl2("L", []string{"k"}, []int64{1}, []int64{2}, []int64{3})
+	right := tbl2("R", []string{"k"}, []int64{2}, []int64{2}, []int64{4})
+	var lMiss, rMiss []int64
+	j := &hashJoinIter{
+		left: &scanIter{tbl: left}, right: right, lc: 0, rc: 0,
+		onLeftMiss:  func(r data.Row) { lMiss = append(lMiss, r[0]) },
+		onRightMiss: func(r data.Row) { rMiss = append(rMiss, r[0]) },
+	}
+	rows := drainAll(t, j)
+	if len(rows) != 2 { // key 2 matches twice
+		t.Fatalf("joined = %v", rows)
+	}
+	if len(lMiss) != 2 || len(rMiss) != 1 || rMiss[0] != 4 {
+		t.Fatalf("misses: left %v right %v", lMiss, rMiss)
+	}
+}
+
+func TestTapIterCountsAndObserves(t *testing.T) {
+	src := tbl2("T", []string{"a"}, []int64{7}, []int64{7}, []int64{8})
+	var rows int64
+	counter := &countingObserver{}
+	it := &tapIter{src: &scanIter{tbl: src}, observers: []rowObserver{counter}, rows: &rows}
+	_ = drainAll(t, it)
+	if rows != 3 || counter.n != 3 || !counter.finished {
+		t.Fatalf("rows=%d observer=%+v", rows, counter)
+	}
+}
+
+type countingObserver struct {
+	n        int
+	finished bool
+}
+
+func (c *countingObserver) observe(data.Row) { c.n++ }
+func (c *countingObserver) finish()          { c.finished = true }

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/wftest"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// multiset renders a table as a sorted multiset of rows for
+// order-insensitive comparison.
+func multiset(t *data.Table) []string {
+	out := make([]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		out = append(out, fmt.Sprint([]int64(r)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalTables(a, b *data.Table) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ma, mb := multiset(a), multiset(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalStores compares two observation stores value by value.
+func equalStores(t *testing.T, a, b *stats.Store) bool {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Logf("store sizes differ: %d vs %d", a.Len(), b.Len())
+		return false
+	}
+	for _, v := range a.Values() {
+		if v.Hist == nil {
+			got, err := b.Scalar(v.Stat)
+			if err != nil || got != v.Scalar {
+				t.Logf("scalar %v: %d vs %d (%v)", v.Stat.Key(), v.Scalar, got, err)
+				return false
+			}
+			continue
+		}
+		h, err := b.Hist(v.Stat)
+		if err != nil || h.Buckets() != v.Hist.Buckets() || h.Total() != v.Hist.Total() {
+			t.Logf("hist %v differs", v.Stat.Key())
+			return false
+		}
+		same := true
+		v.Hist.Each(func(vals []int64, f int64) {
+			if h.Freq(vals...) != f {
+				same = false
+			}
+		})
+		if !same {
+			t.Logf("hist %v bucket mismatch", v.Stat.Key())
+			return false
+		}
+	}
+	return true
+}
+
+func TestStreamMatchesBatchRetail(t *testing.T) {
+	db, cat := tinyDB()
+	an, err := workflow.Analyze(retailGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	batch, err := New(an, db, nil).Run()
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	streamed, err := NewStream(an, db, nil).Run()
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !equalTables(batch.Sinks["dw"], streamed.Sinks["dw"]) {
+		t.Fatal("sink contents differ between batch and streaming")
+	}
+}
+
+func TestStreamMatchesBatchObservation(t *testing.T) {
+	db, cat := tinyDB()
+	an, err := workflow.Analyze(retailGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Observe a representative mix: cards, histograms, distinct, chain
+	// points, reject singleton, reject aux join.
+	blk := an.Blocks[0]
+	var o, p, c int
+	for i, in := range blk.Inputs {
+		switch in.SourceRel {
+		case "Orders":
+			o = i
+		case "Product":
+			p = i
+		case "Customer":
+			c = i
+		}
+	}
+	f := -1
+	for j, e := range blk.Joins {
+		if e.LeftInput == o && e.RightInput == p || e.LeftInput == p && e.RightInput == o {
+			f = j
+		}
+	}
+	sp := res.Space(0)
+	pid := sp.ClassOf(workflow.Attr{Rel: "Orders", Col: "pid"})
+	cid := sp.ClassOf(workflow.Attr{Rel: "Orders", Col: "cid"})
+	observe := []stats.Stat{
+		stats.NewCard(stats.BlockSE(0, sp.Full())),
+		stats.NewCard(stats.BlockSE(0, expr.NewSet(o, p))),
+		stats.NewHist(stats.BlockSE(0, expr.NewSet(o, p)), cid),
+		stats.NewHist(stats.BlockSE(0, expr.NewSet(o)), pid, cid),
+		stats.NewDistinct(stats.BlockSE(0, expr.NewSet(c)), cid),
+		stats.NewCard(stats.ChainPoint(0, o, 0)),
+		stats.NewCard(stats.BlockRejectSE(0, expr.NewSet(o), o, f)),
+		stats.NewHist(stats.BlockRejectSE(0, expr.NewSet(o), o, f), cid),
+		stats.NewCard(stats.BlockRejectSE(0, expr.NewSet(o, c), o, f)),
+	}
+	batch, err := New(an, db, nil).RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	streamed, err := NewStream(an, db, nil).RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !equalStores(t, batch.Observed, streamed.Observed) {
+		t.Fatal("observed statistics differ between batch and streaming")
+	}
+}
+
+func TestStreamMatchesBatchRejectLinkAndOps(t *testing.T) {
+	db, cat := tinyDB()
+	b := workflow.NewBuilder("mixed")
+	or := b.Source("Orders")
+	fsel := b.Select(or, workflow.Predicate{Attr: workflow.Attr{Rel: "Orders", Col: "pid"}, Op: workflow.CmpLt, Const: 95})
+	pr := b.Source("Product")
+	j1 := b.RejectJoin(fsel, pr, workflow.Attr{Rel: "Orders", Col: "pid"}, workflow.Attr{Rel: "Product", Col: "pid"})
+	g := b.GroupBy(j1, workflow.Attr{Rel: "Orders", Col: "cid"})
+	cu := b.Source("Customer")
+	j2 := b.Join(g, cu, workflow.Attr{Rel: "Orders", Col: "cid"}, workflow.Attr{Rel: "Customer", Col: "cid"})
+	x := b.Transform(j2, "bucket10", workflow.Attr{Rel: "X", Col: "bk"}, workflow.Attr{Rel: "Customer", Col: "region"})
+	b.Sink(x, "out")
+	an, err := workflow.Analyze(b.Graph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	batch, err := New(an, db, nil).Run()
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	streamed, err := NewStream(an, db, nil).Run()
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !equalTables(batch.Sinks["out"], streamed.Sinks["out"]) {
+		t.Fatal("sink differs")
+	}
+	// The materialized reject links must match too.
+	if len(batch.Materialized) != len(streamed.Materialized) {
+		t.Fatalf("materialized sets differ: %d vs %d", len(batch.Materialized), len(streamed.Materialized))
+	}
+	for name, tbl := range batch.Materialized {
+		if !equalTables(tbl, streamed.Materialized[name]) {
+			t.Errorf("materialized %q differs", name)
+		}
+	}
+}
+
+func TestStreamMatchesBatchAlternativePlan(t *testing.T) {
+	db, cat := tinyDB()
+	an, err := workflow.Analyze(retailGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	blk := an.Blocks[0]
+	var o, p, c, eOP, eOC int
+	for i, in := range blk.Inputs {
+		switch in.SourceRel {
+		case "Orders":
+			o = i
+		case "Product":
+			p = i
+		case "Customer":
+			c = i
+		}
+	}
+	for j, e := range blk.Joins {
+		if e.LeftAttr.Col == "pid" || e.RightAttr.Col == "pid" {
+			eOP = j
+		} else {
+			eOC = j
+		}
+	}
+	alt := &workflow.JoinTree{
+		Leaf: -1, Join: eOP,
+		Left: &workflow.JoinTree{
+			Leaf: -1, Join: eOC,
+			Left:  &workflow.JoinTree{Leaf: o, Join: -1},
+			Right: &workflow.JoinTree{Leaf: c, Join: -1},
+		},
+		Right: &workflow.JoinTree{Leaf: p, Join: -1},
+	}
+	plans := map[int]*workflow.JoinTree{0: alt}
+	batch, err := New(an, db, nil).RunPlans(plans, nil, nil)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	streamed, err := NewStream(an, db, nil).RunPlans(plans, nil, nil)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if batch.Sinks["dw"].Card() != streamed.Sinks["dw"].Card() {
+		t.Fatalf("reordered plan: %d vs %d rows", batch.Sinks["dw"].Card(), streamed.Sinks["dw"].Card())
+	}
+}
+
+func TestStreamMatchesBatchFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign skipped in -short mode")
+	}
+	for seed := int64(300); seed < 312; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g, cat, db := wftest.Generate(seed, wftest.Options{MaxCard: 90})
+			an, err := workflow.Analyze(g, cat)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			res, err := css.Generate(an, css.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			// Observe everything observable: the harshest comparison.
+			observe := res.ObservableStats()
+			batch, err := New(an, db, nil).RunObserved(res, observe)
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			streamed, err := NewStream(an, db, nil).RunObserved(res, observe)
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			for name, tbl := range batch.Sinks {
+				if !equalTables(tbl, streamed.Sinks[name]) {
+					t.Errorf("sink %q differs", name)
+				}
+			}
+			if !equalStores(t, batch.Observed, streamed.Observed) {
+				t.Error("observed statistics differ")
+			}
+			if batch.Rows != streamed.Rows {
+				t.Errorf("work metric differs: %d vs %d", batch.Rows, streamed.Rows)
+			}
+		})
+	}
+}

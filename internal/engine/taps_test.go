@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func findInput(t *testing.T, blk *workflow.Block, rel string) int {
+	t.Helper()
+	for i, in := range blk.Inputs {
+		if in.SourceRel == rel {
+			return i
+		}
+	}
+	t.Fatalf("input %s missing", rel)
+	return -1
+}
+
+func TestTapCardAndHistogram(t *testing.T) {
+	db, cat := tinyDB()
+	g := retailGraph()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	blk := an.Blocks[0]
+	sp := res.Space(0)
+	o := findInput(t, blk, "Orders")
+	p := findInput(t, blk, "Product")
+	pidClass := sp.ClassOf(workflow.Attr{Rel: "Orders", Col: "pid"})
+
+	cardOP := stats.NewCard(stats.BlockSE(0, expr.NewSet(o, p)))
+	histO := stats.NewHist(stats.BlockSE(0, expr.NewSet(o)), pidClass)
+	distO := stats.NewDistinct(stats.BlockSE(0, expr.NewSet(o)), pidClass)
+	run, err := New(an, db, nil).RunObserved(res, []stats.Stat{cardOP, histO, distO})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	store := run.Observed
+	v, err := store.Scalar(cardOP)
+	if err != nil || v != 4 {
+		t.Fatalf("|O⋈P| = %d, %v; want 4", v, err)
+	}
+	h, err := store.Hist(histO)
+	if err != nil {
+		t.Fatalf("hist: %v", err)
+	}
+	// Orders pids: 10,10,20,30,99.
+	if h.Freq(10) != 2 || h.Freq(20) != 1 || h.Freq(99) != 1 {
+		t.Fatalf("histogram wrong: %v buckets", h.Buckets())
+	}
+	d, err := store.Scalar(distO)
+	if err != nil || d != 4 {
+		t.Fatalf("distinct = %d, %v; want 4 (10,20,30,99)", d, err)
+	}
+}
+
+func TestTapRejectSingleton(t *testing.T) {
+	db, cat := tinyDB()
+	g := retailGraph()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	blk := an.Blocks[0]
+	o := findInput(t, blk, "Orders")
+	p := findInput(t, blk, "Product")
+	// Edge joining Orders and Product.
+	f := -1
+	for j, e := range blk.Joins {
+		if e.LeftInput == o && e.RightInput == p || e.LeftInput == p && e.RightInput == o {
+			f = j
+		}
+	}
+	if f < 0 {
+		t.Fatal("no O-P edge")
+	}
+	rejCard := stats.NewCard(stats.BlockRejectSE(0, expr.NewSet(o), o, f))
+	if !res.StatObservable(rejCard) {
+		t.Fatal("reject singleton should be observable (O joined directly with P)")
+	}
+	run, err := New(an, db, nil).RunObserved(res, []stats.Stat{rejCard})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	v, err := run.Observed.Scalar(rejCard)
+	if err != nil || v != 1 { // order with pid=99 has no product
+		t.Fatalf("|T̄O| = %d, %v; want 1", v, err)
+	}
+}
+
+func TestTapRejectAuxiliaryJoin(t *testing.T) {
+	// The union–division counter |T̄O ⋈ Customer|: rejects of Orders w.r.t.
+	// Product, joined with Customer via the auxiliary join.
+	db, cat := tinyDB()
+	g := retailGraph()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	blk := an.Blocks[0]
+	o := findInput(t, blk, "Orders")
+	p := findInput(t, blk, "Product")
+	c := findInput(t, blk, "Customer")
+	f := -1
+	for j, e := range blk.Joins {
+		if e.LeftInput == o && e.RightInput == p || e.LeftInput == p && e.RightInput == o {
+			f = j
+		}
+	}
+	rejJoin := stats.NewCard(stats.BlockRejectSE(0, expr.NewSet(o, c), o, f))
+	if !res.Observable[rejJoin.Key()] {
+		t.Fatal("two-input reject variant should be observable")
+	}
+	if !res.NeedsRejectLink[rejJoin.Key()] {
+		t.Fatal("reject variant should be marked NeedsRejectLink")
+	}
+	run, err := New(an, db, nil).RunObserved(res, []stats.Stat{rejJoin})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	// The rejected order is (cid=3, oid=5, pid=99); Customer has cids 1,2:
+	// the auxiliary join is empty.
+	v, err := run.Observed.Scalar(rejJoin)
+	if err != nil || v != 0 {
+		t.Fatalf("|T̄O⋈C| = %d, %v; want 0", v, err)
+	}
+}
+
+func TestTapChainPoint(t *testing.T) {
+	db, cat := tinyDB()
+	b := workflow.NewBuilder("chain")
+	o := b.Source("Orders")
+	f := b.Select(o, workflow.Predicate{Attr: workflow.Attr{Rel: "Orders", Col: "pid"}, Op: workflow.CmpLt, Const: 50})
+	p := b.Source("Product")
+	j := b.Join(f, p, workflow.Attr{Rel: "Orders", Col: "pid"}, workflow.Attr{Rel: "Product", Col: "pid"})
+	b.Sink(j, "out")
+	an, err := workflow.Analyze(b.Graph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	blk := an.Blocks[0]
+	oIdx := findInput(t, blk, "Orders")
+	// Raw chain point (before the select): card must be the full 5 rows;
+	// the cooked SE card is 4 (pid 99 filtered).
+	rawCard := stats.NewCard(stats.ChainPoint(0, oIdx, 0))
+	cookedCard := stats.NewCard(stats.BlockSE(0, expr.NewSet(oIdx)))
+	run, err := New(an, db, nil).RunObserved(res, []stats.Stat{rawCard, cookedCard})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	if v, _ := run.Observed.Scalar(rawCard); v != 5 {
+		t.Fatalf("raw card = %d, want 5", v)
+	}
+	if v, _ := run.Observed.Scalar(cookedCard); v != 4 {
+		t.Fatalf("cooked card = %d, want 4", v)
+	}
+}
+
+func TestTapSkipsNonObservable(t *testing.T) {
+	db, cat := tinyDB()
+	g := retailGraph()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	blk := an.Blocks[0]
+	o := findInput(t, blk, "Orders")
+	c := findInput(t, blk, "Customer")
+	// O⋈C is not produced by the initial plan: asking for it must not
+	// record anything (and must not fail).
+	unobservable := stats.NewCard(stats.BlockSE(0, expr.NewSet(o, c)))
+	run, err := New(an, db, nil).RunObserved(res, []stats.Stat{unobservable})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	if run.Observed.Has(unobservable) {
+		t.Fatal("unobservable statistic was recorded")
+	}
+}

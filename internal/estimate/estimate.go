@@ -1,0 +1,583 @@
+// Package estimate evaluates candidate statistics sets numerically: given
+// the statistics observed during an instrumented run (or supplied by source
+// systems), it derives the value of any other statistic by recursively
+// applying the paper's rules — dot products for join cardinalities (J1),
+// join projections (J2/J3), the union–division algebra (J4/J5), selection
+// and projection arithmetic (S/P/U), group-by rules (G1/G2) and the
+// identity rules (I1/I2). With exact per-value histograms every derived
+// cardinality is exact, which is what lets the optimizer cost every
+// reordering from a single instrumented execution.
+package estimate
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Estimator derives statistic values from an observed store.
+type Estimator struct {
+	Res   *css.Result
+	Store *stats.Store
+
+	memo       map[stats.Key]*stats.Value
+	inProgress map[stats.Key]bool
+}
+
+// New returns an estimator over the given CSS result and observation store.
+func New(res *css.Result, store *stats.Store) *Estimator {
+	return &Estimator{
+		Res:        res,
+		Store:      store,
+		memo:       make(map[stats.Key]*stats.Value),
+		inProgress: make(map[stats.Key]bool),
+	}
+}
+
+// SizeOf implements costmodel.Sizes: target sizes from this run's derived
+// statistics, realizing the paper's Section 5.4 "sizes from the previous
+// runs" for the CPU cost metric of subsequent cycles.
+func (e *Estimator) SizeOf(t stats.Target) (float64, bool) {
+	v, err := e.Value(stats.NewCard(t))
+	if err != nil {
+		return 0, false
+	}
+	return float64(v.Scalar), true
+}
+
+// CardOf returns the (derived) cardinality of an SE.
+func (e *Estimator) CardOf(block int, se expr.Set) (int64, error) {
+	v, err := e.Value(stats.NewCard(stats.BlockSE(block, se)))
+	if err != nil {
+		return 0, err
+	}
+	return v.Scalar, nil
+}
+
+// Value computes the value of a statistic: directly from the store when
+// observed, otherwise through the first evaluable candidate statistics set.
+func (e *Estimator) Value(s stats.Stat) (*stats.Value, error) {
+	k := s.Key()
+	if v, ok := e.memo[k]; ok {
+		if v == nil {
+			return nil, fmt.Errorf("estimate: statistic %v not derivable", k)
+		}
+		return v, nil
+	}
+	if e.inProgress[k] {
+		return nil, fmt.Errorf("estimate: cyclic derivation at %v", k)
+	}
+	if e.Store.Has(s) {
+		v, err := e.fromStore(s)
+		if err != nil {
+			return nil, err
+		}
+		e.memo[k] = v
+		return v, nil
+	}
+	e.inProgress[k] = true
+	defer delete(e.inProgress, k)
+	var firstErr error
+	for _, c := range e.Res.CSS[k] {
+		v, err := e.eval(s, c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.memo[k] = v
+		return v, nil
+	}
+	e.memo[k] = nil
+	if firstErr != nil {
+		return nil, fmt.Errorf("estimate: statistic %v not derivable: %w", k, firstErr)
+	}
+	return nil, fmt.Errorf("estimate: statistic %v not observed and has no candidate statistics set", k)
+}
+
+func (e *Estimator) fromStore(s stats.Stat) (*stats.Value, error) {
+	if s.Kind == stats.Hist {
+		h, err := e.Store.Hist(s)
+		if err != nil {
+			return nil, err
+		}
+		return &stats.Value{Stat: s, Hist: h}, nil
+	}
+	v, err := e.Store.Scalar(s)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Scalar: v}, nil
+}
+
+// histInput evaluates input idx of the CSS as a histogram marginalized down
+// to the wanted attributes (which absorbs I2-substituted supersets).
+func (e *Estimator) histInput(c stats.CSS, idx int, want []workflow.Attr) (*stats.Histogram, error) {
+	v, err := e.Value(c.Inputs[idx])
+	if err != nil {
+		return nil, err
+	}
+	if v.Hist == nil {
+		return nil, fmt.Errorf("estimate: CSS input %d is not a histogram", idx)
+	}
+	if workflow.AttrsString(v.Hist.Attrs) == workflow.AttrsString(want) {
+		return v.Hist, nil
+	}
+	return v.Hist.Marginal(want...)
+}
+
+func (e *Estimator) scalarInput(c stats.CSS, idx int) (int64, error) {
+	v, err := e.Value(c.Inputs[idx])
+	if err != nil {
+		return 0, err
+	}
+	if v.Hist != nil {
+		return 0, fmt.Errorf("estimate: CSS input %d is a histogram, want scalar", idx)
+	}
+	return v.Scalar, nil
+}
+
+// eval evaluates one CSS according to its rule.
+func (e *Estimator) eval(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	switch c.Rule {
+	case "J1":
+		return e.evalJ1(s, c)
+	case "J2", "J3":
+		return e.evalJoinHist(s, c)
+	case "J4":
+		return e.evalJ4(s, c)
+	case "J5":
+		return e.evalJ5(s, c)
+	case "R1":
+		return e.evalR1(s, c)
+	case "FK", "P1", "U1":
+		v, err := e.scalarInput(c, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &stats.Value{Stat: s, Scalar: v}, nil
+	case "P2", "U2", "I2":
+		h, err := e.histInput(c, 0, s.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		return &stats.Value{Stat: s, Hist: h}, nil
+	case "B0":
+		return e.evalBoundaryCopy(s, c)
+	case "S1":
+		return e.evalS1(s, c)
+	case "S2":
+		return e.evalS2(s, c)
+	case "G1":
+		v, err := e.scalarInput(c, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &stats.Value{Stat: s, Scalar: v}, nil
+	case "G2":
+		return e.evalG2(s, c)
+	case "D1":
+		v, err := e.Value(c.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if v.Hist == nil {
+			return nil, fmt.Errorf("estimate: D1 input is not a histogram")
+		}
+		return &stats.Value{Stat: s, Scalar: int64(v.Hist.Buckets())}, nil
+	case "I1":
+		v, err := e.Value(c.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if v.Hist == nil {
+			return nil, fmt.Errorf("estimate: I1 input is not a histogram")
+		}
+		return &stats.Value{Stat: s, Scalar: v.Hist.Total()}, nil
+	default:
+		return nil, fmt.Errorf("estimate: unknown rule %q", c.Rule)
+	}
+}
+
+// evalJ1 computes |L ⋈ R| as the dot product of the join-column
+// distributions.
+func (e *Estimator) evalJ1(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	a := []workflow.Attr{c.Join}
+	hL, err := e.histInput(c, 0, a)
+	if err != nil {
+		return nil, err
+	}
+	hR, err := e.histInput(c, 1, a)
+	if err != nil {
+		return nil, err
+	}
+	card, err := stats.DotProduct(hL, hR)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Scalar: card}, nil
+}
+
+// evalJoinHist computes the join result's distribution per the generalized
+// J2/J3 rule: split the wanted attributes by owning side, join the two
+// marginals on the join class.
+func (e *Estimator) evalJoinHist(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	vL, err := e.Value(c.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	vR, err := e.Value(c.Inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	if vL.Hist == nil || vR.Hist == nil {
+		return nil, fmt.Errorf("estimate: J2 inputs must be histograms")
+	}
+	wantL := []workflow.Attr{c.Join}
+	wantR := []workflow.Attr{c.Join}
+	for _, t := range s.Attrs {
+		if t == c.Join {
+			continue
+		}
+		switch {
+		case histHasAttr(vL.Hist, t):
+			wantL = append(wantL, t)
+		case histHasAttr(vR.Hist, t):
+			wantR = append(wantR, t)
+		default:
+			return nil, fmt.Errorf("estimate: attribute %v of target in neither J2 input", t)
+		}
+	}
+	hL, err := vL.Hist.Marginal(wantL...)
+	if err != nil {
+		return nil, err
+	}
+	hR, err := vR.Hist.Marginal(wantR...)
+	if err != nil {
+		return nil, err
+	}
+	h, err := stats.Join(hL, hR, c.Join, s.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Hist: h}, nil
+}
+
+// evalJ4 computes |e| by union–division: divide the observable super-SE's
+// join-column distribution by the extra relation's, total the quotient, and
+// add the reject-variant cardinality (Equation 3 of the paper).
+func (e *Estimator) evalJ4(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	a := []workflow.Attr{c.Join}
+	hO, err := e.histInput(c, 0, a)
+	if err != nil {
+		return nil, err
+	}
+	hK, err := e.histInput(c, 1, a)
+	if err != nil {
+		return nil, err
+	}
+	rej, err := e.scalarInput(c, 2)
+	if err != nil {
+		return nil, err
+	}
+	div, err := stats.Divide(hO, hK)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Scalar: div.Total() + rej}, nil
+}
+
+// evalJ5 is J4 for distributions: divide the super-SE's joint distribution
+// bucket-wise by the extra relation's join distribution, marginalize away
+// the join attribute, and add the reject variant's distribution.
+func (e *Estimator) evalJ5(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	oAttrs := workflow.SortAttrs(dedupeAttrs(append([]workflow.Attr{c.Join}, s.Attrs...)))
+	hO, err := e.histInput(c, 0, oAttrs)
+	if err != nil {
+		return nil, err
+	}
+	hK, err := e.histInput(c, 1, []workflow.Attr{c.Join})
+	if err != nil {
+		return nil, err
+	}
+	hRej, err := e.histInput(c, 2, s.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	div, err := stats.DivideProject(hO, hK)
+	if err != nil {
+		return nil, err
+	}
+	keep, err := div.Marginal(s.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	h, err := stats.AddHist(keep, hRej)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Hist: h}, nil
+}
+
+// evalR1 derives a reject singleton's statistic: the rows of t whose join
+// value has no partner in k.
+func (e *Estimator) evalR1(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	hK, err := e.histInput(c, 1, []workflow.Attr{c.Join})
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind == stats.Card {
+		hT, err := e.histInput(c, 0, []workflow.Attr{c.Join})
+		if err != nil {
+			return nil, err
+		}
+		var card int64
+		hT.Each(func(vals []int64, f int64) {
+			if hK.Freq(vals[0]) == 0 {
+				card += f
+			}
+		})
+		return &stats.Value{Stat: s, Scalar: card}, nil
+	}
+	tAttrs := workflow.SortAttrs(dedupeAttrs(append([]workflow.Attr{c.Join}, s.Attrs...)))
+	hT, err := e.histInput(c, 0, tAttrs)
+	if err != nil {
+		return nil, err
+	}
+	jPos := attrPos(hT.Attrs, c.Join)
+	filtered := stats.NewHistogram(hT.Attrs...)
+	hT.Each(func(vals []int64, f int64) {
+		if hK.Freq(vals[jPos]) == 0 {
+			filtered.Inc(vals, f)
+		}
+	})
+	h, err := filtered.Marginal(s.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Hist: h}, nil
+}
+
+// evalBoundaryCopy relabels a statistic across a pass-through block
+// boundary: the upstream histogram's class representatives become the
+// downstream block's.
+func (e *Estimator) evalBoundaryCopy(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	if s.Kind != stats.Hist {
+		v, err := e.scalarInput(c, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &stats.Value{Stat: s, Scalar: v}, nil
+	}
+	input := s.Target.Set.Lowest()
+	up := make([]workflow.Attr, len(s.Attrs))
+	for i, a := range s.Attrs {
+		u, err := e.Res.BoundaryClass(s.Target.Block, input, a)
+		if err != nil {
+			return nil, err
+		}
+		up[i] = u
+	}
+	h, err := e.histInput(c, 0, workflow.SortAttrs(dedupeAttrs(append([]workflow.Attr(nil), up...))))
+	if err != nil {
+		return nil, err
+	}
+	out, err := relabel(h, up, s.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Hist: out}, nil
+}
+
+// evalS1 sums the buckets of the predicate column's distribution that
+// satisfy the selection predicate.
+func (e *Estimator) evalS1(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	op, err := e.chainOp(s)
+	if err != nil {
+		return nil, err
+	}
+	sp := e.Res.Space(s.Target.Block)
+	class := sp.ClassOf(op.Pred.Attr)
+	h, err := e.histInput(c, 0, []workflow.Attr{class})
+	if err != nil {
+		return nil, err
+	}
+	var card int64
+	h.Each(func(vals []int64, f int64) {
+		if op.Pred.Matches(vals[0]) {
+			card += f
+		}
+	})
+	return &stats.Value{Stat: s, Scalar: card}, nil
+}
+
+// evalS2 filters the joint distribution by the predicate and marginalizes
+// down to the wanted attributes.
+func (e *Estimator) evalS2(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	op, err := e.chainOp(s)
+	if err != nil {
+		return nil, err
+	}
+	sp := e.Res.Space(s.Target.Block)
+	class := sp.ClassOf(op.Pred.Attr)
+	need := workflow.SortAttrs(dedupeAttrs(append([]workflow.Attr{class}, s.Attrs...)))
+	h, err := e.histInput(c, 0, need)
+	if err != nil {
+		return nil, err
+	}
+	pPos := attrPos(h.Attrs, class)
+	filtered := stats.NewHistogram(h.Attrs...)
+	h.Each(func(vals []int64, f int64) {
+		if op.Pred.Matches(vals[pPos]) {
+			filtered.Inc(vals, f)
+		}
+	})
+	out, err := filtered.Marginal(s.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Value{Stat: s, Hist: out}, nil
+}
+
+// evalG2 builds the distribution over a group-by boundary: each distinct
+// key combination upstream contributes one group.
+func (e *Estimator) evalG2(s stats.Stat, c stats.CSS) (*stats.Value, error) {
+	v, err := e.Value(c.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	if v.Hist == nil {
+		return nil, fmt.Errorf("estimate: G2 input is not a histogram")
+	}
+	input := s.Target.Set.Lowest()
+	up := make([]workflow.Attr, len(s.Attrs))
+	for i, a := range s.Attrs {
+		u, err := e.Res.BoundaryClass(s.Target.Block, input, a)
+		if err != nil {
+			return nil, err
+		}
+		up[i] = u
+	}
+	pos := make([]int, len(up))
+	for i, a := range up {
+		pos[i] = attrPos(v.Hist.Attrs, a)
+		if pos[i] < 0 {
+			return nil, fmt.Errorf("estimate: G2 key %v not in upstream histogram", a)
+		}
+	}
+	out := stats.NewHistogram(s.Attrs...)
+	// Sort target positions to match the output histogram's canonical
+	// attribute order.
+	order := attrOrder(s.Attrs)
+	v.Hist.Each(func(vals []int64, _ int64) {
+		proj := make([]int64, len(pos))
+		for i := range pos {
+			proj[order[i]] = vals[pos[i]]
+		}
+		out.Inc(proj, 1)
+	})
+	return &stats.Value{Stat: s, Hist: out}, nil
+}
+
+// chainOp returns the chain operator a chain rule refers to: for a chain
+// point at depth d it is ops[d-1]; for a cooked singleton it is the last
+// operator.
+func (e *Estimator) chainOp(s stats.Stat) (*workflow.Node, error) {
+	t := s.Target
+	blk := e.Res.Analysis.Blocks[t.Block]
+	i := t.Set.Lowest()
+	ops := blk.Inputs[i].Ops
+	d := len(ops)
+	if t.IsChainPoint() {
+		d = t.Depth
+	}
+	if d < 1 || d > len(ops) {
+		return nil, fmt.Errorf("estimate: no chain operator at depth %d of input %d", d, i)
+	}
+	return ops[d-1], nil
+}
+
+// relabel renames histogram attributes from `from` (positions matched by
+// value) to `to` and re-sorts buckets into the new canonical order.
+func relabel(h *stats.Histogram, from, to []workflow.Attr) (*stats.Histogram, error) {
+	if len(from) != len(to) {
+		return nil, fmt.Errorf("estimate: relabel arity mismatch")
+	}
+	srcPos := make([]int, len(from))
+	for i, a := range from {
+		srcPos[i] = attrPos(h.Attrs, a)
+		if srcPos[i] < 0 {
+			return nil, fmt.Errorf("estimate: relabel source %v missing", a)
+		}
+	}
+	out := stats.NewHistogram(to...)
+	order := attrOrder(to)
+	h.Each(func(vals []int64, f int64) {
+		proj := make([]int64, len(to))
+		for i := range to {
+			proj[order[i]] = vals[srcPos[i]]
+		}
+		out.Inc(proj, f)
+	})
+	return out, nil
+}
+
+// attrOrder returns, for each attribute in the given list, its position in
+// the canonically sorted version of the list.
+func attrOrder(attrs []workflow.Attr) []int {
+	sorted := workflow.SortAttrs(append([]workflow.Attr(nil), attrs...))
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		for j, b := range sorted {
+			if a == b {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func attrPos(attrs []workflow.Attr, a workflow.Attr) int {
+	for i, x := range attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func histHasAttr(h *stats.Histogram, a workflow.Attr) bool { return attrPos(h.Attrs, a) >= 0 }
+
+func dedupeAttrs(attrs []workflow.Attr) []workflow.Attr {
+	seen := make(map[workflow.Attr]bool, len(attrs))
+	out := attrs[:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Coverage reports how many SE cardinalities across all blocks are
+// derivable from the store — a quick diagnostic for operators checking
+// whether an observation run (or a loaded statistics file) suffices before
+// optimizing.
+func Coverage(res *css.Result, store *stats.Store) (derivable, total int) {
+	e := New(res, store)
+	for bi, sp := range res.Spaces {
+		for _, se := range sp.SEs {
+			total++
+			if _, err := e.CardOf(bi, se); err == nil {
+				derivable++
+			}
+		}
+	}
+	return derivable, total
+}

@@ -1,0 +1,119 @@
+package estimate
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Explanation is a derivation tree: how a statistic's value was obtained —
+// directly observed, or computed by a rule from other statistics.
+type Explanation struct {
+	// Stat is the statistic being explained.
+	Stat stats.Stat
+	// Value is its (scalar) value; for histograms the bucket count and
+	// total are rendered instead.
+	Value *stats.Value
+	// Rule is the rule that produced the value, or "observed" for
+	// statistics taken directly from the store.
+	Rule string
+	// Inputs are the explanations of the rule's inputs (empty for observed
+	// statistics).
+	Inputs []*Explanation
+}
+
+// Explain computes (or recalls) the value of a statistic and returns its
+// full derivation tree. The estimator's memoization ensures shared
+// sub-derivations are evaluated once even though they may be rendered
+// multiple times.
+func (e *Estimator) Explain(s stats.Stat) (*Explanation, error) {
+	// Ensure the value is computed and memoized.
+	v, err := e.Value(s)
+	if err != nil {
+		return nil, err
+	}
+	if e.Store.Has(s) {
+		return &Explanation{Stat: s, Value: v, Rule: "observed"}, nil
+	}
+	// Find the first evaluable CSS — the same order Value used, so the
+	// explanation matches the computation.
+	for _, c := range e.Res.CSS[s.Key()] {
+		if _, err := e.eval(s, c); err != nil {
+			continue
+		}
+		ex := &Explanation{Stat: s, Value: v, Rule: c.Rule}
+		for _, in := range c.Inputs {
+			child, err := e.Explain(in)
+			if err != nil {
+				return nil, err
+			}
+			ex.Inputs = append(ex.Inputs, child)
+		}
+		return ex, nil
+	}
+	return nil, fmt.Errorf("estimate: no evaluable derivation for %v", s.Key())
+}
+
+// Render formats the derivation tree with one node per line, indenting
+// children, using the block's input names.
+func (ex *Explanation) Render(blk *workflow.Block) string {
+	var sb strings.Builder
+	ex.render(&sb, blk, 0)
+	return sb.String()
+}
+
+func (ex *Explanation) render(sb *strings.Builder, blk *workflow.Block, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(ex.Stat.Label(blk))
+	sb.WriteString(" = ")
+	if ex.Value.Hist != nil {
+		fmt.Fprintf(sb, "histogram[%d buckets, total %d]", ex.Value.Hist.Buckets(), ex.Value.Hist.Total())
+	} else {
+		fmt.Fprintf(sb, "%d", ex.Value.Scalar)
+	}
+	if ex.Rule == "observed" {
+		sb.WriteString("   (observed)")
+	} else {
+		fmt.Fprintf(sb, "   (rule %s)", ex.Rule)
+	}
+	sb.WriteString("\n")
+	for _, in := range ex.Inputs {
+		in.render(sb, blk, depth+1)
+	}
+}
+
+// Leaves returns the observed statistics the derivation bottoms out in,
+// de-duplicated, in first-encountered order.
+func (ex *Explanation) Leaves() []stats.Stat {
+	seen := make(map[stats.Key]bool)
+	var out []stats.Stat
+	var walk func(*Explanation)
+	walk = func(n *Explanation) {
+		if n.Rule == "observed" {
+			if k := n.Stat.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, n.Stat)
+			}
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(ex)
+	return out
+}
+
+// Depth returns the height of the derivation tree (an observed statistic
+// has depth 1).
+func (ex *Explanation) Depth() int {
+	max := 0
+	for _, in := range ex.Inputs {
+		if d := in.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,49 @@
+package estimate
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/wftest"
+)
+
+// TestExactnessFuzz runs the complete pipeline over randomized workflows
+// and asserts the core soundness property on every one: all SE
+// cardinalities derived from one instrumented run match brute force.
+func TestExactnessFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign skipped in -short mode")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g, cat, db := wftest.Generate(seed, wftest.Options{})
+			method := selector.MethodExact
+			if seed%3 == 0 {
+				method = selector.MethodGreedy // exercise both solvers
+			}
+			cssOpt := css.DefaultOptions()
+			if seed%4 == 0 {
+				cssOpt.UnionDivision = false
+			}
+			an, res, _, est, run := pipeline(t, g, cat, db, cssOpt, method)
+			o := &oracle{t: t, an: an, db: db, reg: engine.DefaultRegistry(), out: run.BlockOut}
+			for bi, sp := range res.Spaces {
+				blk := an.Blocks[bi]
+				for _, se := range sp.SEs {
+					want := o.seCard(blk, se)
+					got, err := est.CardOf(bi, se)
+					if err != nil {
+						t.Fatalf("CardOf(block %d, %s): %v", bi, se.Label(blk), err)
+					}
+					if got != want {
+						t.Errorf("block %d SE %s: estimated %d, truth %d", bi, se.Label(blk), got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/suite"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// ErrorRow is one point on the estimation-error vs histogram-memory curve
+// of the Section 8 extension: join cardinalities estimated from bucketized
+// histograms at a given resolution.
+type ErrorRow struct {
+	// Buckets is the per-histogram bucket count (0 = exact per-value).
+	Buckets int
+	// Memory is the total bucket count across all observed histograms.
+	Memory int64
+	// MeanRelErr and MaxRelErr summarize |est−truth|/truth over all join
+	// edges of the measured workflows.
+	MeanRelErr, MaxRelErr float64
+	// Joins is the number of join edges measured.
+	Joins int
+}
+
+// ErrorSweep measures join-cardinality estimation error of equi-width
+// bucketized histograms against exact truth, over the join edges of the
+// given suite workflows at the given data scale. It realizes the
+// space–time–error trade-off the paper sketches in Sections 8.1/8.2.
+func ErrorSweep(ids []int, scale float64, bucketCounts []int) ([]*ErrorRow, error) {
+	type edgeCase struct {
+		h1, h2 *stats.Histogram
+		lo, hi int64
+		truth  int64
+	}
+	var cases []edgeCase
+	for _, id := range ids {
+		w := suite.Get(id)
+		an, err := w.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		db := w.Data(scale)
+		for _, blk := range an.Blocks {
+			for _, e := range blk.Joins {
+				c, ok, err := buildEdgeCase(db, blk, e)
+				if err != nil {
+					return nil, fmt.Errorf("wf%d: %w", id, err)
+				}
+				if ok {
+					cases = append(cases, edgeCase{c.h1, c.h2, c.lo, c.hi, c.truth})
+				}
+			}
+		}
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("experiments: no measurable join edges")
+	}
+	var out []*ErrorRow
+	for _, n := range bucketCounts {
+		row := &ErrorRow{Buckets: n, Joins: len(cases)}
+		var sum float64
+		for _, c := range cases {
+			var est float64
+			var mem int64
+			if n <= 0 { // exact
+				v, err := stats.DotProduct(c.h1, c.h2)
+				if err != nil {
+					return nil, err
+				}
+				est = float64(v)
+				mem = int64(c.h1.Buckets() + c.h2.Buckets())
+			} else {
+				spec := stats.NewBucketSpec(c.lo, c.hi, n)
+				a1, err := stats.Bucketize(c.h1, spec)
+				if err != nil {
+					return nil, err
+				}
+				a2, err := stats.Bucketize(c.h2, spec)
+				if err != nil {
+					return nil, err
+				}
+				est, err = stats.ApproxDotProduct(a1, a2)
+				if err != nil {
+					return nil, err
+				}
+				mem = a1.Memory() + a2.Memory()
+			}
+			relErr := stats.RelativeError(est, c.truth)
+			sum += relErr
+			if relErr > row.MaxRelErr {
+				row.MaxRelErr = relErr
+			}
+			row.Memory += mem
+		}
+		row.MeanRelErr = sum / float64(len(cases))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+type builtEdge struct {
+	h1, h2 *stats.Histogram
+	lo, hi int64
+	truth  int64
+}
+
+// buildEdgeCase observes the two join-column distributions of one edge
+// directly over the (raw) input tables and computes the exact join
+// cardinality. Inputs fed by upstream blocks are skipped — the sweep only
+// needs a population of realistic base-relation joins.
+func buildEdgeCase(db map[string]*data.Table, blk *workflow.Block, e workflow.BlockJoin) (*builtEdge, bool, error) {
+	lt := baseTable(db, blk, e.LeftInput)
+	rt := baseTable(db, blk, e.RightInput)
+	if lt == nil || rt == nil {
+		return nil, false, nil
+	}
+	lc := lt.Col(e.LeftAttr)
+	rc := rt.Col(e.RightAttr)
+	if lc < 0 || rc < 0 {
+		return nil, false, nil
+	}
+	h1 := stats.NewHistogram(e.LeftAttr)
+	h2 := stats.NewHistogram(e.LeftAttr) // same label: the algebra joins by position
+	lo, hi := int64(1), int64(1)
+	first := true
+	for _, r := range lt.Rows {
+		v := r[lc]
+		h1.Add(v)
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	counts := make(map[int64]int64)
+	for _, r := range rt.Rows {
+		v := r[rc]
+		h2.Add(v)
+		counts[v]++
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var truth int64
+	for _, r := range lt.Rows {
+		truth += counts[r[lc]]
+	}
+	return &builtEdge{h1: h1, h2: h2, lo: lo, hi: hi, truth: truth}, true, nil
+}
+
+func baseTable(db map[string]*data.Table, blk *workflow.Block, input int) *data.Table {
+	in := blk.Inputs[input]
+	if in.SourceRel == "" {
+		return nil
+	}
+	return db[in.SourceRel]
+}
+
+// ScaleRow measures statistics-identification cost as join width grows.
+type ScaleRow struct {
+	// N is the join width; Shape is "chain" or "fk-star".
+	N     int
+	Shape string
+	// Stats and CSS size the generated universe.
+	Stats, CSS int
+	// Gen and Select are the identification phase durations.
+	Gen, Select time.Duration
+	// Mem is the optimal observation memory.
+	Mem int64
+	// Optimal reports whether the solver proved optimality.
+	Optimal bool
+}
+
+// ScaleSweep generates chains and FK stars of growing width and measures
+// the identification pipeline on each — the scalability dimension behind
+// Figure 10's per-workflow times.
+func ScaleSweep(maxN int) ([]*ScaleRow, error) {
+	var out []*ScaleRow
+	for n := 3; n <= maxN; n++ {
+		for _, shape := range []string{"chain", "fk-star"} {
+			g, cat := scaleWorkflow(shape, n)
+			an, err := workflow.Analyze(g, cat)
+			if err != nil {
+				return nil, fmt.Errorf("%s-%d: %w", shape, n, err)
+			}
+			start := time.Now()
+			res, err := css.Generate(an, css.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("%s-%d: %w", shape, n, err)
+			}
+			gen := time.Since(start)
+			coster := costmodel.NewMemoryCoster(res, an.Cat)
+			start = time.Now()
+			sel, err := selector.Select(res, coster, selectOptions())
+			if err != nil {
+				return nil, fmt.Errorf("%s-%d: %w", shape, n, err)
+			}
+			out = append(out, &ScaleRow{
+				N: n, Shape: shape,
+				Stats: len(res.Stats), CSS: res.NumCSS(),
+				Gen: gen, Select: time.Since(start),
+				Mem: sel.Memory, Optimal: sel.Optimal,
+			})
+		}
+	}
+	return out, nil
+}
+
+// scaleWorkflow builds a width-n chain or FK star with fixed domains.
+func scaleWorkflow(shape string, n int) (*workflow.Graph, *workflow.Catalog) {
+	cat := &workflow.Catalog{}
+	b := workflow.NewBuilder(fmt.Sprintf("%s-%d", shape, n))
+	switch shape {
+	case "chain":
+		var cur workflow.NodeID
+		for i := 0; i < n; i++ {
+			rel := fmt.Sprintf("R%d", i)
+			r := &workflow.Relation{Name: rel, Card: 50000}
+			if i > 0 {
+				r.Columns = append(r.Columns, workflow.Column{Name: "p", Domain: 300})
+			}
+			if i < n-1 {
+				r.Columns = append(r.Columns, workflow.Column{Name: "n", Domain: 300})
+			}
+			cat.Relations = append(cat.Relations, r)
+			src := b.Source(rel)
+			if i == 0 {
+				cur = src
+				continue
+			}
+			cur = b.Join(cur, src,
+				workflow.Attr{Rel: fmt.Sprintf("R%d", i-1), Col: "n"},
+				workflow.Attr{Rel: rel, Col: "p"})
+		}
+		b.Sink(cur, "dw")
+	default: // fk-star
+		fact := &workflow.Relation{Name: "F", Card: 200000}
+		for i := 1; i < n; i++ {
+			fact.Columns = append(fact.Columns, workflow.Column{Name: fmt.Sprintf("k%d", i), Domain: 500})
+		}
+		cat.Relations = append(cat.Relations, fact)
+		cur := b.Source("F")
+		for i := 1; i < n; i++ {
+			rel := fmt.Sprintf("D%d", i)
+			cat.Relations = append(cat.Relations, &workflow.Relation{Name: rel, Card: 500,
+				Columns: []workflow.Column{{Name: "k", Domain: 500}}})
+			d := b.Source(rel)
+			cur = b.FKJoin(cur, d, workflow.Attr{Rel: "F", Col: fmt.Sprintf("k%d", i)}, workflow.Attr{Rel: rel, Col: "k"})
+		}
+		b.Sink(cur, "dw")
+	}
+	return b.Graph(), cat
+}

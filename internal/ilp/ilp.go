@@ -1,0 +1,203 @@
+// Package ilp solves 0–1 integer linear programs by LP-based branch and
+// bound, with support for lazy constraints: when the relaxation produces an
+// integral candidate, a caller-supplied callback may reject it and supply
+// globally valid cutting planes. The statistics-selection model of Section
+// 5.2 of the paper needs this hook because its covering constraints admit
+// circularly-supported integral solutions that are not genuine derivations.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/lp"
+)
+
+// Model is a linear program plus a set of binary variables.
+type Model struct {
+	// LP is the base relaxation (all rows globally valid).
+	LP *lp.Problem
+	// Binary lists variable indexes constrained to {0,1}. Bounds xᵢ ≤ 1
+	// are added automatically.
+	Binary []int
+}
+
+// Options tune the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes (0 = 100000).
+	MaxNodes int
+	// Timeout caps wall-clock time (0 = none).
+	Timeout time.Duration
+	// Incumbent optionally seeds an initial feasible objective bound.
+	Incumbent float64
+	// HasIncumbent marks Incumbent as valid.
+	HasIncumbent bool
+	// OnIntegral is consulted whenever the relaxation yields integral
+	// binaries. It may accept the candidate, or reject it and return
+	// globally valid cut rows to add; rejection without cuts discards the
+	// candidate node. A nil callback accepts every integral candidate.
+	OnIntegral func(x []float64) (accept bool, cuts []lp.Row)
+}
+
+// Status summarizes a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the returned solution is proven optimal.
+	Optimal Status = iota
+	// Feasible: a solution was found but the node or time budget expired
+	// before proving optimality.
+	Feasible
+	// Infeasible: no 0-1 assignment satisfies the constraints.
+	Infeasible
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a branch-and-bound run.
+type Result struct {
+	Status Status
+	// X is the best solution found (nil when none).
+	X []float64
+	// Obj is its objective value.
+	Obj float64
+	// Nodes is the number of explored nodes.
+	Nodes int
+	// Cuts is the number of lazy cuts added.
+	Cuts int
+}
+
+const intTol = 1e-6
+
+// Solve runs branch and bound on the model.
+func Solve(m *Model, opt Options) (*Result, error) {
+	base := &lp.Problem{NumVars: m.LP.NumVars, C: m.LP.C}
+	base.Rows = append(base.Rows, m.LP.Rows...)
+	isBin := make(map[int]bool, len(m.Binary))
+	for _, j := range m.Binary {
+		if j < 0 || j >= base.NumVars {
+			return nil, fmt.Errorf("ilp: binary variable %d out of range", j)
+		}
+		if !isBin[j] {
+			base.AddRow(lp.LE, 1, map[int]float64{j: 1})
+		}
+		isBin[j] = true
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+
+	res := &Result{Status: Infeasible, Obj: math.Inf(1)}
+	if opt.HasIncumbent {
+		res.Obj = opt.Incumbent
+	}
+
+	type node struct {
+		fixed map[int]float64
+	}
+	stack := []node{{fixed: map[int]float64{}}}
+	exhausted := false
+
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			exhausted = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+	resolve:
+		prob := &lp.Problem{NumVars: base.NumVars, C: base.C}
+		prob.Rows = append(prob.Rows, base.Rows...)
+		for j, v := range nd.fixed {
+			prob.AddRow(lp.EQ, v, map[int]float64{j: 1})
+		}
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, fmt.Errorf("ilp: relaxation unbounded")
+		case lp.IterLimit:
+			return nil, fmt.Errorf("ilp: relaxation hit pivot limit")
+		}
+		if sol.Obj >= res.Obj-1e-9 {
+			continue // bound: cannot beat incumbent
+		}
+		// Find the most fractional binary.
+		branch := -1
+		worst := intTol
+		for _, j := range m.Binary {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > worst {
+				worst = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral candidate.
+			if opt.OnIntegral != nil {
+				accept, cuts := opt.OnIntegral(sol.X)
+				if !accept {
+					if len(cuts) == 0 {
+						continue
+					}
+					base.Rows = append(base.Rows, cuts...)
+					res.Cuts += len(cuts)
+					goto resolve
+				}
+			}
+			res.X = append([]float64(nil), sol.X...)
+			res.Obj = sol.Obj
+			res.Status = Feasible
+			continue
+		}
+		// Branch: explore the rounded side last so it pops first.
+		up := map[int]float64{branch: 1}
+		down := map[int]float64{branch: 0}
+		for j, v := range nd.fixed {
+			up[j] = v
+			down[j] = v
+		}
+		if sol.X[branch] >= 0.5 {
+			stack = append(stack, node{fixed: down}, node{fixed: up})
+		} else {
+			stack = append(stack, node{fixed: up}, node{fixed: down})
+		}
+	}
+
+	if res.X != nil {
+		if exhausted {
+			res.Status = Feasible
+		} else {
+			res.Status = Optimal
+		}
+	} else if opt.HasIncumbent && !exhausted {
+		// The seeded incumbent is optimal: nothing in the tree beat it.
+		res.Status = Optimal
+	}
+	return res, nil
+}

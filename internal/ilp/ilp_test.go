@@ -1,0 +1,222 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10x0+13x1+7x2 s.t. 3x0+4x1+2x2 <= 6 (min of negation).
+	// Best: x0+x2 (weight 5, value 17)? x1+x2 = weight 6, value 20. → 20.
+	p := &lp.Problem{NumVars: 3, C: []float64{-10, -13, -7}}
+	p.AddRow(lp.LE, 6, map[int]float64{0: 3, 1: 4, 2: 2})
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1, 2}}, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Optimal || math.Abs(res.Obj+20) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal -20", res.Status, res.Obj)
+	}
+	if res.X[1] < 0.5 || res.X[2] < 0.5 || res.X[0] > 0.5 {
+		t.Fatalf("x = %v, want [0 1 1]", res.X)
+	}
+}
+
+func TestSetCoverIntegrality(t *testing.T) {
+	// The LP relaxation of this cover is fractional (1.5); the ILP must
+	// reach 2.
+	p := &lp.Problem{NumVars: 3, C: []float64{1, 1, 1}}
+	p.AddRow(lp.GE, 1, map[int]float64{0: 1, 2: 1})
+	p.AddRow(lp.GE, 1, map[int]float64{0: 1, 1: 1})
+	p.AddRow(lp.GE, 1, map[int]float64{1: 1, 2: 1})
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1, 2}}, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-2) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal 2", res.Status, res.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &lp.Problem{NumVars: 2, C: []float64{1, 1}}
+	p.AddRow(lp.GE, 3, map[int]float64{0: 1, 1: 1}) // x+y >= 3 with x,y binary
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1}}, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestOnIntegralCuts(t *testing.T) {
+	// min x0+x1 s.t. x0+x1 >= 1. The callback rejects any solution not
+	// containing x1, forcing a cut x1 >= 1.
+	p := &lp.Problem{NumVars: 2, C: []float64{1, 2}}
+	p.AddRow(lp.GE, 1, map[int]float64{0: 1, 1: 1})
+	rejected := 0
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1}}, Options{
+		OnIntegral: func(x []float64) (bool, []lp.Row) {
+			if x[1] < 0.5 {
+				rejected++
+				return false, []lp.Row{{Coef: map[int]float64{1: 1}, Op: lp.GE, RHS: 1}}
+			}
+			return true, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.X[1] < 0.5 {
+		t.Fatalf("x = %v, want x1 = 1", res.X)
+	}
+	if rejected == 0 {
+		t.Fatal("callback never rejected; cut path untested")
+	}
+	if res.Cuts == 0 {
+		t.Fatal("no cuts recorded")
+	}
+}
+
+func TestIncumbentPruning(t *testing.T) {
+	// Seeding the optimal objective as incumbent: search proves optimality
+	// without finding a better solution; X stays nil but status optimal.
+	p := &lp.Problem{NumVars: 2, C: []float64{1, 1}}
+	p.AddRow(lp.GE, 2, map[int]float64{0: 1, 1: 1})
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1}}, Options{Incumbent: 2, HasIncumbent: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Optimal || res.X != nil {
+		t.Fatalf("status=%v X=%v, want optimal with nil X (incumbent stands)", res.Status, res.X)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A tiny limit must stop early and report the incumbent found so far
+	// (or infeasible if none).
+	p := &lp.Problem{NumVars: 4, C: []float64{1, 1, 1, 1}}
+	p.AddRow(lp.GE, 2, map[int]float64{0: 1, 1: 1, 2: 1, 3: 1})
+	p.AddRow(lp.GE, 1, map[int]float64{0: 1, 1: 1})
+	res, err := Solve(&Model{LP: p, Binary: []int{0, 1, 2, 3}}, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Nodes > 1 {
+		t.Fatalf("nodes = %d, want <= 1", res.Nodes)
+	}
+	_ = res.Status // either feasible or infeasible depending on first node
+}
+
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 6
+		p := &lp.Problem{NumVars: n, C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = float64(rng.Intn(20) + 1)
+		}
+		// Three random covering rows.
+		var rows [][]int
+		for r := 0; r < 3; r++ {
+			var members []int
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					members = append(members, j)
+				}
+			}
+			if len(members) == 0 {
+				members = []int{rng.Intn(n)}
+			}
+			coef := map[int]float64{}
+			for _, j := range members {
+				coef[j] = 1
+			}
+			p.AddRow(lp.GE, 1, coef)
+			rows = append(rows, members)
+		}
+		res, err := Solve(&Model{LP: p, Binary: []int{0, 1, 2, 3, 4, 5}}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Brute force over all 2^n assignments.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for _, members := range rows {
+				hit := false
+				for _, j := range members {
+					if mask&(1<<j) != 0 {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cost := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					cost += p.C[j]
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		if res.Status != Optimal || math.Abs(res.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: got %v/%v, brute force %v", trial, res.Status, res.Obj, best)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A hard instance with an immediate timeout: the solver must return
+	// (not hang) with whatever it has.
+	n := 18
+	p := &lp.Problem{NumVars: n, C: make([]float64, n)}
+	bins := make([]int, n)
+	for j := 0; j < n; j++ {
+		p.C[j] = float64(j%7 + 1)
+		bins[j] = j
+	}
+	for r := 0; r < n; r++ {
+		coef := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if (r+j)%3 == 0 {
+				coef[j] = 1
+			}
+		}
+		if len(coef) > 0 {
+			p.AddRow(lp.GE, 1, coef)
+		}
+	}
+	res, err := Solve(&Model{LP: p, Binary: bins}, Options{Timeout: 1 * time.Nanosecond})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status == Optimal && res.Nodes > 2 {
+		t.Fatalf("nanosecond timeout explored %d nodes", res.Nodes)
+	}
+}
+
+func TestBinaryOutOfRange(t *testing.T) {
+	p := &lp.Problem{NumVars: 1, C: []float64{1}}
+	p.AddRow(lp.GE, 1, map[int]float64{0: 1})
+	if _, err := Solve(&Model{LP: p, Binary: []int{5}}, Options{}); err == nil {
+		t.Fatal("out-of-range binary: want error")
+	}
+}

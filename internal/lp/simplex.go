@@ -1,0 +1,407 @@
+// Package lp provides a two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ   for each row i
+//	            x ≥ 0
+//
+// It is the substrate under the 0–1 integer program of Section 5.2 of the
+// paper (the optimal-statistics selection), solved by branch and bound in
+// package ilp. The implementation is a dense tableau simplex with Bland's
+// anti-cycling rule engaged after a degeneracy streak; it favors clarity
+// and robustness over raw speed, which suits the small-to-medium models the
+// selection step produces.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a row's comparison operator.
+type Op int
+
+// Row comparison operators.
+const (
+	LE Op = iota // aᵀx ≤ b
+	GE           // aᵀx ≥ b
+	EQ           // aᵀx = b
+)
+
+// Row is one linear constraint with sparse coefficients.
+type Row struct {
+	// Coef maps variable index to coefficient.
+	Coef map[int]float64
+	Op   Op
+	RHS  float64
+	// Name optionally labels the constraint for diagnostics.
+	Name string
+}
+
+// Problem is a linear program over variables x₀..x_{n-1} ≥ 0.
+type Problem struct {
+	// NumVars is n, the number of structural variables.
+	NumVars int
+	// C is the objective vector (length NumVars); missing tail entries are
+	// treated as zero.
+	C []float64
+	// Rows are the constraints.
+	Rows []Row
+}
+
+// AddRow appends a constraint and returns its index.
+func (p *Problem) AddRow(op Op, rhs float64, coef map[int]float64) int {
+	p.Rows = append(p.Rows, Row{Coef: coef, Op: op, RHS: rhs})
+	return len(p.Rows) - 1
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the pivot limit was exceeded.
+	IterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the structural variable values (length NumVars).
+	X []float64
+	// Obj is the objective value cᵀx.
+	Obj float64
+	// Iters is the number of simplex pivots performed.
+	Iters int
+}
+
+const eps = 1e-9
+
+// ErrBadProblem reports a malformed problem.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Solve runs the two-phase simplex method on the problem.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveLimit(p, 0)
+}
+
+// SolveLimit is Solve with an explicit pivot limit (0 means automatic:
+// 200·(rows+cols) pivots).
+func SolveLimit(p *Problem, maxIter int) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+	}
+	for i := range p.C {
+		if i >= p.NumVars {
+			return nil, fmt.Errorf("%w: objective longer than NumVars", ErrBadProblem)
+		}
+	}
+	for ri, r := range p.Rows {
+		for j := range r.Coef {
+			if j < 0 || j >= p.NumVars {
+				return nil, fmt.Errorf("%w: row %d references variable %d", ErrBadProblem, ri, j)
+			}
+		}
+	}
+	t := newTableau(p)
+	if maxIter <= 0 {
+		maxIter = 200 * (len(p.Rows) + t.cols)
+	}
+	sol := t.solve(maxIter)
+	return sol, nil
+}
+
+// tableau is the dense simplex tableau: m rows of n columns plus RHS, with
+// a basis index per row. Columns are ordered: structural vars, slack vars,
+// artificial vars.
+type tableau struct {
+	p          *Problem
+	m, n       int // structural rows/vars
+	cols       int // total columns (structural + slack + artificial)
+	numSlack   int
+	numArt     int
+	a          [][]float64 // m × cols
+	b          []float64   // RHS, length m
+	basis      []int       // basic variable per row
+	artStart   int
+	slackStart int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Rows)
+	n := p.NumVars
+	numSlack := 0
+	numArt := 0
+	for _, r := range p.Rows {
+		rhs := r.RHS
+		op := r.Op
+		if rhs < 0 { // normalize to nonnegative RHS
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			numSlack++ // slack only; slack is basic
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		p: p, m: m, n: n,
+		numSlack: numSlack, numArt: numArt,
+		cols:       n + numSlack + numArt,
+		slackStart: n,
+		artStart:   n + numSlack,
+	}
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	slack := t.slackStart
+	art := t.artStart
+	for i, r := range p.Rows {
+		row := make([]float64, t.cols)
+		sign := 1.0
+		rhs := r.RHS
+		op := r.Op
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			op = flip(op)
+		}
+		for j, c := range r.Coef {
+			row[j] += sign * c
+		}
+		t.b[i] = rhs
+		switch op {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// solve runs phase 1 (drive artificials to zero) then phase 2 (optimize
+// the real objective).
+func (t *tableau) solve(maxIter int) *Solution {
+	iters := 0
+	if t.numArt > 0 {
+		// Phase 1 objective: minimize the sum of artificial variables.
+		obj := make([]float64, t.cols)
+		for j := t.artStart; j < t.cols; j++ {
+			obj[j] = 1
+		}
+		st, used := t.optimize(obj, maxIter, true)
+		iters += used
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: iters}
+		}
+		// Infeasible if artificials cannot reach zero.
+		if t.phase1Value() > 1e-7 {
+			return &Solution{Status: Infeasible, Iters: iters}
+		}
+		t.evictArtificials()
+	}
+	obj := make([]float64, t.cols)
+	copy(obj, t.p.C)
+	st, used := t.optimize(obj, maxIter-iters, false)
+	iters += used
+	sol := &Solution{Status: st, Iters: iters}
+	if st != Optimal {
+		return sol
+	}
+	x := make([]float64, t.n)
+	for i, bi := range t.basis {
+		if bi < t.n {
+			x[bi] = t.b[i]
+		}
+	}
+	var objVal float64
+	for j, c := range t.p.C {
+		objVal += c * x[j]
+	}
+	sol.X = x
+	sol.Obj = objVal
+	return sol
+}
+
+func (t *tableau) phase1Value() float64 {
+	var v float64
+	for i, bi := range t.basis {
+		if bi >= t.artStart {
+			v += t.b[i]
+		}
+	}
+	return v
+}
+
+// evictArtificials pivots basic artificial variables (at zero level) out of
+// the basis where possible so phase 2 ignores them.
+func (t *tableau) evictArtificials() {
+	for i, bi := range t.basis {
+		if bi < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// optimize runs simplex pivots for the given objective until optimality,
+// unboundedness, or the iteration limit. In phase 1, artificial columns
+// stay eligible; in phase 2 they are barred from entering.
+func (t *tableau) optimize(obj []float64, maxIter int, phase1 bool) (Status, int) {
+	// Reduced costs are computed directly: r_j = obj_j − Σ_i obj_{basis_i}·a_{ij}.
+	iters := 0
+	degenerate := 0
+	for {
+		if iters >= maxIter {
+			return IterLimit, iters
+		}
+		limit := t.cols
+		if !phase1 {
+			limit = t.artStart
+		}
+		// Compute simplex multipliers implicitly via basic objective row.
+		enter := -1
+		var bestR float64
+		useBland := degenerate > 2*t.m
+		for j := 0; j < limit; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			r := obj[j]
+			for i := 0; i < t.m; i++ {
+				if cb := obj[t.basis[i]]; cb != 0 {
+					r -= cb * t.a[i][j]
+				}
+			}
+			if r < -eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if enter < 0 || r < bestR {
+					enter = j
+					bestR = r
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, iters
+		}
+		// Ratio test.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.b[i] / aij
+				if leave < 0 || ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && t.basis[i] < t.basis[leave]) {
+					leave = i
+					bestRatio = ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iters
+		}
+		if bestRatio < eps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+		iters++
+	}
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, bi := range t.basis {
+		if bi == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column j basic in row i.
+func (t *tableau) pivot(i, j int) {
+	piv := t.a[i][j]
+	inv := 1 / piv
+	row := t.a[i]
+	for k := range row {
+		row[k] *= inv
+	}
+	t.b[i] *= inv
+	row[j] = 1 // fight drift
+	for r := 0; r < t.m; r++ {
+		if r == i {
+			continue
+		}
+		f := t.a[r][j]
+		if f == 0 {
+			continue
+		}
+		ar := t.a[r]
+		for k := range ar {
+			ar[k] -= f * row[k]
+		}
+		ar[j] = 0
+		t.b[r] -= f * t.b[i]
+	}
+	t.basis[i] = j
+}

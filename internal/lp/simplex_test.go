@@ -1,0 +1,218 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveBasicLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  → min -(x+y); optimum at (8/5, 6/5).
+	p := &Problem{NumVars: 2, C: []float64{-1, -1}}
+	p.AddRow(LE, 4, map[int]float64{0: 1, 1: 2})
+	p.AddRow(LE, 6, map[int]float64{0: 3, 1: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -(8.0/5 + 6.0/5)) {
+		t.Fatalf("obj = %v, want %v", s.Obj, -(8.0/5 + 6.0/5))
+	}
+	if !approx(s.X[0], 1.6) || !approx(s.X[1], 1.2) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestSolveGEandEQ(t *testing.T) {
+	// min 2x+3y s.t. x+y >= 10, x = 4 → y=6, obj=26.
+	p := &Problem{NumVars: 2, C: []float64{2, 3}}
+	p.AddRow(GE, 10, map[int]float64{0: 1, 1: 1})
+	p.AddRow(EQ, 4, map[int]float64{0: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, 26) {
+		t.Fatalf("status=%v obj=%v, want optimal 26", s.Status, s.Obj)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, C: []float64{1}}
+	p.AddRow(GE, 5, map[int]float64{0: 1})
+	p.AddRow(LE, 3, map[int]float64{0: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1: unbounded below.
+	p := &Problem{NumVars: 1, C: []float64{-1}}
+	p.AddRow(GE, 1, map[int]float64{0: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x <= -3  ⇔  x >= 3; min x → 3.
+	p := &Problem{NumVars: 1, C: []float64{1}}
+	p.AddRow(LE, -3, map[int]float64{0: -1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, 3) {
+		t.Fatalf("status=%v obj=%v, want optimal 3", s.Status, s.Obj)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classically degenerate LP; Bland's rule must avoid cycling.
+	p := &Problem{NumVars: 4, C: []float64{-0.75, 150, -0.02, 6}}
+	p.AddRow(LE, 0, map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9})
+	p.AddRow(LE, 0, map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3})
+	p.AddRow(LE, 1, map[int]float64{2: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, -0.05) {
+		t.Fatalf("status=%v obj=%v, want optimal -0.05", s.Status, s.Obj)
+	}
+}
+
+func TestSolveCoveringRelaxation(t *testing.T) {
+	// Fractional set-cover relaxation: elements {1,2,3}, sets A={1,2},
+	// B={2,3}, C={1,3}, all cost 1. LP optimum is 1.5 (each set at 0.5).
+	p := &Problem{NumVars: 3, C: []float64{1, 1, 1}}
+	p.AddRow(GE, 1, map[int]float64{0: 1, 2: 1})
+	p.AddRow(GE, 1, map[int]float64{0: 1, 1: 1})
+	p.AddRow(GE, 1, map[int]float64{1: 1, 2: 1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, 1.5) {
+		t.Fatalf("status=%v obj=%v, want optimal 1.5", s.Status, s.Obj)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Fatal("empty problem: want error")
+	}
+	p := &Problem{NumVars: 1, C: []float64{1}}
+	p.AddRow(LE, 1, map[int]float64{5: 1})
+	if _, err := Solve(p); err == nil {
+		t.Fatal("out-of-range variable: want error")
+	}
+}
+
+func TestSolveEqualityOnly(t *testing.T) {
+	// x + y = 5, x - y = 1 → x=3, y=2; min x+2y = 7.
+	p := &Problem{NumVars: 2, C: []float64{1, 2}}
+	p.AddRow(EQ, 5, map[int]float64{0: 1, 1: 1})
+	p.AddRow(EQ, 1, map[int]float64{0: 1, 1: -1})
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, 7) || !approx(s.X[0], 3) || !approx(s.X[1], 2) {
+		t.Fatalf("got %v %v", s.Status, s.X)
+	}
+}
+
+// TestSolveRandomVsBruteForce cross-checks the simplex against brute-force
+// vertex enumeration on small random feasible-bounded LPs.
+func TestSolveRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		// Two vars, box 0<=x,y<=U plus two random <= rows with positive
+		// coefficients (keeps the region bounded and feasible at origin).
+		p := &Problem{NumVars: 2, C: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}}
+		u := 1 + rng.Float64()*5
+		p.AddRow(LE, u, map[int]float64{0: 1})
+		p.AddRow(LE, u, map[int]float64{1: 1})
+		rows := [][3]float64{}
+		for k := 0; k < 2; k++ {
+			a, b := rng.Float64()+0.1, rng.Float64()+0.1
+			c := rng.Float64()*6 + 1
+			p.AddRow(LE, c, map[int]float64{0: a, 1: b})
+			rows = append(rows, [3]float64{a, b, c})
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, err, s)
+		}
+		// Brute force: sample a fine grid.
+		best := math.Inf(1)
+		const N = 400
+		for i := 0; i <= N; i++ {
+			for j := 0; j <= N; j++ {
+				x := u * float64(i) / N
+				y := u * float64(j) / N
+				ok := true
+				for _, r := range rows {
+					if r[0]*x+r[1]*y > r[2]+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					v := p.C[0]*x + p.C[1]*y
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Obj > best+1e-6 {
+			t.Fatalf("trial %d: simplex obj %v worse than grid %v", trial, s.Obj, best)
+		}
+		if s.Obj < best-0.1 { // grid resolution tolerance
+			t.Fatalf("trial %d: simplex obj %v implausibly below grid %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func TestSolveIterationLimit(t *testing.T) {
+	// A 20-var LP with a 1-pivot limit must report IterLimit.
+	p := &Problem{NumVars: 20, C: make([]float64, 20)}
+	for j := 0; j < 20; j++ {
+		p.C[j] = -1
+		p.AddRow(LE, 1, map[int]float64{j: 1})
+	}
+	s, err := SolveLimit(p, 1)
+	if err != nil {
+		t.Fatalf("SolveLimit: %v", err)
+	}
+	if s.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit", s.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package optimizer implements the final step of the paper's loop (Section
+// 3.2.7): classical cost-based join-order optimization per optimizable
+// block, driven by the cardinalities the estimation layer derives from the
+// observed statistics. Because the derived cardinalities are exact, the
+// optimizer costs every alternative plan exactly — the property the whole
+// statistics-selection framework exists to establish.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// CardSource supplies SE cardinalities; package estimate's Estimator
+// satisfies it.
+type CardSource interface {
+	CardOf(block int, se expr.Set) (int64, error)
+}
+
+// CostModel prices a join given input and output cardinalities.
+type CostModel int
+
+// Supported cost models.
+const (
+	// Cout sums the cardinalities of all intermediate results — the
+	// classical C_out metric, which isolates join-order quality from
+	// physical details.
+	Cout CostModel = iota
+	// HashJoin prices each join as build + probe + output
+	// (|build| + |probe| + |out|), a closer proxy for a batch ETL engine.
+	HashJoin
+)
+
+// Plan is an optimized plan for one block.
+type Plan struct {
+	Block int
+	// Tree is the chosen join order (nil for join-free blocks).
+	Tree *workflow.JoinTree
+	// Cost is the plan's estimated cost under the chosen model.
+	Cost float64
+	// InitialCost is the user-designed plan's cost, for comparison.
+	InitialCost float64
+}
+
+// Result is the optimization outcome for a whole workflow.
+type Result struct {
+	Plans map[int]*Plan
+	// TotalCost and TotalInitialCost aggregate across blocks.
+	TotalCost, TotalInitialCost float64
+}
+
+// Trees returns the per-block join trees in the shape engine.RunPlans
+// expects.
+func (r *Result) Trees() map[int]*workflow.JoinTree {
+	out := make(map[int]*workflow.JoinTree, len(r.Plans))
+	for b, p := range r.Plans {
+		out[b] = p.Tree
+	}
+	return out
+}
+
+// Options tune the optimizer's plan space.
+type Options struct {
+	// LeftDeepOnly restricts the search to left-deep trees (the right side
+	// of every join is a single input) — the plan shape fully pipelined
+	// ETL engines prefer, since only single-relation build sides are
+	// materialized.
+	LeftDeepOnly bool
+}
+
+// Optimize chooses the cheapest join order for every block by dynamic
+// programming over connected sub-expressions (the same plan space the CSS
+// generation enumerated), costing each composition with cardinalities from
+// the card source.
+func Optimize(res *css.Result, cards CardSource, model CostModel) (*Result, error) {
+	return OptimizeOpts(res, cards, model, Options{})
+}
+
+// OptimizeOpts is Optimize with explicit plan-space options.
+func OptimizeOpts(res *css.Result, cards CardSource, model CostModel, opt Options) (*Result, error) {
+	out := &Result{Plans: make(map[int]*Plan)}
+	for bi, sp := range res.Spaces {
+		blk := res.Analysis.Blocks[bi]
+		p, err := optimizeBlock(bi, blk, sp, cards, model, opt)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", bi, err)
+		}
+		out.Plans[bi] = p
+		out.TotalCost += p.Cost
+		out.TotalInitialCost += p.InitialCost
+	}
+	return out, nil
+}
+
+func optimizeBlock(bi int, blk *workflow.Block, sp *expr.Space, cards CardSource, model CostModel, opt Options) (*Plan, error) {
+	if blk.Initial == nil || blk.RejectPinned {
+		// Join-free or pinned blocks admit exactly one plan.
+		cost := 0.0
+		if blk.Initial != nil {
+			c, err := treeCost(bi, blk, sp, blk.Initial, cards, model)
+			if err != nil {
+				return nil, err
+			}
+			cost = c
+		}
+		return &Plan{Block: bi, Tree: blk.Initial, Cost: cost, InitialCost: cost}, nil
+	}
+	card := func(se expr.Set) (float64, error) {
+		c, err := cards.CardOf(bi, se)
+		if err != nil {
+			return 0, err
+		}
+		return float64(c), nil
+	}
+	type entry struct {
+		cost float64
+		tree *workflow.JoinTree
+	}
+	best := make(map[expr.Set]entry)
+	for _, se := range sp.SEs { // sorted by size: DP order
+		if se.Len() == 1 {
+			best[se] = entry{cost: 0, tree: &workflow.JoinTree{Leaf: se.Lowest(), Join: -1}}
+			continue
+		}
+		cur := entry{cost: math.Inf(1)}
+		outCard, err := card(se)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range sp.Plans[se] {
+			left, right := p.Left, p.Right
+			if opt.LeftDeepOnly {
+				// Keep only compositions with a single-input probe side;
+				// either half may play that role (joins commute).
+				switch {
+				case right.Len() == 1:
+				case left.Len() == 1:
+					left, right = right, left
+				default:
+					continue
+				}
+			}
+			l, okL := best[left]
+			r, okR := best[right]
+			if !okL || !okR {
+				continue
+			}
+			lCard, err := card(left)
+			if err != nil {
+				return nil, err
+			}
+			rCard, err := card(right)
+			if err != nil {
+				return nil, err
+			}
+			c := l.cost + r.cost + joinCost(model, lCard, rCard, outCard)
+			if c < cur.cost {
+				cur = entry{
+					cost: c,
+					tree: &workflow.JoinTree{Leaf: -1, Join: p.Edge, Left: l.tree, Right: r.tree},
+				}
+			}
+		}
+		if math.IsInf(cur.cost, 1) {
+			return nil, fmt.Errorf("no plan for SE %s", se.Label(blk))
+		}
+		best[se] = cur
+	}
+	full := best[sp.Full()]
+	initCost, err := treeCost(bi, blk, sp, blk.Initial, cards, model)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Block: bi, Tree: full.tree, Cost: full.cost, InitialCost: initCost}, nil
+}
+
+// treeCost prices a concrete join tree.
+func treeCost(bi int, blk *workflow.Block, sp *expr.Space, t *workflow.JoinTree, cards CardSource, model CostModel) (float64, error) {
+	if t == nil || t.IsLeaf() {
+		return 0, nil
+	}
+	lc, err := treeCost(bi, blk, sp, t.Left, cards, model)
+	if err != nil {
+		return 0, err
+	}
+	rc, err := treeCost(bi, blk, sp, t.Right, cards, model)
+	if err != nil {
+		return 0, err
+	}
+	lSet := expr.NewSet(t.Left.Inputs()...)
+	rSet := expr.NewSet(t.Right.Inputs()...)
+	lCard, err := cards.CardOf(bi, lSet)
+	if err != nil {
+		return 0, err
+	}
+	rCard, err := cards.CardOf(bi, rSet)
+	if err != nil {
+		return 0, err
+	}
+	oCard, err := cards.CardOf(bi, lSet.Union(rSet))
+	if err != nil {
+		return 0, err
+	}
+	return lc + rc + joinCost(model, float64(lCard), float64(rCard), float64(oCard)), nil
+}
+
+func joinCost(model CostModel, left, right, out float64) float64 {
+	switch model {
+	case HashJoin:
+		build := math.Min(left, right)
+		probe := math.Max(left, right)
+		return build*1.5 + probe + out
+	default: // Cout
+		return out
+	}
+}

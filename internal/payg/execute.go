@@ -1,0 +1,78 @@
+package payg
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// ExecuteResult is the outcome of actually running the baseline's plan
+// sequence.
+type ExecuteResult struct {
+	// Runs is the number of executions performed.
+	Runs int
+	// Learned accumulates the trivial-CSS observations (one cardinality
+	// counter per SE exposed by some plan).
+	Learned *stats.Store
+	// RowsTotal sums the engine work across all executions — the price the
+	// baseline pays where the framework pays for one run.
+	RowsTotal int64
+}
+
+// Execute runs the pay-as-you-go baseline for real: each plan of the
+// report's per-block sequences executes once (blocks cycle their own
+// sequences independently), observing nothing but cardinality counters at
+// the points each plan produces. Afterwards Learned holds |e| for every SE
+// any plan exposed — the baseline's replacement for the framework's single
+// instrumented run.
+func Execute(eng *engine.Engine, res *css.Result, rep *Report) (*ExecuteResult, error) {
+	// Observation wish-list: the cardinality of every SE of every block.
+	var observe []stats.Stat
+	for bi, sp := range res.Spaces {
+		for _, se := range sp.SEs {
+			observe = append(observe, stats.NewCard(stats.BlockSE(bi, se)))
+		}
+	}
+	out := &ExecuteResult{Learned: stats.NewStore()}
+	runs := rep.Found
+	if runs < 1 {
+		runs = 1
+	}
+	for r := 0; r < runs; r++ {
+		plans := make(map[int]*workflow.JoinTree)
+		for _, br := range rep.PerBlock {
+			if len(br.Plans) == 0 {
+				continue
+			}
+			idx := r
+			if idx >= len(br.Plans) {
+				idx = len(br.Plans) - 1 // this block's SEs are already covered
+			}
+			plans[br.Block] = br.Plans[idx]
+		}
+		run, err := eng.RunPlansObserving(plans, res, observe)
+		if err != nil {
+			return nil, fmt.Errorf("payg: execution %d: %w", r+1, err)
+		}
+		out.Learned.Merge(run.Observed)
+		out.RowsTotal += run.Rows
+		out.Runs++
+	}
+	return out, nil
+}
+
+// Covered reports whether the learned store holds the cardinality of every
+// SE of every block — the baseline's success criterion.
+func (r *ExecuteResult) Covered(res *css.Result) bool {
+	for bi, sp := range res.Spaces {
+		for _, se := range sp.SEs {
+			if !r.Learned.Has(stats.NewCard(stats.BlockSE(bi, se))) {
+				return false
+			}
+		}
+	}
+	return true
+}

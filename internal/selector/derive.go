@@ -1,0 +1,179 @@
+package selector
+
+import (
+	"container/heap"
+	"math"
+)
+
+// deriveMode selects how the cost of an AND-node (a CSS needing all its
+// inputs) is aggregated from its inputs.
+type deriveMode int
+
+const (
+	// deriveSum prices a CSS at the sum of its input derivation costs. It
+	// over-counts statistics shared between branches, so it is an upper
+	// bound on the cheapest derivation — suitable for the greedy heuristic.
+	deriveSum deriveMode = iota
+	// deriveMax prices a CSS at the maximum input derivation cost. Because
+	// any real derivation pays at least its most expensive leaf, this is a
+	// valid lower bound — suitable for branch-and-bound pruning.
+	deriveMax
+)
+
+// deriveCosts computes, for every statistic, the cheapest derivation cost
+// under the given leaf pricing: free[i] statistics cost 0 (already
+// observed/computable), banned[i] statistics cannot be observed, all other
+// observable statistics cost u.Cost[i], and unobservable statistics can
+// only be reached through a CSS. The computation is Knuth's generalization
+// of Dijkstra's algorithm to monotone AND/OR graphs, which handles the
+// cyclic derivations produced by union–division correctly.
+// obs overrides the observability mask when non-nil (the Section 6.1
+// budget planner widens observability for re-ordered later runs).
+func (u *Universe) deriveCosts(obs, free, banned []bool, mode deriveMode) []float64 {
+	if obs == nil {
+		obs = u.Observable
+	}
+	n := len(u.Stats)
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	// remaining[i][ci]: inputs of CSS ci of stat i not yet finalized;
+	// acc[i][ci]: aggregated cost of finalized inputs.
+	remaining := make([][]int, n)
+	acc := make([][]float64, n)
+	pq := &floatHeap{}
+	for i := 0; i < n; i++ {
+		remaining[i] = make([]int, len(u.CSS[i]))
+		acc[i] = make([]float64, len(u.CSS[i]))
+		for ci, c := range u.CSS[i] {
+			remaining[i][ci] = len(c.inputs)
+		}
+		switch {
+		case free != nil && free[i]:
+			dist[i] = 0
+		case obs[i] && (banned == nil || !banned[i]):
+			dist[i] = u.Cost[i]
+		default:
+			dist[i] = math.Inf(1)
+		}
+		if !math.IsInf(dist[i], 1) {
+			heap.Push(pq, heapItem{idx: i, cost: dist[i]})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		i := it.idx
+		if done[i] || it.cost > dist[i] {
+			continue
+		}
+		done[i] = true
+		for _, ref := range u.usedBy[i] {
+			if done[ref.stat] {
+				continue
+			}
+			switch mode {
+			case deriveSum:
+				acc[ref.stat][ref.css] += dist[i]
+			case deriveMax:
+				if dist[i] > acc[ref.stat][ref.css] {
+					acc[ref.stat][ref.css] = dist[i]
+				}
+			}
+			remaining[ref.stat][ref.css]--
+			if remaining[ref.stat][ref.css] == 0 && acc[ref.stat][ref.css] < dist[ref.stat] {
+				dist[ref.stat] = acc[ref.stat][ref.css]
+				heap.Push(pq, heapItem{idx: ref.stat, cost: dist[ref.stat]})
+			}
+		}
+	}
+	return dist
+}
+
+// cheapestDerivation returns, for statistic target, a concrete derivation
+// under deriveSum pricing: the set of not-yet-free observable statistics it
+// observes. It re-runs the cost pass and then walks the winning choices.
+// ok is false when the target is underivable under the pricing.
+func (u *Universe) cheapestDerivation(target int, obs, free, banned []bool) (leaves []int, cost float64, ok bool) {
+	if obs == nil {
+		obs = u.Observable
+	}
+	dist := u.deriveCosts(obs, free, banned, deriveSum)
+	return u.walkDerivation(target, dist, obs, free, banned)
+}
+
+// walkDerivation extracts the observed-leaf set of the cheapest derivation
+// from a precomputed deriveSum cost vector, so callers can share one cost
+// pass across many targets.
+func (u *Universe) walkDerivation(target int, dist []float64, obs, free, banned []bool) (leaves []int, cost float64, ok bool) {
+	if obs == nil {
+		obs = u.Observable
+	}
+	if math.IsInf(dist[target], 1) {
+		return nil, 0, false
+	}
+	seen := make(map[int]bool)
+	leafSet := make(map[int]bool)
+	var walk func(i int)
+	walk = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		if free != nil && free[i] {
+			return
+		}
+		// Prefer direct observation when it is the winning price.
+		if obs[i] && (banned == nil || !banned[i]) && u.Cost[i] <= dist[i]+1e-12 {
+			leafSet[i] = true
+			return
+		}
+		// Otherwise find a CSS achieving the winning price.
+		for _, c := range u.CSS[i] {
+			var sum float64
+			feasible := true
+			for _, j := range c.inputs {
+				if math.IsInf(dist[j], 1) {
+					feasible = false
+					break
+				}
+				sum += dist[j]
+			}
+			if feasible && sum <= dist[i]+1e-9 {
+				for _, j := range c.inputs {
+					walk(j)
+				}
+				return
+			}
+		}
+		// Fall back to direct observation even at a worse price (can only
+		// happen through floating-point ties).
+		if obs[i] && (banned == nil || !banned[i]) {
+			leafSet[i] = true
+		}
+	}
+	walk(target)
+	for i := range u.Stats {
+		if leafSet[i] {
+			leaves = append(leaves, i)
+		}
+	}
+	return leaves, dist[target], true
+}
+
+type heapItem struct {
+	idx  int
+	cost float64
+}
+
+type floatHeap []heapItem
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,153 @@
+package selector
+
+import (
+	"math"
+	"time"
+)
+
+// ExactOptions tune the combinatorial branch-and-bound solver.
+type ExactOptions struct {
+	// MaxNodes caps search nodes (0 = 200000).
+	MaxNodes int
+	// Timeout caps wall-clock time (0 = none).
+	Timeout time.Duration
+}
+
+// Exact finds a provably minimum-cost observation set by branch and bound
+// over the observable statistics: feasibility is the closure property of
+// Section 5.1, the lower bound combines committed cost with the cheapest
+// possible completion of the most expensive uncovered requirement, and
+// greedy completions supply incumbents and branching choices. When the node
+// budget runs out, the best incumbent is returned with Optimal = false.
+func Exact(u *Universe, opt ExactOptions) (*Selection, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+
+	n := len(u.Stats)
+	// Zero-cost observables are always taken: they can only help.
+	baseIn := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if u.Observable[i] && u.Cost[i] == 0 {
+			baseIn[i] = true
+		}
+	}
+
+	// Incumbent from greedy.
+	inc := append([]bool(nil), baseIn...)
+	if err := greedyComplete(u, inc, nil); err != nil {
+		return nil, err
+	}
+	bestCost := u.ObservedCost(inc)
+	best := inc
+
+	type node struct {
+		in, out []bool
+	}
+	stack := []node{{in: baseIn, out: make([]bool, n)}}
+	nodes := 0
+	exhausted := false
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			exhausted = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		committed := u.ObservedCost(nd.in)
+		if committed >= bestCost-1e-9 {
+			continue
+		}
+		closedIn := u.Closure(nd.in)
+		// Lower bound and feasibility in one pass: the max-aggregated
+		// derivation price of each uncovered requirement (∞ = no
+		// derivation avoids the banned statistics at all).
+		var lbExtra float64
+		worst := -1
+		dist := u.deriveCosts(nil, closedIn, nd.out, deriveMax)
+		covered := true
+		infeasible := false
+		for _, r := range u.Required {
+			if closedIn[r] {
+				continue
+			}
+			covered = false
+			if math.IsInf(dist[r], 1) {
+				infeasible = true
+				break
+			}
+			if dist[r] > lbExtra {
+				lbExtra = dist[r]
+				worst = r
+			}
+		}
+		if infeasible {
+			continue
+		}
+		if covered {
+			if committed < bestCost {
+				bestCost = committed
+				best = append([]bool(nil), nd.in...)
+			}
+			continue
+		}
+		if committed+lbExtra >= bestCost-1e-9 {
+			continue
+		}
+		// Branch on the most expensive unchosen leaf in the cheapest
+		// derivation of the most expensive uncovered requirement. An
+		// occasional greedy dive refreshes the incumbent; running it at
+		// every node would dominate the solve.
+		if nodes&0x3F == 1 {
+			completion := append([]bool(nil), nd.in...)
+			if err := greedyComplete(u, completion, nd.out); err == nil {
+				if compCost := u.ObservedCost(completion); compCost < bestCost {
+					bestCost = compCost
+					best = completion
+				}
+			}
+		}
+		leaves, _, ok := u.cheapestDerivation(worst, nil, closedIn, nd.out)
+		if !ok {
+			continue
+		}
+		branch := -1
+		var branchCost float64
+		for _, i := range leaves {
+			if !nd.in[i] && u.Cost[i] > branchCost {
+				branch = i
+				branchCost = u.Cost[i]
+			}
+		}
+		if branch < 0 {
+			continue
+		}
+		// Branch: include / exclude the chosen statistic. Explore the
+		// include side first (it matches the greedy completion).
+		inSide := node{in: append([]bool(nil), nd.in...), out: nd.out}
+		inSide.in[branch] = true
+		outSide := node{in: nd.in, out: append([]bool(nil), nd.out...)}
+		outSide.out[branch] = true
+		stack = append(stack, outSide, inSide)
+	}
+
+	if math.IsInf(bestCost, 1) {
+		return nil, errNoSolution
+	}
+	return &Selection{
+		Observe: u.StatsOf(best),
+		Cost:    bestCost,
+		Memory:  u.ObservedMemory(best),
+		Optimal: !exhausted,
+		Method:  "exact-bb",
+		Nodes:   nodes,
+	}, nil
+}

@@ -1,0 +1,75 @@
+package selector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Greedy implements the heuristic of Section 5.3: repeatedly pick the
+// cheapest way to cover one of the still-uncovered required statistics,
+// re-pricing after every pick because statistics already chosen are free
+// for subsequent covers. Zero-cost observable statistics (e.g. free source
+// statistics, Section 6.2) are taken up front.
+func Greedy(u *Universe) (*Selection, error) {
+	observed := make([]bool, len(u.Stats))
+	for i := range u.Stats {
+		if u.Observable[i] && u.Cost[i] == 0 {
+			observed[i] = true
+		}
+	}
+	if err := greedyComplete(u, observed, nil); err != nil {
+		return nil, err
+	}
+	return &Selection{
+		Observe: u.StatsOf(observed),
+		Cost:    u.ObservedCost(observed),
+		Memory:  u.ObservedMemory(observed),
+		Optimal: false,
+		Method:  "greedy",
+	}, nil
+}
+
+// greedyComplete extends the observation set until every required statistic
+// is covered, never touching banned statistics. It mutates observed.
+func greedyComplete(u *Universe, observed, banned []bool) error {
+	for {
+		closed := u.Closure(observed)
+		// Free pricing: anything already computable costs nothing more.
+		var uncovered []int
+		for _, r := range u.Required {
+			if !closed[r] {
+				uncovered = append(uncovered, r)
+			}
+		}
+		if len(uncovered) == 0 {
+			return nil
+		}
+		// One shared cost pass prices every uncovered requirement; only the
+		// winner's derivation is walked out.
+		dist := u.deriveCosts(nil, closed, banned, deriveSum)
+		bestCost := math.Inf(1)
+		bestR := -1
+		for _, r := range uncovered {
+			if math.IsInf(dist[r], 1) {
+				return fmt.Errorf("selector: required statistic %v not derivable", u.Stats[r].Key())
+			}
+			if dist[r] < bestCost {
+				bestCost = dist[r]
+				bestR = r
+			}
+		}
+		bestLeaves, _, ok := u.walkDerivation(bestR, dist, nil, closed, banned)
+		if !ok {
+			return fmt.Errorf("selector: required statistic %v not derivable", u.Stats[bestR].Key())
+		}
+		if len(bestLeaves) == 0 {
+			// The cheapest uncovered statistic became computable for free;
+			// the closure recomputation above would have caught that, so an
+			// empty leaf set with positive cost is a logic error.
+			return fmt.Errorf("selector: greedy made no progress (cost %v)", bestCost)
+		}
+		for _, i := range bestLeaves {
+			observed[i] = true
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package selector
+
+import (
+	"errors"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/stats"
+)
+
+// errNoSolution reports that no observation set covers the required
+// statistics (cannot happen after NewUniverse's derivability check, but the
+// solvers guard against it anyway).
+var errNoSolution = errors.New("selector: no feasible observation set")
+
+// Selection is a chosen set of statistics to observe.
+type Selection struct {
+	// Observe lists the statistics to instrument, in deterministic order.
+	Observe []stats.Stat
+	// Cost is the total observation cost under the coster's objective.
+	Cost float64
+	// Memory is the total memory in abstract integer units (Figure 11).
+	Memory int64
+	// Optimal reports whether the solver proved minimality.
+	Optimal bool
+	// Method names the solver that produced the selection.
+	Method string
+	// Nodes counts search nodes, when applicable.
+	Nodes int
+}
+
+// Method selects the solver.
+type Method int
+
+// Available solvers.
+const (
+	// MethodAuto runs the combinatorial exact solver and falls back to its
+	// best incumbent when budgets expire.
+	MethodAuto Method = iota
+	// MethodExact forces the combinatorial branch and bound.
+	MethodExact
+	// MethodGreedy forces the Section 5.3 heuristic.
+	MethodGreedy
+	// MethodLP forces the Section 5.2 integer-program formulation.
+	MethodLP
+)
+
+// Options configure Select.
+type Options struct {
+	Method Method
+	// MaxNodes caps search nodes for the exact and LP methods.
+	MaxNodes int
+	// Timeout caps the exact solver's wall-clock time.
+	Timeout time.Duration
+}
+
+// Select determines a minimum-cost set of statistics to observe for the
+// generated CSS result, per Section 5 of the paper.
+func Select(res *css.Result, coster *costmodel.Coster, opt Options) (*Selection, error) {
+	u, err := NewUniverse(res, coster)
+	if err != nil {
+		return nil, err
+	}
+	return SelectUniverse(u, opt)
+}
+
+// SelectUniverse is Select over a pre-built universe, so callers can reuse
+// the indexing across solver comparisons.
+func SelectUniverse(u *Universe, opt Options) (*Selection, error) {
+	switch opt.Method {
+	case MethodGreedy:
+		return Greedy(u)
+	case MethodLP:
+		return SolveLP(u, LPOptions{MaxNodes: opt.MaxNodes})
+	default:
+		maxNodes := opt.MaxNodes
+		if maxNodes <= 0 {
+			// Each branch-and-bound node costs a couple of passes over the
+			// CSS graph; scale the default budget inversely with graph
+			// size so worst-case solve time stays bounded while small
+			// universes still get exhaustive search.
+			edges := 1
+			for i := range u.CSS {
+				for _, c := range u.CSS[i] {
+					edges += len(c.inputs)
+				}
+			}
+			maxNodes = 40_000_000 / edges
+			if maxNodes < 1000 {
+				maxNodes = 1000
+			}
+			if maxNodes > 200000 {
+				maxNodes = 200000
+			}
+		}
+		return Exact(u, ExactOptions{MaxNodes: maxNodes, Timeout: opt.Timeout})
+	}
+}

@@ -1,0 +1,337 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// buildUniverse analyzes a workflow and produces the selection universe
+// with a memory-only coster.
+func buildUniverse(t *testing.T, g *workflow.Graph, cat *workflow.Catalog, opt css.Options) *Universe {
+	t.Helper()
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, opt)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	u, err := NewUniverse(res, coster)
+	if err != nil {
+		t.Fatalf("NewUniverse: %v", err)
+	}
+	return u
+}
+
+// retail builds the paper's Orders/Product/Customer flow.
+func retail(t *testing.T) (*workflow.Graph, *workflow.Catalog) {
+	t.Helper()
+	cat := &workflow.Catalog{Relations: []*workflow.Relation{
+		{Name: "Orders", Card: 10000, Columns: []workflow.Column{
+			{Name: "oid", Domain: 10000}, {Name: "pid", Domain: 500}, {Name: "cid", Domain: 2000},
+		}},
+		{Name: "Product", Card: 500, Columns: []workflow.Column{
+			{Name: "pid", Domain: 500}, {Name: "price", Domain: 1000},
+		}},
+		{Name: "Customer", Card: 2000, Columns: []workflow.Column{
+			{Name: "cid", Domain: 2000}, {Name: "region", Domain: 50},
+		}},
+	}}
+	b := workflow.NewBuilder("retail")
+	o := b.Source("Orders")
+	p := b.Source("Product")
+	c := b.Source("Customer")
+	j1 := b.Join(o, p, workflow.Attr{Rel: "Orders", Col: "pid"}, workflow.Attr{Rel: "Product", Col: "pid"})
+	j2 := b.Join(j1, c, workflow.Attr{Rel: "Orders", Col: "cid"}, workflow.Attr{Rel: "Customer", Col: "cid"})
+	b.Sink(j2, "dw")
+	return b.Graph(), cat
+}
+
+func TestClosureBasic(t *testing.T) {
+	g, cat := retail(t)
+	u := buildUniverse(t, g, cat, css.Options{})
+	// Observing nothing: nothing computable.
+	if u.Covered(make([]bool, len(u.Stats))) {
+		t.Fatal("empty observation should not cover S_C")
+	}
+	// Observing everything observable must cover (checked in NewUniverse,
+	// re-checked here).
+	all := append([]bool(nil), u.Observable...)
+	if !u.Covered(all) {
+		t.Fatal("full observation should cover S_C")
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	g, cat := retail(t)
+	u := buildUniverse(t, g, cat, css.DefaultOptions())
+	sel, err := Greedy(u)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	observed := make([]bool, len(u.Stats))
+	for _, s := range sel.Observe {
+		observed[u.Index[s.Key()]] = true
+	}
+	if !u.Covered(observed) {
+		t.Fatal("greedy selection does not cover S_C")
+	}
+	if sel.Cost <= 0 {
+		t.Fatalf("greedy cost = %v, want positive", sel.Cost)
+	}
+}
+
+func TestExactNoWorseThanGreedy(t *testing.T) {
+	for _, opt := range []css.Options{{}, css.DefaultOptions()} {
+		g, cat := retail(t)
+		u := buildUniverse(t, g, cat, opt)
+		gr, err := Greedy(u)
+		if err != nil {
+			t.Fatalf("Greedy: %v", err)
+		}
+		ex, err := Exact(u, ExactOptions{})
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		if !ex.Optimal {
+			t.Fatal("Exact did not prove optimality on a small instance")
+		}
+		if ex.Cost > gr.Cost+1e-6 {
+			t.Fatalf("exact cost %v worse than greedy %v", ex.Cost, gr.Cost)
+		}
+		observed := make([]bool, len(u.Stats))
+		for _, s := range ex.Observe {
+			observed[u.Index[s.Key()]] = true
+		}
+		if !u.Covered(observed) {
+			t.Fatal("exact selection does not cover S_C")
+		}
+	}
+}
+
+func TestLPMatchesExact(t *testing.T) {
+	g, cat := retail(t)
+	u := buildUniverse(t, g, cat, css.Options{})
+	ex, err := Exact(u, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	lpSel, err := SolveLP(u, LPOptions{})
+	if err != nil {
+		t.Fatalf("SolveLP: %v", err)
+	}
+	if !lpSel.Optimal {
+		t.Fatal("LP did not prove optimality")
+	}
+	if math.Abs(lpSel.Cost-ex.Cost) > 1e-6 {
+		t.Fatalf("LP cost %v != exact cost %v", lpSel.Cost, ex.Cost)
+	}
+	observed := make([]bool, len(u.Stats))
+	for _, s := range lpSel.Observe {
+		observed[u.Index[s.Key()]] = true
+	}
+	if !u.Covered(observed) {
+		t.Fatal("LP selection does not cover S_C")
+	}
+}
+
+// TestAmortizationSharedAttribute reproduces the Figure 7 insight: when T1
+// joins T2 and T3 on the same attribute, the optimal solution shares
+// H^a_{T1} across both join estimates instead of paying for it twice.
+func TestAmortizationSharedAttribute(t *testing.T) {
+	cat := &workflow.Catalog{Relations: []*workflow.Relation{
+		{Name: "T1", Card: 1000, Columns: []workflow.Column{{Name: "a", Domain: 9}}},
+		{Name: "T2", Card: 1000, Columns: []workflow.Column{{Name: "a", Domain: 9}}},
+		{Name: "T3", Card: 1000, Columns: []workflow.Column{{Name: "a", Domain: 9}}},
+	}}
+	b := workflow.NewBuilder("shared")
+	t1 := b.Source("T1")
+	t2 := b.Source("T2")
+	t3 := b.Source("T3")
+	j1 := b.Join(t1, t2, workflow.Attr{Rel: "T1", Col: "a"}, workflow.Attr{Rel: "T2", Col: "a"})
+	j2 := b.Join(j1, t3, workflow.Attr{Rel: "T1", Col: "a"}, workflow.Attr{Rel: "T3", Col: "a"})
+	b.Sink(j2, "dw")
+	u := buildUniverse(t, b.Graph(), cat, css.Options{})
+	sel, err := Exact(u, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	// The shared-attribute solution: H^a on each of T1, T2, T3 (9 units
+	// each = 27) covers everything: all SE cardinalities follow via J1/J3
+	// composition. Anything above 3 histograms plus a few counters means
+	// sharing failed.
+	if sel.Cost > 27+6+1e-6 {
+		t.Fatalf("exact cost %v; sharing of H^a_T1 apparently not exploited", sel.Cost)
+	}
+	histsSeen := map[string]int{}
+	for _, s := range sel.Observe {
+		if s.Kind == stats.Hist {
+			histsSeen[s.Label(nil)]++
+		}
+	}
+	if len(histsSeen) > 3 {
+		t.Fatalf("observed %d distinct histograms, want at most 3: %v", len(histsSeen), histsSeen)
+	}
+}
+
+func TestUnionDivisionCanReduceMemory(t *testing.T) {
+	// A flow where the middle relation has a huge second join attribute
+	// domain: without union–division, covering |T1⋈T2| requires a joint
+	// histogram on T1 (pid,cid) — expensive. With union–division the
+	// framework can use the observable T1⋈T3⋈T2 route plus small reject
+	// statistics.
+	cat := &workflow.Catalog{Relations: []*workflow.Relation{
+		{Name: "T1", Card: 100000, Columns: []workflow.Column{
+			{Name: "j13", Domain: 50}, {Name: "j12", Domain: 40000},
+		}},
+		{Name: "T2", Card: 50000, Columns: []workflow.Column{{Name: "j12", Domain: 40000}}},
+		{Name: "T3", Card: 50, Columns: []workflow.Column{{Name: "j13", Domain: 50}}},
+	}}
+	b := workflow.NewBuilder("ud")
+	t1 := b.Source("T1")
+	t2 := b.Source("T2")
+	t3 := b.Source("T3")
+	j1 := b.Join(t1, t3, workflow.Attr{Rel: "T1", Col: "j13"}, workflow.Attr{Rel: "T3", Col: "j13"})
+	j2 := b.Join(j1, t2, workflow.Attr{Rel: "T1", Col: "j12"}, workflow.Attr{Rel: "T2", Col: "j12"})
+	b.Sink(j2, "dw")
+	uPlain := buildUniverse(t, b.Graph(), cat, css.Options{})
+	uUD := buildUniverse(t, b.Graph(), cat, css.Options{UnionDivision: true})
+	selPlain, err := Exact(uPlain, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact(plain): %v", err)
+	}
+	selUD, err := Exact(uUD, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact(ud): %v", err)
+	}
+	if selUD.Cost > selPlain.Cost+1e-6 {
+		t.Fatalf("union–division made things worse: %v vs %v", selUD.Cost, selPlain.Cost)
+	}
+}
+
+func TestFreeSourceStatsPreferred(t *testing.T) {
+	g, cat := retail(t)
+	cat.Relation("Product").HasSourceStats = true
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.Options{})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	coster.FreeSourceStats = true
+	u, err := NewUniverse(res, coster)
+	if err != nil {
+		t.Fatalf("NewUniverse: %v", err)
+	}
+	sel, err := Exact(u, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	// All Product statistics are free, so the exact cost must be at most
+	// the non-free optimum, and strictly cheaper than pricing Product's
+	// pid histogram (500 units).
+	coster2 := costmodel.NewMemoryCoster(res, an.Cat)
+	u2, err := NewUniverse(res, coster2)
+	if err != nil {
+		t.Fatalf("NewUniverse: %v", err)
+	}
+	sel2, err := Exact(u2, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if sel.Cost >= sel2.Cost {
+		t.Fatalf("free source stats did not reduce cost: %v vs %v", sel.Cost, sel2.Cost)
+	}
+}
+
+func TestPlanWithBudget(t *testing.T) {
+	g, cat := retail(t)
+	u := buildUniverse(t, g, cat, css.DefaultOptions())
+	// A generous budget: single run.
+	one, err := PlanWithBudget(u, 1<<40)
+	if err != nil {
+		t.Fatalf("PlanWithBudget(large): %v", err)
+	}
+	if one.NumRuns() != 1 {
+		t.Fatalf("large budget needs %d runs, want 1", one.NumRuns())
+	}
+	// A tight budget forces multiple runs; every run must respect it.
+	tight, err := PlanWithBudget(u, 600)
+	if err != nil {
+		t.Fatalf("PlanWithBudget(tight): %v", err)
+	}
+	if tight.NumRuns() < 2 {
+		t.Fatalf("tight budget produced %d runs, want >= 2", tight.NumRuns())
+	}
+	for r, mem := range tight.Memory {
+		if mem > 600 {
+			t.Errorf("run %d uses %d units, above budget 600", r, mem)
+		}
+	}
+	// The learned union across runs must cover S_C.
+	learned := make([]bool, len(u.Stats))
+	for _, run := range tight.Runs {
+		for _, i := range run {
+			learned[i] = true
+		}
+	}
+	if !u.Covered(learned) {
+		t.Fatal("multi-run plan does not cover S_C")
+	}
+	if _, err := PlanWithBudget(u, 0); err == nil {
+		t.Fatal("zero budget: want error")
+	}
+}
+
+func TestSelectDispatch(t *testing.T) {
+	g, cat := retail(t)
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.Options{})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	for _, m := range []Method{MethodAuto, MethodExact, MethodGreedy, MethodLP} {
+		sel, err := Select(res, coster, Options{Method: m})
+		if err != nil {
+			t.Fatalf("Select(%v): %v", m, err)
+		}
+		if len(sel.Observe) == 0 {
+			t.Fatalf("Select(%v): empty selection", m)
+		}
+	}
+}
+
+func TestSelectionDeterministic(t *testing.T) {
+	g, cat := retail(t)
+	u := buildUniverse(t, g, cat, css.DefaultOptions())
+	a, err := Exact(u, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	b, err := Exact(u, ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if a.Cost != b.Cost || len(a.Observe) != len(b.Observe) {
+		t.Fatalf("nondeterministic exact: %v/%d vs %v/%d", a.Cost, len(a.Observe), b.Cost, len(b.Observe))
+	}
+	for i := range a.Observe {
+		if a.Observe[i].Key() != b.Observe[i].Key() {
+			t.Fatalf("selection order differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package selector chooses the optimal set of statistics to observe for an
+// ETL workflow, per Section 5 of the paper: given the statistic universe
+// and candidate statistics sets from package css and observation costs from
+// package costmodel, it finds a minimum-cost set of observable statistics
+// such that the cardinality of every sub-expression is computable. Three
+// solvers are provided: the paper's 0–1 LP formulation (Section 5.2) solved
+// by branch and bound, a combinatorial exact branch and bound with
+// closure-based feasibility, and the greedy heuristic of Section 5.3.
+package selector
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/stats"
+)
+
+// cssEntry is a candidate statistics set with integer-indexed inputs.
+type cssEntry struct {
+	rule   string
+	inputs []int
+}
+
+// Universe is the integer-indexed form of a css.Result: statistics become
+// dense indexes, CSSs become index lists, and costs are precomputed. It is
+// the common substrate of all three solvers.
+type Universe struct {
+	Res *css.Result
+	// Stats lists the statistic universe in deterministic order.
+	Stats []stats.Stat
+	// Index maps statistic keys to indexes in Stats.
+	Index map[stats.Key]int
+	// Observable marks statistics the initial plan can observe.
+	Observable []bool
+	// Cost is the observation cost per statistic (+Inf when unobservable).
+	Cost []float64
+	// Mem is the memory-unit cost per statistic (the Figure 11 metric).
+	Mem []int64
+	// CSS holds each statistic's candidate sets.
+	CSS [][]cssEntry
+	// Required lists S_C as indexes.
+	Required []int
+	// usedBy[i] lists (stat, css ordinal) pairs where statistic i is an
+	// input, for incremental closure propagation.
+	usedBy [][]useRef
+}
+
+type useRef struct{ stat, css int }
+
+// NewUniverse indexes a CSS-generation result with the given coster. It
+// verifies that every required statistic is derivable at all (observable or
+// transitively covered), pruning candidate sets that reference underivable
+// statistics.
+func NewUniverse(res *css.Result, coster *costmodel.Coster) (*Universe, error) {
+	all := res.AllStats()
+	u := &Universe{
+		Res:        res,
+		Stats:      all,
+		Index:      make(map[stats.Key]int, len(all)),
+		Observable: make([]bool, len(all)),
+		Cost:       make([]float64, len(all)),
+		Mem:        make([]int64, len(all)),
+		CSS:        make([][]cssEntry, len(all)),
+		usedBy:     make([][]useRef, len(all)),
+	}
+	for i, s := range all {
+		u.Index[s.Key()] = i
+	}
+	for i, s := range all {
+		k := s.Key()
+		u.Observable[i] = res.Observable[k]
+		// Costs are priced for every statistic, not just currently
+		// observable ones: the Section 6.1 budget planner treats any
+		// statistic as observable in a re-ordered later run.
+		c, err := coster.Cost(s)
+		if err != nil {
+			return nil, fmt.Errorf("selector: cost of %v: %w", k, err)
+		}
+		u.Cost[i] = c
+		m, err := coster.Memory(s)
+		if err != nil {
+			return nil, fmt.Errorf("selector: memory of %v: %w", k, err)
+		}
+		u.Mem[i] = m
+		for _, c := range res.CSS[k] {
+			entry := cssEntry{rule: c.Rule, inputs: make([]int, 0, len(c.Inputs))}
+			ok := true
+			for _, in := range c.Inputs {
+				j, found := u.Index[in.Key()]
+				if !found {
+					ok = false
+					break
+				}
+				entry.inputs = append(entry.inputs, j)
+			}
+			if ok {
+				u.CSS[i] = append(u.CSS[i], entry)
+			}
+		}
+	}
+	for _, s := range res.Required {
+		j, ok := u.Index[s.Key()]
+		if !ok {
+			return nil, fmt.Errorf("selector: required statistic %v missing from universe", s.Key())
+		}
+		u.Required = append(u.Required, j)
+	}
+	u.pruneUnderivable()
+	for i := range u.Stats {
+		for ci, c := range u.CSS[i] {
+			for _, j := range c.inputs {
+				u.usedBy[j] = append(u.usedBy[j], useRef{stat: i, css: ci})
+			}
+		}
+	}
+	// Sanity: every required statistic must be derivable when everything
+	// observable is observed.
+	allObs := make([]bool, len(u.Stats))
+	copy(allObs, u.Observable)
+	closed := u.Closure(allObs)
+	for _, r := range u.Required {
+		if !closed[r] {
+			return nil, fmt.Errorf("selector: required statistic %v not derivable from any observable set",
+				u.Stats[r].Key())
+		}
+	}
+	return u, nil
+}
+
+// pruneUnderivable removes candidate sets whose inputs can never be
+// computed (not observable and, transitively, not derivable), shrinking the
+// models the solvers build.
+func (u *Universe) pruneUnderivable() {
+	possible := make([]bool, len(u.Stats))
+	copy(possible, u.Observable)
+	for changed := true; changed; {
+		changed = false
+		for i := range u.Stats {
+			if possible[i] {
+				continue
+			}
+			for _, c := range u.CSS[i] {
+				all := true
+				for _, j := range c.inputs {
+					if !possible[j] {
+						all = false
+						break
+					}
+				}
+				if all {
+					possible[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := range u.CSS {
+		var kept []cssEntry
+		for _, c := range u.CSS[i] {
+			ok := true
+			for _, j := range c.inputs {
+				if !possible[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		u.CSS[i] = kept
+	}
+}
+
+// Closure computes the set of computable statistics given the observed
+// ones: the least fixpoint of "observed, or some CSS fully computable"
+// (property 1 of Section 5.1). It runs in time linear in total CSS size.
+func (u *Universe) Closure(observed []bool) []bool {
+	computable := make([]bool, len(u.Stats))
+	// remaining[stat][css] counts inputs not yet computable.
+	remaining := make([][]int, len(u.Stats))
+	var queue []int
+	for i := range u.Stats {
+		remaining[i] = make([]int, len(u.CSS[i]))
+		for ci, c := range u.CSS[i] {
+			remaining[i][ci] = len(c.inputs)
+		}
+		if observed[i] {
+			computable[i] = true
+			queue = append(queue, i)
+		}
+	}
+	// Zero-input CSSs (none are generated, but be safe).
+	for i := range u.Stats {
+		if computable[i] {
+			continue
+		}
+		for ci := range u.CSS[i] {
+			if remaining[i][ci] == 0 {
+				computable[i] = true
+				queue = append(queue, i)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ref := range u.usedBy[i] {
+			if computable[ref.stat] {
+				continue
+			}
+			remaining[ref.stat][ref.css]--
+			if remaining[ref.stat][ref.css] == 0 {
+				computable[ref.stat] = true
+				queue = append(queue, ref.stat)
+			}
+		}
+	}
+	return computable
+}
+
+// Covered reports whether every required statistic is computable under the
+// observation set.
+func (u *Universe) Covered(observed []bool) bool {
+	closed := u.Closure(observed)
+	for _, r := range u.Required {
+		if !closed[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// ObservedCost sums the cost of an observation set.
+func (u *Universe) ObservedCost(observed []bool) float64 {
+	var total float64
+	for i, on := range observed {
+		if on {
+			total += u.Cost[i]
+		}
+	}
+	return total
+}
+
+// ObservedMemory sums the memory units of an observation set (the Figure 11
+// metric).
+func (u *Universe) ObservedMemory(observed []bool) int64 {
+	var total int64
+	for i, on := range observed {
+		if on {
+			total += u.Mem[i]
+		}
+	}
+	return total
+}
+
+// StatsOf converts an observation bitset into the statistic list.
+func (u *Universe) StatsOf(observed []bool) []stats.Stat {
+	var out []stats.Stat
+	for i, on := range observed {
+		if on {
+			out = append(out, u.Stats[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the bucketized-histogram extension the paper leaves
+// as future work (Sections 3.1 and 8): real systems cap histogram memory by
+// grouping values into equi-width buckets and storing only per-bucket
+// totals, trading exactness for space. The approximate algebra below
+// supports the error-vs-memory experiment (cmd/experiments -exp=error).
+
+// BucketSpec describes an equi-width bucketization of an integer value
+// domain [Lo, Hi] into N buckets.
+type BucketSpec struct {
+	Lo, Hi int64
+	N      int
+}
+
+// NewBucketSpec builds an equi-width spec; it clamps N to at least 1 and at
+// most the domain size (more buckets than values adds nothing).
+func NewBucketSpec(lo, hi int64, n int) BucketSpec {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	size := hi - lo + 1
+	if int64(n) > size {
+		n = int(size)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return BucketSpec{Lo: lo, Hi: hi, N: n}
+}
+
+// Width returns the (fractional) width of each bucket.
+func (b BucketSpec) Width() float64 {
+	return float64(b.Hi-b.Lo+1) / float64(b.N)
+}
+
+// Bucket maps a value to its bucket index (values outside the range clamp
+// to the edge buckets, as real histogram implementations do).
+func (b BucketSpec) Bucket(v int64) int {
+	if v < b.Lo {
+		return 0
+	}
+	if v > b.Hi {
+		return b.N - 1
+	}
+	idx := int(float64(v-b.Lo) / b.Width())
+	if idx >= b.N {
+		idx = b.N - 1
+	}
+	return idx
+}
+
+// Approx is a bucketized single-attribute histogram: per-bucket total
+// frequencies under the uniform-within-bucket assumption. Its memory
+// footprint is Spec.N counters regardless of the attribute domain.
+type Approx struct {
+	Spec    BucketSpec
+	Totals  []float64
+	rawRows int64
+}
+
+// NewApprox returns an empty bucketized histogram.
+func NewApprox(spec BucketSpec) *Approx {
+	return &Approx{Spec: spec, Totals: make([]float64, spec.N)}
+}
+
+// Bucketize compresses an exact single-attribute histogram into buckets.
+func Bucketize(h *Histogram, spec BucketSpec) (*Approx, error) {
+	if h.Arity() != 1 {
+		return nil, fmt.Errorf("stats: bucketize needs a single-attribute histogram, got arity %d", h.Arity())
+	}
+	a := NewApprox(spec)
+	h.Each(func(vals []int64, f int64) {
+		a.Totals[spec.Bucket(vals[0])] += float64(f)
+		a.rawRows += f
+	})
+	return a, nil
+}
+
+// Add records one observed value (streaming observation).
+func (a *Approx) Add(v int64) {
+	a.Totals[a.Spec.Bucket(v)]++
+	a.rawRows++
+}
+
+// Total returns the summed frequencies (= |T| when observed on T).
+func (a *Approx) Total() float64 {
+	var t float64
+	for _, f := range a.Totals {
+		t += f
+	}
+	return t
+}
+
+// Memory returns the footprint in integer units (one per bucket).
+func (a *Approx) Memory() int64 { return int64(a.Spec.N) }
+
+// ApproxDotProduct estimates |T1 ⋈a T2| from two bucketized histograms over
+// the same spec: within each bucket, values are assumed uniformly spread
+// over the bucket's width, so the expected number of matching pairs is
+// f1·f2/width — the classical equi-width join estimate. Compare rule J1,
+// which is exact when the buckets are single values.
+func ApproxDotProduct(a1, a2 *Approx) (float64, error) {
+	if a1.Spec != a2.Spec {
+		return 0, fmt.Errorf("stats: bucket specs differ: %+v vs %+v", a1.Spec, a2.Spec)
+	}
+	width := a1.Spec.Width()
+	if width < 1 {
+		width = 1
+	}
+	var est float64
+	for i := range a1.Totals {
+		est += a1.Totals[i] * a2.Totals[i] / width
+	}
+	return est, nil
+}
+
+// RelativeError returns |est−truth|/truth (0 when both are zero; +Inf when
+// only the truth is zero).
+func RelativeError(est float64, truth int64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-float64(truth)) / float64(truth)
+}

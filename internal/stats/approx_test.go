@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestBucketSpec(t *testing.T) {
+	spec := NewBucketSpec(1, 100, 10)
+	if spec.N != 10 || spec.Width() != 10 {
+		t.Fatalf("spec = %+v width %v", spec, spec.Width())
+	}
+	if spec.Bucket(1) != 0 || spec.Bucket(10) != 0 || spec.Bucket(11) != 1 || spec.Bucket(100) != 9 {
+		t.Fatalf("bucket boundaries wrong: %d %d %d %d",
+			spec.Bucket(1), spec.Bucket(10), spec.Bucket(11), spec.Bucket(100))
+	}
+	// Out-of-range clamps.
+	if spec.Bucket(-5) != 0 || spec.Bucket(1000) != 9 {
+		t.Fatal("clamping broken")
+	}
+	// More buckets than values collapses to the domain size.
+	small := NewBucketSpec(1, 5, 100)
+	if small.N != 5 {
+		t.Fatalf("N = %d, want 5", small.N)
+	}
+	// Swapped bounds normalize.
+	sw := NewBucketSpec(10, 1, 3)
+	if sw.Lo != 1 || sw.Hi != 10 {
+		t.Fatalf("swapped bounds not normalized: %+v", sw)
+	}
+}
+
+func TestBucketizeAndTotals(t *testing.T) {
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	h := NewHistogram(a)
+	for v := int64(1); v <= 100; v++ {
+		h.Inc([]int64{v}, v%3+1)
+	}
+	spec := NewBucketSpec(1, 100, 4)
+	ap, err := Bucketize(h, spec)
+	if err != nil {
+		t.Fatalf("Bucketize: %v", err)
+	}
+	if ap.Total() != float64(h.Total()) {
+		t.Fatalf("Total = %v, want %v", ap.Total(), h.Total())
+	}
+	if ap.Memory() != 4 {
+		t.Fatalf("Memory = %d, want 4", ap.Memory())
+	}
+	h2 := NewHistogram(a, workflow.Attr{Rel: "T", Col: "b"})
+	if _, err := Bucketize(h2, spec); err == nil {
+		t.Fatal("Bucketize of 2-attr histogram: want error")
+	}
+}
+
+func TestApproxDotProductExactAtFullResolution(t *testing.T) {
+	// One bucket per value ⇒ the approximate estimate equals rule J1.
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	rng := rand.New(rand.NewSource(5))
+	h1 := NewHistogram(a)
+	h2 := NewHistogram(a)
+	for i := 0; i < 3000; i++ {
+		h1.Add(int64(rng.Intn(50) + 1))
+		h2.Add(int64(rng.Intn(50) + 1))
+	}
+	spec := NewBucketSpec(1, 50, 50)
+	a1, _ := Bucketize(h1, spec)
+	a2, _ := Bucketize(h2, spec)
+	est, err := ApproxDotProduct(a1, a2)
+	if err != nil {
+		t.Fatalf("ApproxDotProduct: %v", err)
+	}
+	exact, _ := DotProduct(h1, h2)
+	if math.Abs(est-float64(exact)) > 1e-6 {
+		t.Fatalf("full-resolution estimate %v != exact %v", est, exact)
+	}
+}
+
+func TestApproxErrorShrinksWithBuckets(t *testing.T) {
+	// On skewed data the estimate improves monotonically-ish as buckets
+	// grow; at least the coarsest must be worse than the finest.
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	rng := rand.New(rand.NewSource(9))
+	h1 := NewHistogram(a)
+	h2 := NewHistogram(a)
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(100)*rng.Intn(100)/100 + 1) // skewed toward low values
+		h1.Add(v)
+		h2.Add(int64(rng.Intn(100) + 1))
+	}
+	exact, _ := DotProduct(h1, h2)
+	var errs []float64
+	for _, n := range []int{2, 100} {
+		spec := NewBucketSpec(1, 100, n)
+		a1, _ := Bucketize(h1, spec)
+		a2, _ := Bucketize(h2, spec)
+		est, err := ApproxDotProduct(a1, a2)
+		if err != nil {
+			t.Fatalf("ApproxDotProduct(%d): %v", n, err)
+		}
+		errs = append(errs, RelativeError(est, exact))
+	}
+	if errs[1] > errs[0] {
+		t.Fatalf("error grew with resolution: %v", errs)
+	}
+	if errs[1] > 1e-9 {
+		t.Fatalf("full resolution should be exact, err = %v", errs[1])
+	}
+}
+
+func TestApproxSpecMismatch(t *testing.T) {
+	a1 := NewApprox(NewBucketSpec(1, 10, 2))
+	a2 := NewApprox(NewBucketSpec(1, 20, 2))
+	if _, err := ApproxDotProduct(a1, a2); err == nil {
+		t.Fatal("mismatched specs: want error")
+	}
+}
+
+func TestApproxStreamingAdd(t *testing.T) {
+	spec := NewBucketSpec(1, 10, 5)
+	ap := NewApprox(spec)
+	for v := int64(1); v <= 10; v++ {
+		ap.Add(v)
+	}
+	if ap.Total() != 10 {
+		t.Fatalf("Total = %v", ap.Total())
+	}
+	for i, f := range ap.Totals {
+		if f != 2 {
+			t.Fatalf("bucket %d = %v, want 2", i, f)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(110, 100) != 0.1 {
+		t.Fatal("basic relative error wrong")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(5, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+}
+
+func TestBucketTotalPreservationProperty(t *testing.T) {
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	f := func(vals []uint8, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		h := NewHistogram(a)
+		for _, v := range vals {
+			h.Add(int64(v%50) + 1)
+		}
+		spec := NewBucketSpec(1, 50, n)
+		ap, err := Bucketize(h, spec)
+		if err != nil {
+			return false
+		}
+		return ap.Total() == float64(h.Total())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

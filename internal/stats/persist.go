@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Statistics persistence: an ETL workflow runs on a schedule, usually in a
+// fresh process each time, so the statistics observed in one run must
+// survive to optimize the next (the design-once / execute-repeatedly loop
+// of the paper). The format is a compact little-endian binary stream with a
+// version header; it is deterministic for a given store (values are written
+// in canonical statistic order, histogram buckets in sorted value order).
+
+const (
+	persistMagic   = "ETLSTAT"
+	persistVersion = 1
+)
+
+// WriteTo serializes the store. It implements io.WriterTo.
+func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	if err := writeHeader(cw, st.Len()); err != nil {
+		return cw.n, err
+	}
+	for _, v := range st.Values() {
+		if err := writeValue(cw, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if bw, ok := cw.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadStore deserializes a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("stats: read header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("stats: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("stats: read version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("stats: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("stats: read count: %w", err)
+	}
+	st := NewStore()
+	for i := uint32(0); i < count; i++ {
+		v, err := readValue(br)
+		if err != nil {
+			return nil, fmt.Errorf("stats: value %d: %w", i, err)
+		}
+		if v.Hist != nil {
+			st.PutHist(v.Stat, v.Hist)
+		} else {
+			st.PutScalar(v.Stat, v.Scalar)
+		}
+	}
+	return st, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeHeader(w io.Writer, count int) error {
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(persistVersion)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(count))
+}
+
+func writeValue(w io.Writer, v *Value) error {
+	s := v.Stat
+	if err := binary.Write(w, binary.LittleEndian, uint8(s.Kind)); err != nil {
+		return err
+	}
+	t := s.Target
+	for _, x := range []int64{int64(t.Block), int64(t.Set), int64(t.Depth), int64(t.RejectInput), int64(t.RejectEdge)} {
+		if err := binary.Write(w, binary.LittleEndian, x); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s.Attrs))); err != nil {
+		return err
+	}
+	for _, a := range s.Attrs {
+		if err := writeString(w, a.Rel); err != nil {
+			return err
+		}
+		if err := writeString(w, a.Col); err != nil {
+			return err
+		}
+	}
+	if v.Hist == nil {
+		if err := binary.Write(w, binary.LittleEndian, uint8(0)); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, v.Scalar)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(1)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(v.Hist.Buckets())); err != nil {
+		return err
+	}
+	var werr error
+	v.Hist.EachSorted(func(vals []int64, freq int64) {
+		if werr != nil {
+			return
+		}
+		for _, x := range vals {
+			if werr = binary.Write(w, binary.LittleEndian, x); werr != nil {
+				return
+			}
+		}
+		werr = binary.Write(w, binary.LittleEndian, freq)
+	})
+	return werr
+}
+
+func readValue(r io.Reader) (*Value, error) {
+	var kind uint8
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return nil, err
+	}
+	var block, set, depth, rejIn, rejEdge int64
+	for _, p := range []*int64{&block, &set, &depth, &rejIn, &rejEdge} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	var nAttrs uint16
+	if err := binary.Read(r, binary.LittleEndian, &nAttrs); err != nil {
+		return nil, err
+	}
+	attrs := make([]workflow.Attr, nAttrs)
+	for i := range attrs {
+		rel, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		col, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = workflow.Attr{Rel: rel, Col: col}
+	}
+	target := Target{
+		Block:       int(block),
+		Set:         expr.Set(set),
+		Depth:       int(depth),
+		RejectInput: int(rejIn),
+		RejectEdge:  int(rejEdge),
+	}
+	s := Stat{Kind: Kind(kind), Target: target, Attrs: canonAttrs(attrs)}
+	var hasHist uint8
+	if err := binary.Read(r, binary.LittleEndian, &hasHist); err != nil {
+		return nil, err
+	}
+	if hasHist == 0 {
+		var scalar int64
+		if err := binary.Read(r, binary.LittleEndian, &scalar); err != nil {
+			return nil, err
+		}
+		return &Value{Stat: s, Scalar: scalar}, nil
+	}
+	var buckets uint32
+	if err := binary.Read(r, binary.LittleEndian, &buckets); err != nil {
+		return nil, err
+	}
+	h := NewHistogram(s.Attrs...)
+	vals := make([]int64, len(s.Attrs))
+	for b := uint32(0); b < buckets; b++ {
+		for i := range vals {
+			if err := binary.Read(r, binary.LittleEndian, &vals[i]); err != nil {
+				return nil, err
+			}
+		}
+		var freq int64
+		if err := binary.Read(r, binary.LittleEndian, &freq); err != nil {
+			return nil, err
+		}
+		h.Inc(vals, freq)
+	}
+	return &Value{Stat: s, Hist: h}, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("stats: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func sampleStore() *Store {
+	a := workflow.Attr{Rel: "Orders", Col: "cid"}
+	b := workflow.Attr{Rel: "Orders", Col: "pid"}
+	st := NewStore()
+	st.PutScalar(NewCard(SE(expr.NewSet(0))), 12345)
+	st.PutScalar(NewCard(BlockSE(2, expr.NewSet(0, 1))), 77)
+	st.PutScalar(NewDistinct(SE(expr.NewSet(1)), a), 42)
+	st.PutScalar(NewCard(BlockRejectSE(0, expr.NewSet(0, 2), 0, 1)), 9)
+	st.PutScalar(NewCard(ChainPoint(1, 0, 2)), 3)
+	h := NewHistogram(a, b)
+	h.Inc([]int64{1, 10}, 5)
+	h.Inc([]int64{-3, 20}, 2)
+	h.Inc([]int64{7, 10}, 1)
+	st.PutHist(NewHist(SE(expr.NewSet(0)), a, b), h)
+	return st
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	st := sampleStore()
+	var buf bytes.Buffer
+	n, err := st.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if back.Len() != st.Len() {
+		t.Fatalf("round trip lost values: %d vs %d", back.Len(), st.Len())
+	}
+	for _, v := range st.Values() {
+		if v.Hist == nil {
+			got, err := back.Scalar(v.Stat)
+			if err != nil || got != v.Scalar {
+				t.Errorf("scalar %v: got %d, %v; want %d", v.Stat.Key(), got, err, v.Scalar)
+			}
+			continue
+		}
+		got, err := back.Hist(v.Stat)
+		if err != nil {
+			t.Errorf("hist %v: %v", v.Stat.Key(), err)
+			continue
+		}
+		if got.Buckets() != v.Hist.Buckets() || got.Total() != v.Hist.Total() {
+			t.Errorf("hist %v: %d/%d buckets, %d/%d total",
+				v.Stat.Key(), got.Buckets(), v.Hist.Buckets(), got.Total(), v.Hist.Total())
+		}
+		v.Hist.Each(func(vals []int64, f int64) {
+			if got.Freq(vals...) != f {
+				t.Errorf("hist %v: bucket %v = %d, want %d", v.Stat.Key(), vals, got.Freq(vals...), f)
+			}
+		})
+	}
+}
+
+func TestPersistDeterministic(t *testing.T) {
+	st := sampleStore()
+	var a, b bytes.Buffer
+	if _, err := st.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestPersistErrors(t *testing.T) {
+	if _, err := ReadStore(strings.NewReader("")); err == nil {
+		t.Fatal("empty input: want error")
+	}
+	if _, err := ReadStore(strings.NewReader("NOTMAGIC-----")); err == nil {
+		t.Fatal("bad magic: want error")
+	}
+	// Truncated stream after a valid header.
+	st := sampleStore()
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadStore(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated input: want error")
+	}
+}
+
+func TestPersistQuickScalars(t *testing.T) {
+	f := func(vals []int64) bool {
+		st := NewStore()
+		for i, v := range vals {
+			if i > 30 {
+				break
+			}
+			st.PutScalar(NewCard(BlockSE(i%3, expr.NewSet(i%8))), v)
+		}
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadStore(&buf)
+		if err != nil || back.Len() != st.Len() {
+			return false
+		}
+		for _, v := range st.Values() {
+			got, err := back.Scalar(v.Stat)
+			if err != nil || got != v.Scalar {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftMeasurement(t *testing.T) {
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	mk := func(card int64, histVals map[int64]int64) *Store {
+		st := NewStore()
+		st.PutScalar(NewCard(SE(expr.NewSet(0))), card)
+		h := NewHistogram(a)
+		for v, f := range histVals {
+			h.Inc([]int64{v}, f)
+		}
+		st.PutHist(NewHist(SE(expr.NewSet(0)), a), h)
+		return st
+	}
+	old := mk(100, map[int64]int64{1: 50, 2: 50})
+
+	// Identical stores: zero drift.
+	d := MeasureDrift(old, mk(100, map[int64]int64{1: 50, 2: 50}))
+	if d.MaxRel != 0 || d.Shared != 2 {
+		t.Fatalf("identical drift = %+v", d)
+	}
+	if d.Exceeds(0.01) {
+		t.Fatal("identical stores should not exceed any threshold")
+	}
+
+	// Cardinality doubled: 0.5 relative change.
+	d = MeasureDrift(old, mk(200, map[int64]int64{1: 50, 2: 50}))
+	if d.MaxRel != 0.5 {
+		t.Fatalf("doubled card drift = %v, want 0.5", d.MaxRel)
+	}
+	if !d.Exceeds(0.3) {
+		t.Fatal("0.5 drift must exceed 0.3")
+	}
+
+	// Completely shifted distribution: histogram drift near 1.
+	d = MeasureDrift(old, mk(100, map[int64]int64{7: 50, 8: 50}))
+	if d.MaxRel < 0.99 {
+		t.Fatalf("disjoint hist drift = %v, want ≈1", d.MaxRel)
+	}
+
+	// Differing instrumentation is counted, not compared.
+	other := NewStore()
+	other.PutScalar(NewCard(SE(expr.NewSet(5))), 1)
+	d = MeasureDrift(old, other)
+	if d.Shared != 0 || d.OnlyOld != 2 || d.OnlyNew != 1 {
+		t.Fatalf("disjoint stores drift = %+v", d)
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestStatKeyIdentity(t *testing.T) {
+	a := workflow.Attr{Rel: "T1", Col: "a"}
+	b := workflow.Attr{Rel: "T1", Col: "b"}
+	s1 := NewHist(SE(expr.NewSet(0, 1)), a, b)
+	s2 := NewHist(SE(expr.NewSet(0, 1)), b, a) // order must not matter
+	if s1.Key() != s2.Key() {
+		t.Fatalf("keys differ for same stat: %v vs %v", s1.Key(), s2.Key())
+	}
+	s3 := NewHist(SE(expr.NewSet(0)), a, b)
+	if s1.Key() == s3.Key() {
+		t.Fatal("different SEs must have different keys")
+	}
+	s4 := NewCard(SE(expr.NewSet(0, 1)))
+	if s1.Key() == s4.Key() {
+		t.Fatal("different kinds must have different keys")
+	}
+	s5 := NewHist(RejectSE(expr.NewSet(0, 1), 0, 2), a, b)
+	if s1.Key() == s5.Key() {
+		t.Fatal("reject targets must have different keys")
+	}
+}
+
+func TestTargetLabel(t *testing.T) {
+	blk := &workflow.Block{Inputs: []workflow.BlockInput{
+		{Name: "T1"}, {Name: "T2"}, {Name: "T3"},
+	}}
+	if got := SE(expr.NewSet(0, 2)).Label(blk); got != "T1⋈T3" {
+		t.Fatalf("Label = %q", got)
+	}
+	rej := RejectSE(expr.NewSet(0, 1), 0, 3)
+	if got := rej.Label(blk); got != "!T1(e3)⋈T2" {
+		t.Fatalf("reject label = %q", got)
+	}
+	if !rej.IsReject() || SE(expr.NewSet(0)).IsReject() {
+		t.Fatal("IsReject broken")
+	}
+}
+
+func TestStatLabel(t *testing.T) {
+	blk := &workflow.Block{Inputs: []workflow.BlockInput{{Name: "Orders"}, {Name: "Customer"}}}
+	a := workflow.Attr{Rel: "Orders", Col: "cid"}
+	if got := NewCard(SE(expr.NewSet(0, 1))).Label(blk); got != "|Orders⋈Customer|" {
+		t.Fatalf("card label = %q", got)
+	}
+	if got := NewHist(SE(expr.NewSet(0)), a).Label(blk); got != "H^{Orders.cid}_{Orders}" {
+		t.Fatalf("hist label = %q", got)
+	}
+	if got := NewDistinct(SE(expr.NewSet(0)), a).Label(blk); got != "|Orders.cid_{Orders}|" {
+		t.Fatalf("distinct label = %q", got)
+	}
+}
+
+func TestCSSLabelAndKeys(t *testing.T) {
+	blk := &workflow.Block{Inputs: []workflow.BlockInput{{Name: "A"}, {Name: "B"}}}
+	a := workflow.Attr{Rel: "A", Col: "x"}
+	css := CSS{Rule: "J1", Inputs: []Stat{
+		NewHist(SE(expr.NewSet(0)), a),
+		NewHist(SE(expr.NewSet(1)), a),
+	}}
+	if got := css.Label(blk); got != "J1{H^{A.x}_{A}, H^{A.x}_{B}}" {
+		t.Fatalf("CSS label = %q", got)
+	}
+	if got := len(css.Keys()); got != 2 {
+		t.Fatalf("Keys len = %d", got)
+	}
+}
+
+func TestStoreScalarHist(t *testing.T) {
+	st := NewStore()
+	card := NewCard(SE(expr.NewSet(0)))
+	st.PutScalar(card, 42)
+	v, err := st.Scalar(card)
+	if err != nil || v != 42 {
+		t.Fatalf("Scalar = %d, %v", v, err)
+	}
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	hs := NewHist(SE(expr.NewSet(0)), a)
+	h := NewHistogram(a)
+	h.Add(1)
+	st.PutHist(hs, h)
+	got, err := st.Hist(hs)
+	if err != nil || got.Total() != 1 {
+		t.Fatalf("Hist: %v, %v", got, err)
+	}
+	if !st.Has(card) || !st.Has(hs) {
+		t.Fatal("Has broken")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if _, err := st.Scalar(NewCard(SE(expr.NewSet(5)))); err == nil {
+		t.Fatal("Scalar of missing stat: want error")
+	}
+	if _, err := st.Hist(NewHist(SE(expr.NewSet(5)), a)); err == nil {
+		t.Fatal("Hist of missing stat: want error")
+	}
+	if _, err := st.Scalar(hs); err == nil {
+		t.Fatal("Scalar of histogram stat: want error")
+	}
+	// Memory: one scalar + one bucket = 2 units.
+	if got := st.MemoryUnits(); got != 2 {
+		t.Fatalf("MemoryUnits = %d, want 2", got)
+	}
+}
+
+func TestStoreValuesDeterministic(t *testing.T) {
+	st := NewStore()
+	for i := 5; i >= 0; i-- {
+		st.PutScalar(NewCard(SE(expr.NewSet(i))), int64(i))
+	}
+	vals := st.Values()
+	for i := 1; i < len(vals); i++ {
+		if !keyLess(vals[i-1].Stat.Key(), vals[i].Stat.Key()) {
+			t.Fatal("Values not sorted")
+		}
+	}
+}
+
+func TestStorePutPanics(t *testing.T) {
+	st := NewStore()
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PutScalar(hist stat) should panic")
+			}
+		}()
+		st.PutScalar(NewHist(SE(expr.NewSet(0)), a), 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PutHist(card stat) should panic")
+			}
+		}()
+		st.PutHist(NewCard(SE(expr.NewSet(0))), NewHistogram(a))
+	}()
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Value is an observed statistic value: a scalar for cardinalities and
+// distinct counts, a histogram for distributions.
+type Value struct {
+	Stat   Stat
+	Scalar int64
+	Hist   *Histogram
+}
+
+// Store holds observed (or derived) statistic values keyed by statistic
+// identity. It is the hand-off point between the instrumented execution of
+// the initial plan and the optimizer's estimation layer.
+type Store struct {
+	m map[Key]*Value
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[Key]*Value)} }
+
+// Len returns the number of stored statistics.
+func (st *Store) Len() int { return len(st.m) }
+
+// Has reports whether the statistic is present.
+func (st *Store) Has(s Stat) bool {
+	_, ok := st.m[s.Key()]
+	return ok
+}
+
+// PutScalar records a cardinality or distinct-count observation.
+func (st *Store) PutScalar(s Stat, v int64) {
+	if s.Kind == Hist {
+		panic("PutScalar on histogram statistic")
+	}
+	st.m[s.Key()] = &Value{Stat: s, Scalar: v}
+}
+
+// PutHist records a histogram observation.
+func (st *Store) PutHist(s Stat, h *Histogram) {
+	if s.Kind != Hist {
+		panic("PutHist on scalar statistic")
+	}
+	st.m[s.Key()] = &Value{Stat: s, Hist: h}
+}
+
+// Scalar returns the scalar value of a cardinality or distinct statistic.
+func (st *Store) Scalar(s Stat) (int64, error) {
+	v, ok := st.m[s.Key()]
+	if !ok {
+		return 0, fmt.Errorf("statistic not in store: %v", s.Key())
+	}
+	if s.Kind == Hist {
+		return 0, fmt.Errorf("statistic %v is a histogram", s.Key())
+	}
+	return v.Scalar, nil
+}
+
+// Hist returns the histogram value of a distribution statistic.
+func (st *Store) Hist(s Stat) (*Histogram, error) {
+	v, ok := st.m[s.Key()]
+	if !ok {
+		return nil, fmt.Errorf("statistic not in store: %v", s.Key())
+	}
+	if v.Hist == nil {
+		return nil, fmt.Errorf("statistic %v is not a histogram", s.Key())
+	}
+	return v.Hist, nil
+}
+
+// Values returns all stored values in a deterministic order.
+func (st *Store) Values() []*Value {
+	out := make([]*Value, 0, len(st.m))
+	for _, v := range st.m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Stat.Key(), out[j].Stat.Key()) })
+	return out
+}
+
+func keyLess(a, b Key) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	if a.Set != b.Set {
+		return a.Set < b.Set
+	}
+	if a.Depth != b.Depth {
+		return a.Depth < b.Depth
+	}
+	if a.RejectInput != b.RejectInput {
+		return a.RejectInput < b.RejectInput
+	}
+	if a.RejectEdge != b.RejectEdge {
+		return a.RejectEdge < b.RejectEdge
+	}
+	return a.Attrs < b.Attrs
+}
+
+// Merge copies every value from other that st does not already hold;
+// the pay-as-you-go baseline accumulates observations across runs with it.
+func (st *Store) Merge(other *Store) {
+	for k, v := range other.m {
+		if _, ok := st.m[k]; !ok {
+			st.m[k] = v
+		}
+	}
+}
+
+// MemoryUnits returns the actual memory footprint of the stored statistics
+// in abstract integer units: one per scalar, one per histogram bucket. The
+// a-priori cost model of Section 5.4 bounds this by domain-size products;
+// this accessor reports what the observation actually used.
+func (st *Store) MemoryUnits() int64 {
+	var total int64
+	for _, v := range st.m {
+		if v.Hist != nil {
+			total += int64(v.Hist.Buckets())
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+// Dump renders the store's contents for debugging and reports.
+func (st *Store) Dump(b *workflow.Block) string {
+	out := ""
+	for _, v := range st.Values() {
+		if v.Hist != nil {
+			out += fmt.Sprintf("%s: %d buckets, total %d\n", v.Stat.Label(b), v.Hist.Buckets(), v.Hist.Total())
+		} else {
+			out += fmt.Sprintf("%s = %d\n", v.Stat.Label(b), v.Scalar)
+		}
+	}
+	return out
+}

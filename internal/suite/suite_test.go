@@ -1,0 +1,220 @@
+package suite
+
+import (
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestAllWorkflowsAnalyze(t *testing.T) {
+	wfs := All()
+	if len(wfs) != 30 {
+		t.Fatalf("suite has %d workflows, want 30", len(wfs))
+	}
+	for _, w := range wfs {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if err := w.Graph.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			an, err := w.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if len(an.Blocks) == 0 {
+				t.Fatal("no blocks")
+			}
+		})
+	}
+}
+
+func TestAllWorkflowsGenerateAndSelect(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			an, err := w.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			for _, opt := range []css.Options{{}, css.DefaultOptions()} {
+				res, err := css.Generate(an, opt)
+				if err != nil {
+					t.Fatalf("Generate(%+v): %v", opt, err)
+				}
+				if res.NumSEs() == 0 {
+					t.Fatal("no SEs")
+				}
+				coster := costmodel.NewMemoryCoster(res, an.Cat)
+				sel, err := selector.Select(res, coster, selector.Options{Method: selector.MethodGreedy})
+				if err != nil {
+					t.Fatalf("Select(greedy, %+v): %v", opt, err)
+				}
+				if len(sel.Observe) == 0 {
+					t.Fatal("empty selection")
+				}
+			}
+		})
+	}
+}
+
+func TestWorkflowDeterminism(t *testing.T) {
+	a := Get(21)
+	b := Get(21)
+	if len(a.Graph.Nodes) != len(b.Graph.Nodes) {
+		t.Fatal("nondeterministic graph construction")
+	}
+	da := a.Data(0.01)
+	db := b.Data(0.01)
+	for rel, ta := range da {
+		tb := db[rel]
+		if tb == nil || ta.Card() != tb.Card() {
+			t.Fatalf("nondeterministic data for %s", rel)
+		}
+		for i := range ta.Rows {
+			for j := range ta.Rows[i] {
+				if ta.Rows[i][j] != tb.Rows[i][j] {
+					t.Fatalf("row mismatch in %s", rel)
+				}
+			}
+		}
+	}
+}
+
+func TestAnecdoteShapes(t *testing.T) {
+	// wf21 is the widest join in the suite (8 inputs in one block).
+	an21, err := Get(21).Analyze()
+	if err != nil {
+		t.Fatalf("Analyze(21): %v", err)
+	}
+	max21 := 0
+	for _, b := range an21.Blocks {
+		if b.NumInputs() > max21 {
+			max21 = b.NumInputs()
+		}
+	}
+	if max21 != 8 {
+		t.Fatalf("wf21 widest block = %d inputs, want 8", max21)
+	}
+	// wf30 has a 6-input block.
+	an30, err := Get(30).Analyze()
+	if err != nil {
+		t.Fatalf("Analyze(30): %v", err)
+	}
+	max30 := 0
+	for _, b := range an30.Blocks {
+		if b.NumInputs() > max30 {
+			max30 = b.NumInputs()
+		}
+	}
+	if max30 != 6 {
+		t.Fatalf("wf30 widest block = %d inputs, want 6", max30)
+	}
+	// wf08 (Figure 3) has three blocks.
+	an8, err := Get(8).Analyze()
+	if err != nil {
+		t.Fatalf("Analyze(8): %v", err)
+	}
+	if len(an8.Blocks) != 3 {
+		t.Fatalf("wf08 has %d blocks, want 3", len(an8.Blocks))
+	}
+	// wf01 and wf02 are linear: exactly one plan each.
+	for _, id := range []int{1, 2} {
+		an, err := Get(id).Analyze()
+		if err != nil {
+			t.Fatalf("Analyze(%d): %v", id, err)
+		}
+		for _, b := range an.Blocks {
+			if len(b.Joins) != 0 {
+				t.Errorf("wf%02d should be join-free", id)
+			}
+		}
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(31) should panic")
+		}
+	}()
+	Get(31)
+}
+
+func TestSuiteJSONRoundTrip(t *testing.T) {
+	// Every suite workflow must survive the interchange format and analyze
+	// to the same block structure afterwards.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			doc := &workflow.Document{Workflow: w.Graph, Catalog: w.Catalog}
+			raw, err := doc.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			back, err := workflow.Unmarshal(raw)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			an1, err := w.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze original: %v", err)
+			}
+			an2, err := workflow.Analyze(back.Workflow, back.Catalog)
+			if err != nil {
+				t.Fatalf("Analyze round-tripped: %v", err)
+			}
+			if len(an1.Blocks) != len(an2.Blocks) {
+				t.Fatalf("blocks changed: %d vs %d", len(an1.Blocks), len(an2.Blocks))
+			}
+			for i := range an1.Blocks {
+				if len(an1.Blocks[i].Inputs) != len(an2.Blocks[i].Inputs) ||
+					len(an1.Blocks[i].Joins) != len(an2.Blocks[i].Joins) {
+					t.Fatalf("block %d structure changed", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteGoldenStructure pins each workflow's analyzed shape: block
+// count, widest join, and total join edges. Any unintended change to the
+// suite (which every figure depends on) fails here first.
+func TestSuiteGoldenStructure(t *testing.T) {
+	type shape struct{ blocks, widest, joins int }
+	golden := map[int]shape{}
+	for _, w := range All() {
+		an, err := w.Analyze()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		s := shape{blocks: len(an.Blocks)}
+		for _, b := range an.Blocks {
+			if b.NumInputs() > s.widest {
+				s.widest = b.NumInputs()
+			}
+			s.joins += len(b.Joins)
+		}
+		golden[w.ID] = s
+	}
+	want := map[int]shape{
+		1: {1, 1, 0}, 2: {1, 1, 0}, 3: {1, 3, 2}, 4: {1, 4, 3}, 5: {1, 4, 3},
+		6: {2, 2, 2}, 7: {2, 2, 2}, 8: {3, 2, 3}, 9: {1, 5, 4}, 10: {1, 5, 4},
+		11: {1, 3, 2}, 12: {1, 6, 5}, 13: {2, 2, 2}, 14: {2, 2, 2}, 15: {2, 3, 3},
+		16: {1, 6, 5}, 17: {1, 5, 4}, 18: {2, 4, 4}, 19: {1, 6, 5}, 20: {1, 7, 6},
+		21: {1, 8, 7}, 22: {1, 5, 4}, 23: {1, 3, 2}, 24: {3, 4, 5}, 25: {2, 4, 5},
+		26: {1, 7, 6}, 27: {1, 5, 4}, 28: {1, 6, 5}, 29: {2, 6, 6}, 30: {1, 6, 5},
+	}
+	for id, g := range golden {
+		w, ok := want[id]
+		if !ok {
+			t.Errorf("wf%02d: no golden shape recorded: %+v", id, g)
+			continue
+		}
+		if g != w {
+			t.Errorf("wf%02d: shape %+v, golden %+v", id, g, w)
+		}
+	}
+}

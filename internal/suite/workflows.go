@@ -1,0 +1,458 @@
+package suite
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// --- shape helpers -------------------------------------------------------
+
+// starJoin joins a fact relation with n-1 dimensions, each on its own key.
+// It sets w.last to the final join.
+func starJoin(w *wfBuilder, n int, domHi int64, fk bool) {
+	keys := map[string]int64{}
+	doms := make([]int64, n-1)
+	for i := 1; i < n; i++ {
+		doms[i-1] = w.sz.dom(domHi)
+		keys[fmt.Sprintf("k%d", i)] = doms[i-1]
+	}
+	fact := w.relation("Fact", w.sz.card(), keys)
+	cur := fact
+	for i := 1; i < n; i++ {
+		name := fmt.Sprintf("Dim%d", i)
+		var dim workflow.NodeID
+		if fk {
+			dim = w.lookupRelation(name, doms[i-1], "k")
+		} else {
+			dim = w.relation(name, w.sz.dom(doms[i-1])+102, map[string]int64{"k": doms[i-1]})
+		}
+		fa := w.attr("Fact", fmt.Sprintf("k%d", i))
+		da := w.attr(name, "k")
+		if fk {
+			cur = w.b.FKJoin(cur, dim, fa, da)
+		} else {
+			cur = w.b.Join(cur, dim, fa, da)
+		}
+	}
+	w.last = cur
+}
+
+// chainJoin joins R0-R1-...-R(n-1) along a path.
+func chainJoin(w *wfBuilder, n int, domHi int64) {
+	doms := make([]int64, n)
+	for i := range doms {
+		doms[i] = w.sz.dom(domHi)
+	}
+	var cur workflow.NodeID
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("R%d", i)
+		keys := map[string]int64{}
+		if i > 0 {
+			keys[fmt.Sprintf("p%d", i)] = doms[i-1] // joins previous
+		}
+		if i < n-1 {
+			keys[fmt.Sprintf("n%d", i)] = doms[i] // joins next
+		}
+		src := w.relation(name, w.sz.card(), keys)
+		if i == 0 {
+			cur = src
+			continue
+		}
+		prev := fmt.Sprintf("R%d", i-1)
+		cur = w.b.Join(cur, src, w.attr(prev, fmt.Sprintf("n%d", i-1)), w.attr(name, fmt.Sprintf("p%d", i)))
+	}
+	w.last = cur
+}
+
+// --- the thirty workflows ------------------------------------------------
+
+var _ = register(1, func(id int) *Workflow {
+	w := newWF(id, "wf01-linear-filter")
+	src := w.relation("Trade", w.sz.card(), map[string]int64{"sym": w.sz.dom(5000)})
+	w.last = w.b.Select(src, workflow.Predicate{Attr: w.attr("Trade", "sym"), Op: workflow.CmpLe, Const: 1000})
+	return w.done("linear single-relation filter; exactly one plan")
+})
+
+var _ = register(2, func(id int) *Workflow {
+	w := newWF(id, "wf02-linear-cleanse")
+	src := w.relation("CustomerRaw", w.sz.card(), map[string]int64{"region": w.sz.dom(500)})
+	f := w.b.Select(src, workflow.Predicate{Attr: w.attr("CustomerRaw", "region"), Op: workflow.CmpGt, Const: 10})
+	x := w.b.Transform(f, "scramble", w.attr("X", "clean"), w.attr("CustomerRaw", "val"))
+	w.last = w.b.Project(x, w.attr("CustomerRaw", "id"), w.attr("X", "clean"))
+	return w.done("linear cleanse chain: select, UDF, project; one plan")
+})
+
+var _ = register(3, func(id int) *Workflow {
+	// Union–division showcase: T1 joins T3 on a tiny key and T2 on a huge
+	// key. The initial plan is (T1⋈T3)⋈T2, so |T1⋈T2| is unobservable;
+	// without union–division it needs the huge-key histograms, with it a
+	// tiny histogram pair plus a reject counter suffices.
+	w := newWF(id, "wf03-union-division-win")
+	t1 := w.relation("T1", 180000, map[string]int64{"j13": 150, "j12": 400000})
+	t3 := w.relation("T3", 4000, map[string]int64{"j13": 150})
+	t2 := w.relation("T2", 90000, map[string]int64{"j12": 400000})
+	j1 := w.b.Join(t1, t3, w.attr("T1", "j13"), w.attr("T3", "j13"))
+	w.last = w.b.Join(j1, t2, w.attr("T1", "j12"), w.attr("T2", "j12"))
+	return w.done("3-way join with a huge join-key domain; union–division slashes the memory optimum (paper: 1,811,197 → 29,922)")
+})
+
+var _ = register(4, func(id int) *Workflow {
+	w := newWF(id, "wf04-star-lookups")
+	starJoin(w, 4, 4000, true)
+	return w.done("4-way star of foreign-key look-ups")
+})
+
+var _ = register(5, func(id int) *Workflow {
+	w := newWF(id, "wf05-chain4")
+	chainJoin(w, 4, 800)
+	return w.done("4-way chain join")
+})
+
+var _ = register(6, func(id int) *Workflow {
+	w := newWF(id, "wf06-aggregate-boundary")
+	t1 := w.relation("Orders", w.sz.card(), map[string]int64{"pid": w.sz.dom(2000), "cid": w.sz.dom(1500)})
+	t2 := w.relation("Product", w.sz.dom(3000)+102, map[string]int64{"pid": w.sz.dom(2000)})
+	t3 := w.relation("Customer", w.sz.dom(2500)+102, map[string]int64{"cid": w.sz.dom(1500)})
+	// Product/Orders domains must match for the join: reuse catalog values.
+	pidDom := w.cat.Relation("Orders").Column("pid").Domain
+	cidDom := w.cat.Relation("Orders").Column("cid").Domain
+	w.cat.Relation("Product").Column("pid").Domain = pidDom
+	w.specs[1].Columns[1].Domain = pidDom
+	w.cat.Relation("Customer").Column("cid").Domain = cidDom
+	w.specs[2].Columns[1].Domain = cidDom
+	j1 := w.b.Join(t1, t2, w.attr("Orders", "pid"), w.attr("Product", "pid"))
+	g := w.b.GroupBy(j1, w.attr("Orders", "cid"))
+	w.last = w.b.Join(g, t3, w.attr("Orders", "cid"), w.attr("Customer", "cid"))
+	return w.done("group-by boundary between two joins: two optimizable blocks, G1/G2 rules apply")
+})
+
+var _ = register(7, func(id int) *Workflow {
+	w := newWF(id, "wf07-reject-link")
+	dom := w.sz.dom(2000)
+	d2 := w.sz.dom(1200)
+	t1 := w.relation("Feed", w.sz.card(), map[string]int64{"k": dom, "m": d2})
+	t2 := w.relation("Ref", w.sz.dom(4000)+102, map[string]int64{"k": dom})
+	t3 := w.relation("Hist", w.sz.card(), map[string]int64{"m": d2})
+	j1 := w.b.RejectJoin(t1, t2, w.attr("Feed", "k"), w.attr("Ref", "k"))
+	w.last = w.b.Join(j1, t3, w.attr("Feed", "m"), w.attr("Hist", "m"))
+	return w.done("materialized reject link pins the first join; two blocks")
+})
+
+var _ = register(8, func(id int) *Workflow {
+	// Figure 3 of the paper: reject join, then a join, then a UDF deriving
+	// a downstream join attribute: three optimizable blocks.
+	w := newWF(id, "wf08-figure3")
+	aDom := w.sz.dom(1500)
+	bDom := w.sz.dom(1200)
+	cDom := w.sz.dom(900)
+	t1 := w.relation("T1", w.sz.card(), map[string]int64{"a": aDom, "b": bDom})
+	t2 := w.relation("T2", w.sz.dom(5000)+102, map[string]int64{"a": aDom})
+	t3 := w.relation("T3", w.sz.dom(4000)+102, map[string]int64{"b": bDom})
+	t4 := w.relation("T4", w.sz.dom(3000)+102, map[string]int64{"c": cDom})
+	j1 := w.b.RejectJoin(t1, t2, w.attr("T1", "a"), w.attr("T2", "a"))
+	j2 := w.b.Join(j1, t3, w.attr("T1", "b"), w.attr("T3", "b"))
+	x := w.b.Transform(j2, "bucket10", w.attr("U", "c"), w.attr("T1", "val"), w.attr("T2", "val"))
+	w.cat.AddDerived(w.attr("U", "c"), cDom)
+	w.last = w.b.Join(x, t4, w.attr("U", "c"), w.attr("T4", "c"))
+	return w.done("the paper's Figure 3: reject link + pinned UDF ⇒ three blocks")
+})
+
+var _ = register(9, func(id int) *Workflow {
+	w := newWF(id, "wf09-star5-filtered")
+	starJoin(w, 5, 120, false)
+	// Filter two dimensions (selects push down to their inputs).
+	g := w.b.Graph()
+	d1 := w.cat.Relation("Dim1")
+	_ = d1
+	f1 := w.b.Select(w.last, workflow.Predicate{Attr: w.attr("Dim1", "val"), Op: workflow.CmpGt, Const: 50})
+	f2 := w.b.Select(f1, workflow.Predicate{Attr: w.attr("Dim2", "val"), Op: workflow.CmpLe, Const: 800})
+	w.last = f2
+	_ = g
+	return w.done("5-way star with selections pushed onto two dimensions")
+})
+
+var _ = register(10, func(id int) *Workflow {
+	w := newWF(id, "wf10-chain5-transforms")
+	chainJoin(w, 5, 600)
+	x := w.b.Transform(w.last, "sum", w.attr("U", "total"), w.attr("R0", "val"), w.attr("R4", "val"))
+	w.last = x
+	return w.done("5-way chain with a floating (non-pinned) transform on top")
+})
+
+var _ = register(11, func(id int) *Workflow {
+	// Figure 7's amortization: T1 joins T2 and T3 on the SAME attribute, so
+	// H^a_{T1} is shared between the two join estimates.
+	w := newWF(id, "wf11-shared-key")
+	dom := w.sz.dom(3000)
+	t1 := w.relation("Hub", w.sz.card(), map[string]int64{"a": dom})
+	t2 := w.relation("SatA", w.sz.dom(6000)+102, map[string]int64{"a": dom})
+	t3 := w.relation("SatB", w.sz.dom(6000)+102, map[string]int64{"a": dom})
+	j1 := w.b.Join(t1, t2, w.attr("Hub", "a"), w.attr("SatA", "a"))
+	w.last = w.b.Join(j1, t3, w.attr("Hub", "a"), w.attr("SatB", "a"))
+	return w.done("shared join attribute: the Figure 7 cost-amortization case")
+})
+
+var _ = register(12, func(id int) *Workflow {
+	w := newWF(id, "wf12-snowflake6")
+	starJoin(w, 4, 400, false)
+	// Hang a chain off Dim1 and Dim2 (snowflake arms).
+	arm1Dom := w.sz.dom(1000)
+	arm2Dom := w.sz.dom(800)
+	w.cat.Relation("Dim1").Columns = append(w.cat.Relation("Dim1").Columns, workflow.Column{Name: "sub", Domain: arm1Dom})
+	w.specs[1].Columns = append(w.specs[1].Columns, colSpec("sub", arm1Dom))
+	w.cat.Relation("Dim2").Columns = append(w.cat.Relation("Dim2").Columns, workflow.Column{Name: "sub", Domain: arm2Dom})
+	w.specs[2].Columns = append(w.specs[2].Columns, colSpec("sub", arm2Dom))
+	a1 := w.relation("Arm1", w.sz.dom(3000)+102, map[string]int64{"sub": arm1Dom})
+	a2 := w.relation("Arm2", w.sz.dom(3000)+102, map[string]int64{"sub": arm2Dom})
+	j1 := w.b.Join(w.last, a1, w.attr("Dim1", "sub"), w.attr("Arm1", "sub"))
+	w.last = w.b.Join(j1, a2, w.attr("Dim2", "sub"), w.attr("Arm2", "sub"))
+	return w.done("6-way snowflake: star with two chained arms")
+})
+
+var _ = register(13, func(id int) *Workflow {
+	// Two independent pipelines feeding two sinks: two disjoint blocks.
+	w := newWF(id, "wf13-two-pipelines")
+	aDom := w.sz.dom(1500)
+	t1 := w.relation("A1", w.sz.card(), map[string]int64{"k": aDom})
+	t2 := w.relation("A2", w.sz.dom(5000)+102, map[string]int64{"k": aDom})
+	j1 := w.b.Join(t1, t2, w.attr("A1", "k"), w.attr("A2", "k"))
+	w.b.Sink(j1, "mart_a")
+	bDom := w.sz.dom(900)
+	t3 := w.relation("B1", w.sz.card(), map[string]int64{"k": bDom})
+	t4 := w.relation("B2", w.sz.dom(4000)+102, map[string]int64{"k": bDom})
+	j2 := w.b.Join(t3, t4, w.attr("B1", "k"), w.attr("B2", "k"))
+	w.last = j2
+	return w.done("two independent pipelines, two sinks, two blocks")
+})
+
+var _ = register(14, func(id int) *Workflow {
+	w := newWF(id, "wf14-aggudf")
+	dom := w.sz.dom(1800)
+	cDom := w.sz.dom(600)
+	t1 := w.relation("Clicks", w.sz.card(), map[string]int64{"uid": dom})
+	t2 := w.relation("Users", w.sz.dom(6000)+102, map[string]int64{"uid": dom, "grp": cDom})
+	t3 := w.relation("Groups", w.sz.dom(2000)+102, map[string]int64{"grp": cDom})
+	j1 := w.b.Join(t1, t2, w.attr("Clicks", "uid"), w.attr("Users", "uid"))
+	agg := w.b.AggregateUDF(j1, "sum", w.attr("U", "score"), w.attr("Users", "grp"))
+	w.last = w.b.Join(agg, t3, w.attr("Users", "grp"), w.attr("Groups", "grp"))
+	return w.done("opaque aggregate UDF boundary between joins")
+})
+
+var _ = register(15, func(id int) *Workflow {
+	w := newWF(id, "wf15-materialized-staging")
+	chainJoin(w, 3, 900)
+	m := w.b.Materialize(w.last, "staging")
+	extraDom := w.sz.dom(1400)
+	w.cat.Relation("R2").Columns = append(w.cat.Relation("R2").Columns, workflow.Column{Name: "x", Domain: extraDom})
+	w.specs[2].Columns = append(w.specs[2].Columns, colSpec("x", extraDom))
+	t4 := w.relation("R3", w.sz.card(), map[string]int64{"x": extraDom})
+	w.last = w.b.Join(m, t4, w.attr("R2", "x"), w.attr("R3", "x"))
+	return w.done("explicitly materialized staging table splits the flow")
+})
+
+var _ = register(16, func(id int) *Workflow {
+	// Tuned so the memory optimum lands near the paper's ~70,000 units for
+	// workflow 16: a 6-relation chain whose interior joint histograms cost
+	// a few tens of thousands of units each.
+	w := newWF(id, "wf16-seventy-thousand")
+	chainJoin(w, 6, 171)
+	return w.done("6-way chain tuned so the optimum is on the order of 70,000 units (paper's wf16)")
+})
+
+var _ = register(17, func(id int) *Workflow {
+	w := newWF(id, "wf17-chain5-selective")
+	chainJoin(w, 5, 500)
+	f := w.b.Select(w.last, workflow.Predicate{Attr: w.attr("R0", "val"), Op: workflow.CmpLt, Const: 200})
+	f2 := w.b.Select(f, workflow.Predicate{Attr: w.attr("R3", "val"), Op: workflow.CmpGe, Const: 100})
+	w.last = f2
+	return w.done("5-way chain with selections over two relations")
+})
+
+var _ = register(18, func(id int) *Workflow {
+	w := newWF(id, "wf18-reject-then-star")
+	kDom := w.sz.dom(1200)
+	t1 := w.relation("Load", w.sz.card(), map[string]int64{"k": kDom})
+	t2 := w.relation("Valid", w.sz.dom(4000)+102, map[string]int64{"k": kDom})
+	j1 := w.b.RejectJoin(t1, t2, w.attr("Load", "k"), w.attr("Valid", "k"))
+	// Downstream: a 4-way star block over the validated output.
+	d1 := w.sz.dom(900)
+	d2 := w.sz.dom(700)
+	d3 := w.sz.dom(500)
+	w.cat.Relation("Load").Columns = append(w.cat.Relation("Load").Columns,
+		workflow.Column{Name: "a", Domain: d1}, workflow.Column{Name: "b", Domain: d2}, workflow.Column{Name: "c", Domain: d3})
+	w.specs[0].Columns = append(w.specs[0].Columns, colSpec("a", d1), colSpec("b", d2), colSpec("c", d3))
+	da := w.relation("DA", w.sz.dom(2000)+102, map[string]int64{"a": d1})
+	db := w.relation("DB", w.sz.dom(2000)+102, map[string]int64{"b": d2})
+	dc := w.relation("DC", w.sz.dom(2000)+102, map[string]int64{"c": d3})
+	j2 := w.b.Join(j1, da, w.attr("Load", "a"), w.attr("DA", "a"))
+	j3 := w.b.Join(j2, db, w.attr("Load", "b"), w.attr("DB", "b"))
+	w.last = w.b.Join(j3, dc, w.attr("Load", "c"), w.attr("DC", "c"))
+	return w.done("validation reject link followed by a 4-way star block")
+})
+
+var _ = register(19, func(id int) *Workflow {
+	w := newWF(id, "wf19-star6-fk")
+	starJoin(w, 6, 3500, true)
+	return w.done("6-way star of foreign-key look-ups; the FK metadata rule prunes statistics")
+})
+
+var _ = register(20, func(id int) *Workflow {
+	w := newWF(id, "wf20-wide7")
+	starJoin(w, 5, 120, false)
+	// Extend with a chain of two more relations off Dim3.
+	subDom := w.sz.dom(1100)
+	w.cat.Relation("Dim3").Columns = append(w.cat.Relation("Dim3").Columns, workflow.Column{Name: "sub", Domain: subDom})
+	w.specs[3].Columns = append(w.specs[3].Columns, colSpec("sub", subDom))
+	e1 := w.relation("Ext1", w.sz.dom(2500)+102, map[string]int64{"sub": subDom, "leaf": w.sz.dom(700)})
+	leafDom := w.cat.Relation("Ext1").Column("leaf").Domain
+	e2 := w.relation("Ext2", w.sz.dom(1500)+102, map[string]int64{"leaf": leafDom})
+	j1 := w.b.Join(w.last, e1, w.attr("Dim3", "sub"), w.attr("Ext1", "sub"))
+	j2 := w.b.Join(j1, e2, w.attr("Ext1", "leaf"), w.attr("Ext2", "leaf"))
+	x := w.b.Transform(j2, "scramble", w.attr("U", "norm"), w.attr("Fact", "val"))
+	w.last = x
+	return w.done("7-way star+chain hybrid with a floating transform")
+})
+
+var _ = register(21, func(id int) *Workflow {
+	// The paper's most complex workflow: an 8-input join with multiple
+	// transformations. Trivial-CSS coverage needs ≥41 executions.
+	w := newWF(id, "wf21-eightway")
+	starJoin(w, 8, 2000, true)
+	x1 := w.b.Transform(w.last, "scramble", w.attr("U", "clean1"), w.attr("Fact", "val"))
+	x2 := w.b.Transform(x1, "bucket10", w.attr("U", "band"), w.attr("Dim1", "val"))
+	x3 := w.b.Transform(x2, "sum", w.attr("U", "score"), w.attr("U", "clean1"), w.attr("U", "band"))
+	w.last = x3
+	return w.done("8-input join with multiple transformations (paper's wf21; formula bound 41 executions)")
+})
+
+var _ = register(22, func(id int) *Workflow {
+	w := newWF(id, "wf22-star5-groupby")
+	starJoin(w, 5, 100, false)
+	w.last = w.b.GroupBy(w.last, w.attr("Fact", "k1"), w.attr("Fact", "k2"))
+	return w.done("5-way star aggregated at the top")
+})
+
+var _ = register(23, func(id int) *Workflow {
+	// Union–division CSSs are generated but lose: the interposed relation's
+	// join key domain is far larger than the target's, so the divide route
+	// costs about twice the direct one and the solver skips it
+	// (paper: 3,444 vs 6,951 units).
+	w := newWF(id, "wf23-union-division-loses")
+	t1 := w.relation("T1", 120000, map[string]int64{"j13": 3475, "j12": 1722})
+	t3 := w.relation("T3", 30000, map[string]int64{"j13": 3475})
+	t2 := w.relation("T2", 45000, map[string]int64{"j12": 1722})
+	j1 := w.b.Join(t1, t3, w.attr("T1", "j13"), w.attr("T3", "j13"))
+	w.last = w.b.Join(j1, t2, w.attr("T1", "j12"), w.attr("T2", "j12"))
+	return w.done("union–division generated but unprofitable; direct histograms win (paper: 3,444 vs 6,951)")
+})
+
+var _ = register(24, func(id int) *Workflow {
+	w := newWF(id, "wf24-chain6-reject")
+	chainJoin(w, 4, 700)
+	// Reject-join the chain result against a reference, then one more join.
+	refDom := w.sz.dom(1000)
+	w.cat.Relation("R3").Columns = append(w.cat.Relation("R3").Columns, workflow.Column{Name: "r", Domain: refDom})
+	w.specs[3].Columns = append(w.specs[3].Columns, colSpec("r", refDom))
+	ref := w.relation("Ref", w.sz.dom(3000)+102, map[string]int64{"r": refDom})
+	j := w.b.RejectJoin(w.last, ref, w.attr("R3", "r"), w.attr("Ref", "r"))
+	tailDom := w.sz.dom(800)
+	w.cat.Relation("Ref").Columns = append(w.cat.Relation("Ref").Columns, workflow.Column{Name: "t", Domain: tailDom})
+	w.specs[4].Columns = append(w.specs[4].Columns, colSpec("t", tailDom))
+	tail := w.relation("Tail", w.sz.dom(2000)+102, map[string]int64{"t": tailDom})
+	w.last = w.b.Join(j, tail, w.attr("Ref", "t"), w.attr("Tail", "t"))
+	return w.done("4-way chain, then a pinned reject join, then a final join: three blocks")
+})
+
+var _ = register(25, func(id int) *Workflow {
+	w := newWF(id, "wf25-two-join-blocks")
+	chainJoin(w, 4, 700)
+	agg := w.b.AggregateUDF(w.last, "sum", w.attr("U", "rollup"), w.attr("R0", "val"))
+	// Downstream block: join the aggregate with two more relations.
+	vDom := w.cat.Relation("R0").Column("val").Domain
+	s1 := w.relation("S1", w.sz.dom(2500)+102, map[string]int64{"val": vDom, "z": w.sz.dom(600)})
+	zDom := w.cat.Relation("S1").Column("z").Domain
+	s2 := w.relation("S2", w.sz.dom(1200)+102, map[string]int64{"z": zDom})
+	j1 := w.b.Join(agg, s1, w.attr("R0", "val"), w.attr("S1", "val"))
+	w.last = w.b.Join(j1, s2, w.attr("S1", "z"), w.attr("S2", "z"))
+	return w.done("two join-bearing blocks separated by an opaque aggregate")
+})
+
+var _ = register(26, func(id int) *Workflow {
+	w := newWF(id, "wf26-star7")
+	starJoin(w, 7, 1800, true)
+	return w.done("7-way star join")
+})
+
+var _ = register(27, func(id int) *Workflow {
+	w := newWF(id, "wf27-hub-and-spokes-shared")
+	// Hub joins four spokes, two of them on the same shared key.
+	shared := w.sz.dom(400)
+	o1 := w.sz.dom(150)
+	o2 := w.sz.dom(120)
+	hub := w.relation("Hub", w.sz.card(), map[string]int64{"s": shared, "o1": o1, "o2": o2})
+	a := w.relation("SpokeA", w.sz.dom(4000)+102, map[string]int64{"s": shared})
+	bb := w.relation("SpokeB", w.sz.dom(4000)+102, map[string]int64{"s": shared})
+	c := w.relation("SpokeC", w.sz.dom(3000)+102, map[string]int64{"o1": o1})
+	d := w.relation("SpokeD", w.sz.dom(3000)+102, map[string]int64{"o2": o2})
+	j1 := w.b.Join(hub, a, w.attr("Hub", "s"), w.attr("SpokeA", "s"))
+	j2 := w.b.Join(j1, bb, w.attr("Hub", "s"), w.attr("SpokeB", "s"))
+	j3 := w.b.Join(j2, c, w.attr("Hub", "o1"), w.attr("SpokeC", "o1"))
+	w.last = w.b.Join(j3, d, w.attr("Hub", "o2"), w.attr("SpokeD", "o2"))
+	return w.done("5-way hub with a shared key across two spokes (amortization at scale)")
+})
+
+var _ = register(28, func(id int) *Workflow {
+	w := newWF(id, "wf28-snowflake6-deep")
+	starJoin(w, 3, 900, false)
+	// Chain three more levels off Dim1.
+	cur := w.last
+	prevRel := "Dim1"
+	prevCol := "lvl"
+	lvlDom := w.sz.dom(1200)
+	w.cat.Relation("Dim1").Columns = append(w.cat.Relation("Dim1").Columns, workflow.Column{Name: "lvl", Domain: lvlDom})
+	w.specs[1].Columns = append(w.specs[1].Columns, colSpec("lvl", lvlDom))
+	for lvl := 1; lvl <= 3; lvl++ {
+		name := fmt.Sprintf("Lvl%d", lvl)
+		nextDom := w.sz.dom(1000)
+		keys := map[string]int64{prevCol: lvlDom}
+		if lvl < 3 {
+			keys["next"] = nextDom
+		}
+		n := w.relation(name, w.sz.dom(2500)+102, keys)
+		cur = w.b.Join(cur, n, w.attr(prevRel, prevCol), w.attr(name, prevCol))
+		prevRel, prevCol, lvlDom = name, "next", nextDom
+	}
+	w.last = cur
+	return w.done("6-way deep snowflake: star plus a three-level dimension hierarchy")
+})
+
+var _ = register(29, func(id int) *Workflow {
+	w := newWF(id, "wf29-snowflake7-agg")
+	starJoin(w, 5, 1500, true)
+	subDom := w.sz.dom(800)
+	w.cat.Relation("Dim4").Columns = append(w.cat.Relation("Dim4").Columns, workflow.Column{Name: "sub", Domain: subDom})
+	w.specs[4].Columns = append(w.specs[4].Columns, colSpec("sub", subDom))
+	e1 := w.relation("Leaf1", w.sz.dom(2000)+102, map[string]int64{"sub": subDom})
+	j := w.b.Join(w.last, e1, w.attr("Dim4", "sub"), w.attr("Leaf1", "sub"))
+	g := w.b.GroupBy(j, w.attr("Fact", "k1"))
+	// Downstream block joins the aggregate with a final reference.
+	k1Dom := w.cat.Relation("Fact").Column("k1").Domain
+	ref := w.relation("Band", w.sz.dom(1500)+102, map[string]int64{"k1": k1Dom})
+	w.last = w.b.Join(g, ref, w.attr("Fact", "k1"), w.attr("Band", "k1"))
+	return w.done("6-way snowflake aggregated, then joined downstream: two join-bearing blocks")
+})
+
+var _ = register(30, func(id int) *Workflow {
+	// A 6-input join: the paper's workflow 30, whose trivial-CSS-only
+	// coverage needs at least 14 executions.
+	w := newWF(id, "wf30-sixway")
+	starJoin(w, 6, 2400, true)
+	return w.done("6-input star join (paper's wf30; formula bound 14 executions)")
+})
+
+// colSpec builds a Zipfian data column spec matching the catalog column.
+func colSpec(name string, dom int64) data.ColumnSpec {
+	return data.ColumnSpec{Name: name, Domain: dom, Skew: 1.4}
+}

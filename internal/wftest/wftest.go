@@ -1,0 +1,130 @@
+// Package wftest generates random but deterministic ETL workflows with
+// matching synthetic data, for property-based testing across the library:
+// tree-shaped join graphs, random pushed-down selections and transforms,
+// and bounded join fan-out so materialized results stay small.
+package wftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// DB matches engine.DB structurally so test packages can convert without
+// importing the engine (which would cycle through the engine's own tests).
+type DB = map[string]*data.Table
+
+// Options bound the generated workflows.
+type Options struct {
+	// MaxRelations caps the join width (default 5, minimum 2).
+	MaxRelations int
+	// MaxCard caps base relation cardinality (default 160).
+	MaxCard int64
+}
+
+// Generate builds a random workflow, its catalog and its data from the
+// seed. Equal seeds produce identical results.
+func Generate(seed int64, opt Options) (*workflow.Graph, *workflow.Catalog, DB) {
+	if opt.MaxRelations < 2 {
+		opt.MaxRelations = 5
+	}
+	if opt.MaxCard <= 0 {
+		opt.MaxCard = 160
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(opt.MaxRelations-1)
+	cat := &workflow.Catalog{}
+	db := DB{}
+	b := workflow.NewBuilder(fmt.Sprintf("rand%d", seed))
+
+	// Relation i joins its tree parent on the shared key column "k<i>".
+	parent := make([]int, n)
+	edgeDom := make([]int64, n)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		edgeDom[i] = int64(25 + rng.Intn(60))
+	}
+	specs := make([]data.TableSpec, n)
+	for i := 0; i < n; i++ {
+		spec := data.TableSpec{
+			Rel:  fmt.Sprintf("R%d", i),
+			Card: 40 + rng.Int63n(opt.MaxCard-40+1),
+		}
+		spec.Columns = append(spec.Columns, data.ColumnSpec{Name: "id", Serial: true})
+		if i > 0 {
+			spec.Columns = append(spec.Columns, data.ColumnSpec{
+				Name: fmt.Sprintf("k%d", i), Domain: edgeDom[i], Skew: 1 + rng.Float64()*0.3,
+			})
+		}
+		for j := i + 1; j < n; j++ {
+			if parent[j] == i {
+				spec.Columns = append(spec.Columns, data.ColumnSpec{
+					Name: fmt.Sprintf("k%d", j), Domain: edgeDom[j], Skew: 1 + rng.Float64()*0.3,
+				})
+			}
+		}
+		spec.Columns = append(spec.Columns, data.ColumnSpec{Name: "v", Domain: 30, Skew: 1.3})
+		specs[i] = spec
+	}
+	for i, spec := range specs {
+		tbl := data.Generate(spec, seed*31+int64(i))
+		db[spec.Rel] = tbl
+		cat.Relations = append(cat.Relations, data.CatalogEntry(tbl, spec))
+	}
+
+	// Source chains.
+	nodes := make([]workflow.NodeID, n)
+	for i := 0; i < n; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		cur := b.Source(rel)
+		if rng.Intn(3) == 0 {
+			cur = b.Select(cur, workflow.Predicate{
+				Attr:  workflow.Attr{Rel: rel, Col: "v"},
+				Op:    workflow.CmpLe,
+				Const: int64(10 + rng.Intn(20)),
+			})
+		}
+		if rng.Intn(4) == 0 {
+			out := workflow.Attr{Rel: "X" + rel, Col: "t"}
+			cur = b.Transform(cur, "bucket10", out, workflow.Attr{Rel: rel, Col: "v"})
+			cat.AddDerived(out, 10)
+		}
+		nodes[i] = cur
+	}
+
+	// Join in a randomized tree-respecting order.
+	joined := map[int]bool{0: true}
+	cur := nodes[0]
+	for len(joined) < n {
+		for i := 1; i < n; i++ {
+			if joined[i] || !joined[parent[i]] {
+				continue
+			}
+			if rng.Intn(2) == 0 && len(joined) < n-1 {
+				continue
+			}
+			pa := workflow.Attr{Rel: fmt.Sprintf("R%d", parent[i]), Col: fmt.Sprintf("k%d", i)}
+			ca := workflow.Attr{Rel: fmt.Sprintf("R%d", i), Col: fmt.Sprintf("k%d", i)}
+			cur = b.Join(cur, nodes[i], pa, ca)
+			joined[i] = true
+		}
+	}
+	// Occasionally add a group-by boundary followed by one more join, so
+	// random workflows exercise the cross-block rules too.
+	if rng.Intn(3) == 0 {
+		g := b.GroupBy(cur, workflow.Attr{Rel: "R0", Col: "v"})
+		extraSpec := data.TableSpec{Rel: "Band", Card: 20 + rng.Int63n(40), Columns: []data.ColumnSpec{
+			{Name: "v", Domain: 30, Skew: 1.2},
+			{Name: "w", Domain: 10},
+		}}
+		tbl := data.Generate(extraSpec, seed*97+7)
+		db["Band"] = tbl
+		cat.Relations = append(cat.Relations, data.CatalogEntry(tbl, extraSpec))
+		band := b.Source("Band")
+		cur = b.Join(g, band, workflow.Attr{Rel: "R0", Col: "v"}, workflow.Attr{Rel: "Band", Col: "v"})
+	}
+	b.Sink(cur, "dw")
+	return b.Graph(), cat, db
+}

@@ -1,0 +1,256 @@
+package workflow
+
+import "testing"
+
+// figure3Catalog matches the T1..T4 workflow of Figure 3 in the paper.
+func figure3Catalog() *Catalog {
+	mk := func(name string, cols ...string) *Relation {
+		r := &Relation{Name: name, Card: 1000}
+		for _, c := range cols {
+			r.Columns = append(r.Columns, Column{Name: c, Domain: 100})
+		}
+		return r
+	}
+	return &Catalog{Relations: []*Relation{
+		mk("T1", "a", "b", "x"),
+		mk("T2", "a", "y"),
+		mk("T3", "b", "z"),
+		mk("T4", "c", "w"),
+	}}
+}
+
+// figure3Flow reproduces Figure 3: T1 ⋈ T2 with a materialized reject link,
+// then ⋈ T3, then a UDF deriving join attribute c from x and y, then ⋈ T4.
+func figure3Flow() *Graph {
+	b := NewBuilder("figure3")
+	t1 := b.Source("T1")
+	t2 := b.Source("T2")
+	t3 := b.Source("T3")
+	t4 := b.Source("T4")
+	j1 := b.RejectJoin(t1, t2, Attr{"T1", "a"}, Attr{"T2", "a"})
+	j2 := b.Join(j1, t3, Attr{"T1", "b"}, Attr{"T3", "b"})
+	x := b.Transform(j2, "derive_c", Attr{"U", "c"}, Attr{"T1", "x"}, Attr{"T2", "y"})
+	j3 := b.Join(x, t4, Attr{"U", "c"}, Attr{"T4", "c"})
+	b.Sink(j3, "dw")
+	return b.Graph()
+}
+
+func TestAnalyzeFigure3Blocks(t *testing.T) {
+	an, err := Analyze(figure3Flow(), figure3Catalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The paper divides this workflow into three optimizable blocks:
+	// B1 after the reject-link join, B2 after the UDF, B3 the final join.
+	if len(an.Blocks) != 3 {
+		for _, b := range an.Blocks {
+			t.Logf("block %d: inputs=%d joins=%d terminal=%s", b.Index, len(b.Inputs), len(b.Joins), b.Terminal)
+		}
+		t.Fatalf("Analyze: got %d blocks, want 3", len(an.Blocks))
+	}
+	b0 := an.Blocks[0]
+	if !b0.RejectPinned {
+		t.Error("block 0 should be pinned by its reject link")
+	}
+	if len(b0.Inputs) != 2 || len(b0.Joins) != 1 {
+		t.Errorf("block 0: got %d inputs / %d joins, want 2 / 1", len(b0.Inputs), len(b0.Joins))
+	}
+	b1 := an.Blocks[1]
+	if len(b1.Inputs) != 2 || len(b1.Joins) != 1 {
+		t.Errorf("block 1: got %d inputs / %d joins, want 2 / 1", len(b1.Inputs), len(b1.Joins))
+	}
+	// Block 1 is terminated by the pinned transform.
+	if got := an.Graph.Node(b1.Terminal).Kind; got != KindTransform {
+		t.Errorf("block 1 terminal kind = %v, want transform", got)
+	}
+	b2 := an.Blocks[2]
+	if len(b2.Inputs) != 2 || len(b2.Joins) != 1 {
+		t.Errorf("block 2: got %d inputs / %d joins, want 2 / 1", len(b2.Inputs), len(b2.Joins))
+	}
+	// Block 1's non-base input comes from block 0, block 2's from block 1.
+	from := map[int]bool{}
+	for _, in := range b1.Inputs {
+		from[in.FromBlock] = true
+	}
+	if !from[0] {
+		t.Errorf("block 1 inputs should include block 0's output, got %+v", b1.Inputs)
+	}
+}
+
+func TestAnalyzeRetailSingleBlock(t *testing.T) {
+	an, err := Analyze(retailFlow(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(an.Blocks))
+	}
+	b := an.Blocks[0]
+	if len(b.Inputs) != 3 || len(b.Joins) != 2 {
+		t.Fatalf("block: got %d inputs / %d joins, want 3 / 2", len(b.Inputs), len(b.Joins))
+	}
+	if b.Initial == nil {
+		t.Fatal("block should record the initial join tree")
+	}
+	if got := b.Initial.Render(b); got != "((Orders ⋈ Product) ⋈ Customer)" {
+		t.Errorf("initial plan = %s", got)
+	}
+	if b.RejectPinned {
+		t.Error("plain joins should not be pinned")
+	}
+}
+
+func TestAnalyzeLinearFlow(t *testing.T) {
+	b := NewBuilder("linear")
+	o := b.Source("Orders")
+	f := b.Select(o, Predicate{Attr: Attr{"Orders", "pid"}, Op: CmpGt, Const: 10})
+	p := b.Project(f, Attr{"Orders", "pid"}, Attr{"Orders", "cid"})
+	b.Sink(p, "t")
+	an, err := Analyze(b.Graph(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(an.Blocks))
+	}
+	blk := an.Blocks[0]
+	if len(blk.Inputs) != 1 || len(blk.Joins) != 0 {
+		t.Fatalf("linear block: got %d inputs / %d joins, want 1 / 0", len(blk.Inputs), len(blk.Joins))
+	}
+	if len(blk.Inputs[0].Ops) != 2 {
+		t.Fatalf("linear block input ops = %d, want 2 (select+project)", len(blk.Inputs[0].Ops))
+	}
+	if blk.Initial != nil {
+		t.Error("join-free block should have nil initial join tree")
+	}
+}
+
+func TestAnalyzeGroupByBoundary(t *testing.T) {
+	b := NewBuilder("agg")
+	o := b.Source("Orders")
+	p := b.Source("Product")
+	c := b.Source("Customer")
+	j1 := b.Join(o, p, Attr{"Orders", "pid"}, Attr{"Product", "pid"})
+	g := b.GroupBy(j1, Attr{"Orders", "cid"})
+	j2 := b.Join(g, c, Attr{"Orders", "cid"}, Attr{"Customer", "cid"})
+	b.Sink(j2, "dw")
+	an, err := Analyze(b.Graph(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2 (group-by is a boundary)", len(an.Blocks))
+	}
+	if got := an.Graph.Node(an.Blocks[0].Terminal).Kind; got != KindGroupBy {
+		t.Errorf("block 0 terminal = %v, want groupby", got)
+	}
+}
+
+func TestAnalyzeMaterializeBoundary(t *testing.T) {
+	b := NewBuilder("mat")
+	o := b.Source("Orders")
+	p := b.Source("Product")
+	c := b.Source("Customer")
+	j1 := b.Join(o, p, Attr{"Orders", "pid"}, Attr{"Product", "pid"})
+	m := b.Materialize(j1, "staging")
+	j2 := b.Join(m, c, Attr{"Orders", "cid"}, Attr{"Customer", "cid"})
+	b.Sink(j2, "dw")
+	an, err := Analyze(b.Graph(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2 (materialize is a boundary)", len(an.Blocks))
+	}
+}
+
+func TestAnalyzePushdown(t *testing.T) {
+	// A selection written above the join must be pushed down to the input
+	// owning its attribute so join reordering remains free.
+	b := NewBuilder("pushdown")
+	o := b.Source("Orders")
+	p := b.Source("Product")
+	j := b.Join(o, p, Attr{"Orders", "pid"}, Attr{"Product", "pid"})
+	f := b.Select(j, Predicate{Attr: Attr{"Product", "price"}, Op: CmpLt, Const: 100})
+	b.Sink(f, "dw")
+	an, err := Analyze(b.Graph(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(an.Blocks))
+	}
+	blk := an.Blocks[0]
+	var prodOps int
+	for _, in := range blk.Inputs {
+		if in.SourceRel == "Product" {
+			prodOps = len(in.Ops)
+		}
+	}
+	if prodOps != 1 {
+		t.Errorf("select should be pushed to Product input; ops = %d, want 1", prodOps)
+	}
+	if len(blk.TopOps) != 0 {
+		t.Errorf("no top ops expected, got %d", len(blk.TopOps))
+	}
+}
+
+func TestAnalyzeFloatingTransformNotBoundary(t *testing.T) {
+	// A transform above a join whose output is NOT a downstream join
+	// attribute does not split the block.
+	b := NewBuilder("float")
+	o := b.Source("Orders")
+	p := b.Source("Product")
+	c := b.Source("Customer")
+	j1 := b.Join(o, p, Attr{"Orders", "pid"}, Attr{"Product", "pid"})
+	x := b.Transform(j1, "concat", Attr{"U", "label"}, Attr{"Orders", "oid"}, Attr{"Product", "price"})
+	j2 := b.Join(x, c, Attr{"Orders", "cid"}, Attr{"Customer", "cid"})
+	b.Sink(j2, "dw")
+	an, err := Analyze(b.Graph(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1 (floating transform is no boundary)", len(an.Blocks))
+	}
+	blk := an.Blocks[0]
+	if len(blk.Inputs) != 3 || len(blk.Joins) != 2 {
+		t.Fatalf("block: got %d inputs / %d joins, want 3 / 2", len(blk.Inputs), len(blk.Joins))
+	}
+	if len(blk.TopOps) != 1 {
+		t.Fatalf("floating transform should be a top op; got %d top ops", len(blk.TopOps))
+	}
+}
+
+func TestJoinTreeInputs(t *testing.T) {
+	an, err := Analyze(retailFlow(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	tree := an.Blocks[0].Initial
+	got := tree.Inputs()
+	if len(got) != 3 {
+		t.Fatalf("tree inputs = %v, want all three", got)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Errorf("tree inputs = %v, want [0 1 2]", got)
+			break
+		}
+	}
+}
+
+func TestBlockInputIndexByAttr(t *testing.T) {
+	an, err := Analyze(retailFlow(), retailCatalog())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	b := an.Blocks[0]
+	idx := b.InputIndexByAttr(Attr{"Customer", "region"})
+	if idx < 0 || b.Inputs[idx].SourceRel != "Customer" {
+		t.Fatalf("InputIndexByAttr(Customer.region) = %d", idx)
+	}
+	if got := b.InputIndexByAttr(Attr{"Nope", "x"}); got != -1 {
+		t.Fatalf("InputIndexByAttr(unknown) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,108 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the workflow as a Graphviz digraph. When an analysis is
+// supplied, nodes are clustered by optimizable block so the §3.2.1
+// boundaries are visible; pass nil to render the bare DAG.
+func (g *Graph) DOT(an *Analysis) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Name)
+	sb.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	blockOf := map[NodeID]int{}
+	if an != nil {
+		for _, n := range g.Nodes {
+			if b := an.BlockOf(n.ID); b != nil {
+				blockOf[n.ID] = b.Index
+			} else {
+				blockOf[n.ID] = -1
+			}
+		}
+		// Emit one cluster per block, nodes sorted for determinism.
+		byBlock := map[int][]*Node{}
+		for _, n := range g.Nodes {
+			byBlock[blockOf[n.ID]] = append(byBlock[blockOf[n.ID]], n)
+		}
+		blocks := make([]int, 0, len(byBlock))
+		for b := range byBlock {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			nodes := byBlock[b]
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+			if b >= 0 {
+				fmt.Fprintf(&sb, "  subgraph cluster_block%d {\n    label=\"block %d\";\n    style=dashed;\n", b, b)
+			}
+			for _, n := range nodes {
+				fmt.Fprintf(&sb, "    %q [label=%q];\n", n.ID, nodeLabel(n))
+			}
+			if b >= 0 {
+				sb.WriteString("  }\n")
+			}
+		}
+	} else {
+		nodes := append([]*Node(nil), g.Nodes...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		for _, n := range nodes {
+			fmt.Fprintf(&sb, "  %q [label=%q];\n", n.ID, nodeLabel(n))
+		}
+	}
+	// Edges, deterministically ordered.
+	type edge struct{ from, to NodeID }
+	var edges []edge
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			edges = append(edges, edge{in, n.ID})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", e.from, e.to)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// nodeLabel renders a short human-readable operator label.
+func nodeLabel(n *Node) string {
+	switch n.Kind {
+	case KindSource:
+		return "source\n" + n.Rel
+	case KindSelect:
+		return "σ " + n.Pred.String()
+	case KindProject:
+		return fmt.Sprintf("π %d cols", len(n.Cols))
+	case KindJoin:
+		label := fmt.Sprintf("⋈ %s=%s", n.Join.Left, n.Join.Right)
+		if n.Join.RejectLink {
+			label += "\n[reject link]"
+		}
+		if n.Join.ForeignKey {
+			label += "\n[FK lookup]"
+		}
+		return label
+	case KindGroupBy:
+		return "γ " + AttrsString(n.Cols)
+	case KindTransform:
+		return fmt.Sprintf("UDF %s → %s", n.Transform.Fn, n.Transform.Out)
+	case KindAggregateUDF:
+		return fmt.Sprintf("aggUDF %s → %s", n.Transform.Fn, n.Transform.Out)
+	case KindMaterialize:
+		return "materialize\n" + n.Rel
+	case KindSink:
+		return "sink\n" + n.Rel
+	default:
+		return n.Kind.String()
+	}
+}
