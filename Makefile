@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race short bench vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel engine paths are the main race surface; this is the gate
+# CI runs in addition to the plain test job.
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race

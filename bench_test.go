@@ -6,6 +6,7 @@
 package etlopt_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -305,6 +306,55 @@ func BenchmarkEngineMode(b *testing.B) {
 			}
 		}
 	})
+}
+
+// parallelWorkflows are the multi-block suite entries used by the worker
+// sweep, with a per-workflow data scale sized for per-iteration times:
+// wf07 and wf18 are block chains (intra-operator partitioning is the
+// lever), wf13 has two mutually independent blocks (the inter-block DAG
+// scheduler's best case).
+var parallelWorkflows = []struct {
+	id    int
+	scale float64
+}{{7, 0.02}, {13, 0.1}, {18, 0.02}}
+
+// BenchmarkEngineWorkers sweeps the worker count over multi-block suite
+// workflows on both engines. On multi-core hardware the streaming engine
+// at 4 workers should beat workers=1 by >= 1.5x on these workflows; on a
+// single-core host the sweep only verifies the parallel paths add no
+// meaningful overhead.
+func BenchmarkEngineWorkers(b *testing.B) {
+	for _, pw := range parallelWorkflows {
+		id := pw.id
+		w := suite.Get(id)
+		an, err := w.Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := w.Data(pw.scale)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("wf%02d/stream-w%d", id, workers), func(b *testing.B) {
+				eng := engine.NewStream(an, db, nil)
+				eng.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("wf%02d/batch-w%d", id, workers), func(b *testing.B) {
+				eng := engine.New(an, db, nil)
+				eng.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkZipfGeneration measures the synthetic data generator.

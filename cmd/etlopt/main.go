@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
 
 	"github.com/essential-stats/etlopt/internal/core"
@@ -59,6 +60,7 @@ func main() {
 	dataDir := fs.String("data", "", "directory of CSV flat files to run over (instead of generated data)")
 	outDir := fs.String("out", "", "output directory for gendata")
 	budget := fs.Int64("budget", 0, "per-run memory budget for schedule (integer units)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "execution-layer worker goroutines (1 = sequential)")
 	_ = fs.Parse(os.Args[2:])
 
 	var err error
@@ -85,13 +87,13 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(*file, *wfID, *dataDir, *scale, false)
+		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers)
 	case "explain":
-		err = runCycle(*file, *wfID, *dataDir, *scale, true)
+		err = runCycle(*file, *wfID, *dataDir, *scale, true, *workers)
 	case "gendata":
 		err = genData(*wfID, *scale, *outDir)
 	case "schedule":
-		err = scheduleCmd(*wfID, *scale, *budget)
+		err = scheduleCmd(*wfID, *scale, *budget, *workers)
 	case "report":
 		err = reportCmd(*wfID, *scale)
 	default:
@@ -112,7 +114,7 @@ func usage() {
 // generated data, or over a directory of CSV flat files (the paper's
 // no-statistics worst case: the catalog is inferred from the data) —
 // optionally printing the derivation tree of every SE cardinality.
-func runCycle(file string, wfID int, dataDir string, scale float64, explain bool) error {
+func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int) error {
 	var (
 		g   *workflow.Graph
 		cat *workflow.Catalog
@@ -137,7 +139,9 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	default:
 		return fmt.Errorf("run/explain need -wf <1..30>, or -f flow.json with -data dir/")
 	}
-	cy, err := core.Run(g, cat, db, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	cy, err := core.Run(g, cat, db, cfg)
 	if err != nil {
 		return err
 	}
@@ -188,7 +192,7 @@ func reportCmd(wfID int, scale float64) error {
 // scheduleCmd builds and executes a Section 6.1 multi-run observation
 // schedule under a per-run memory budget, then derives every SE cardinality
 // from the merged observations.
-func scheduleCmd(wfID int, scale float64, budget int64) error {
+func scheduleCmd(wfID int, scale float64, budget int64, workers int) error {
 	if wfID < 1 || wfID > 30 {
 		return fmt.Errorf("schedule needs -wf <1..30>")
 	}
@@ -225,6 +229,7 @@ func scheduleCmd(wfID int, scale float64, budget int64) error {
 	}
 	db := w.Data(scale)
 	eng := engine.New(an, db, nil)
+	eng.Workers = workers
 	store, err := schedule.Execute(eng, res, plan)
 	if err != nil {
 		return err

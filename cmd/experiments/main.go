@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"github.com/essential-stats/etlopt/internal/experiments"
@@ -31,8 +32,10 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "data scale for -exp=e2e")
 	dataScale := flag.Float64("datascale", 1.0, "data scale for -exp=data (1.0 = the paper-sized relations)")
 	seq := flag.Bool("seq", false, "measure workflows sequentially (timing-grade Figure 10 numbers)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker count for -exp=e2e and -exp=work (<=1 = sequential)")
 	flag.Parse()
 	sequential = *seq
+	experiments.Workers = *workers
 
 	var err error
 	switch *exp {

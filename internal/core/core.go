@@ -49,6 +49,12 @@ type Config struct {
 	// batch engine; results and observations are identical, only the
 	// execution strategy (and intermediate materialization) differs.
 	Streaming bool
+	// Workers bounds execution-layer concurrency: independent blocks run
+	// on separate goroutines (both engines), and the streaming engine
+	// additionally partitions chain and probe pipelines across workers.
+	// Values <= 1 execute sequentially; observed statistics are identical
+	// either way.
+	Workers int
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -91,9 +97,13 @@ type executor interface {
 // newExecutor picks the engine per the configuration.
 func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 	if cfg.Streaming {
-		return engine.NewStream(an, db, cfg.Registry)
+		eng := engine.NewStream(an, db, cfg.Registry)
+		eng.Workers = cfg.Workers
+		return eng
 	}
-	return engine.New(an, db, cfg.Registry)
+	eng := engine.New(an, db, cfg.Registry)
+	eng.Workers = cfg.Workers
+	return eng
 }
 
 // Run executes one full cycle (steps 1–7 of Figure 2) over the workflow and

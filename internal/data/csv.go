@@ -43,11 +43,16 @@ func readCSV(r io.Reader, rel string) (*Table, error) {
 		return nil, fmt.Errorf("read header: %w", err)
 	}
 	t := &Table{Rel: rel}
+	seen := make(map[string]bool, len(header))
 	for _, col := range header {
 		name := strings.TrimSpace(col)
 		if name == "" {
 			return nil, fmt.Errorf("empty column name in header")
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate column name %q in header", name)
+		}
+		seen[name] = true
 		t.Attrs = append(t.Attrs, workflow.Attr{Rel: rel, Col: name})
 	}
 	for line := 2; ; line++ {

@@ -38,6 +38,8 @@ func TestCSVRoundTrip(t *testing.T) {
 func TestCSVErrors(t *testing.T) {
 	cases := []struct{ name, in string }{
 		{"empty column", "a,,c\n1,2,3\n"},
+		{"duplicate column", "a,b,a\n1,2,3\n"},
+		{"duplicate after trim", "a, a\n1,2\n"},
 		{"ragged row", "a,b\n1,2\n3\n"},
 		{"non-integer", "a,b\n1,x\n"},
 	}
@@ -47,6 +49,13 @@ func TestCSVErrors(t *testing.T) {
 				t.Fatalf("want error for %q", tc.in)
 			}
 		})
+	}
+}
+
+func TestCSVDuplicateHeaderMessage(t *testing.T) {
+	_, err := readCSV(strings.NewReader("oid,pid,oid\n1,2,3\n"), "orders")
+	if err == nil || !strings.Contains(err.Error(), `duplicate column name "oid"`) {
+		t.Fatalf("want duplicate-column error naming the column, got %v", err)
 	}
 }
 

@@ -57,6 +57,10 @@ type Engine struct {
 	An  *workflow.Analysis
 	DB  DB
 	Reg Registry
+	// Workers bounds how many independent blocks execute concurrently
+	// (the block dependency DAG is derived from the analysis). Values <= 1
+	// run the classic sequential loop.
+	Workers int
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -127,41 +131,20 @@ func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 		}
 		out.Observed = taps.store
 	}
-	for _, blk := range e.An.Blocks {
-		tree := blk.Initial
-		if plans != nil {
-			if t, ok := plans[blk.Index]; ok && t != nil {
-				tree = t
-			}
-		}
-		tbl, err := e.runBlock(blk, tree, taps, out)
-		if err != nil {
-			return nil, fmt.Errorf("block %d: %w", blk.Index, err)
-		}
-		out.BlockOut[blk.Index] = tbl
+	err := runBlocksDAG(e.An, plans, e.Workers, out, func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error) {
+		return e.runBlock(blk, tree, taps, sink)
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Route block outputs to sinks.
-	for _, sink := range e.An.Graph.Sinks() {
-		blk := e.An.BlockOf(sink.Inputs[0])
-		if blk == nil {
-			// The sink's input is a block terminal.
-			for _, b := range e.An.Blocks {
-				if b.Terminal == sink.Inputs[0] {
-					blk = b
-					break
-				}
-			}
-		}
-		if blk == nil {
-			return nil, fmt.Errorf("sink %q: cannot locate producing block", sink.ID)
-		}
-		out.Sinks[sink.Rel] = out.BlockOut[blk.Index]
+	if err := routeSinks(e.An, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // runBlock executes one block: input chains, join tree, top operators.
-func (e *Engine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *Result) (*data.Table, error) {
+func (e *Engine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *blockSink) (*data.Table, error) {
 	// Materialize the inputs.
 	inputs := make([]*data.Table, len(blk.Inputs))
 	for i := range blk.Inputs {
@@ -199,7 +182,7 @@ func (e *Engine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *ta
 
 // runChain materializes input i of the block and applies its pushed-down
 // operators, feeding chain-point taps at every depth.
-func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result) (*data.Table, error) {
+func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *blockSink) (*data.Table, error) {
 	in := blk.Inputs[i]
 	var tbl *data.Table
 	switch {
@@ -210,7 +193,7 @@ func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result)
 		}
 		tbl = src
 	case in.FromBlock >= 0:
-		up, ok := out.BlockOut[in.FromBlock]
+		up, ok := out.upstream[in.FromBlock]
 		if !ok {
 			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
 		}
@@ -221,7 +204,7 @@ func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result)
 	if taps != nil {
 		taps.observeChainPoint(blk.Index, i, 0, len(in.Ops), tbl)
 	}
-	out.Rows += tbl.Card()
+	out.rows += tbl.Card()
 	for d, op := range in.Ops {
 		var err error
 		tbl, err = e.applyOp(tbl, op, out)
@@ -237,7 +220,7 @@ func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result)
 
 // runTree evaluates a join tree bottom-up, returning the result table and
 // the SE it represents, feeding SE taps and reject taps along the way.
-func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *Result) (*data.Table, expr.Set, error) {
+func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, expr.Set, error) {
 	if t.IsLeaf() {
 		se := expr.NewSet(t.Leaf)
 		if taps != nil {
@@ -263,7 +246,7 @@ func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*da
 	if err != nil {
 		return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
 	}
-	out.Rows += joined.Card()
+	out.rows += joined.Card()
 	se := lse.Union(rse)
 	if taps != nil {
 		taps.observeSE(blk.Index, se, joined)
@@ -279,7 +262,7 @@ func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*da
 	// A designed reject link materializes the left side's misses.
 	if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
 		name := string(edge.Node) + ".reject"
-		out.Materialized[name] = leftMisses
+		out.materialized[name] = leftMisses
 	}
 	return joined, se, nil
 }
@@ -325,7 +308,7 @@ func hashJoin(left, right *data.Table, la, ra workflow.Attr) (joined, leftMiss, 
 }
 
 // applyOp executes one unary operator.
-func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data.Table, error) {
+func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *blockSink) (*data.Table, error) {
 	switch op.Kind {
 	case workflow.KindSelect:
 		c := tbl.Col(op.Pred.Attr)
@@ -338,7 +321,7 @@ func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data
 				res.Rows = append(res.Rows, r)
 			}
 		}
-		out.Rows += res.Card()
+		out.rows += res.Card()
 		return res, nil
 	case workflow.KindProject:
 		cols := make([]int, len(op.Cols))
@@ -356,7 +339,7 @@ func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data
 			}
 			res.Rows = append(res.Rows, row)
 		}
-		out.Rows += res.Card()
+		out.rows += res.Card()
 		return res, nil
 	case workflow.KindTransform:
 		fn, ok := e.Reg[op.Transform.Fn]
@@ -380,7 +363,7 @@ func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data
 			row = append(append(row, r...), fn(buf))
 			res.Rows = append(res.Rows, row)
 		}
-		out.Rows += res.Card()
+		out.rows += res.Card()
 		return res, nil
 	case workflow.KindGroupBy:
 		cols := make([]int, len(op.Cols))
@@ -403,7 +386,7 @@ func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data
 				res.Rows = append(res.Rows, key)
 			}
 		}
-		out.Rows += res.Card()
+		out.rows += res.Card()
 		return res, nil
 	case workflow.KindAggregateUDF:
 		fn, ok := e.Reg[op.Transform.Fn]
@@ -438,10 +421,10 @@ func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *Result) (*data
 			row = append(append(row, buf...), fn(buf))
 			res.Rows = append(res.Rows, row)
 		}
-		out.Rows += res.Card()
+		out.rows += res.Card()
 		return res, nil
 	case workflow.KindMaterialize:
-		out.Materialized[op.Rel] = tbl
+		out.materialized[op.Rel] = tbl
 		return tbl, nil
 	default:
 		return nil, fmt.Errorf("unexpected operator kind %v in block", op.Kind)

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"github.com/essential-stats/etlopt/internal/data"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -22,9 +24,7 @@ type cardObserver struct {
 
 func (c *cardObserver) observe(data.Row) { c.n++ }
 func (c *cardObserver) finish() {
-	if !c.taps.store.Has(c.stat) {
-		c.taps.store.PutScalar(c.stat, c.n)
-	}
+	c.taps.store.PutScalarOnce(c.stat, c.n)
 }
 
 // histObserver builds an exact frequency histogram.
@@ -43,9 +43,7 @@ func (h *histObserver) observe(r data.Row) {
 	h.h.Inc(h.vals, 1)
 }
 func (h *histObserver) finish() {
-	if !h.taps.store.Has(h.stat) {
-		h.taps.store.PutHist(h.stat, h.h)
-	}
+	h.taps.store.PutHistOnce(h.stat, h.h)
 }
 
 // distinctObserver counts distinct combinations.
@@ -64,9 +62,75 @@ func (d *distinctObserver) observe(r data.Row) {
 	d.seen[rowKey(d.vals)] = true
 }
 func (d *distinctObserver) finish() {
-	if !d.taps.store.Has(d.stat) {
-		d.taps.store.PutScalar(d.stat, int64(len(d.seen)))
+	d.taps.store.PutScalarOnce(d.stat, int64(len(d.seen)))
+}
+
+// mergeObserver folds another shard of the same statistic into this one.
+// The parallel engine gives each worker its own observer shard (so per-row
+// observation never contends) and merges the shards after the operator
+// drains; because counts, bucket frequencies and distinct sets are
+// order-insensitive, the merged value is identical to a sequential
+// observation.
+func (c *cardObserver) mergeShard(o rowObserver) error {
+	s, ok := o.(*cardObserver)
+	if !ok {
+		return fmt.Errorf("merge shard: card vs %T", o)
 	}
+	c.n += s.n
+	return nil
+}
+
+func (h *histObserver) mergeShard(o rowObserver) error {
+	s, ok := o.(*histObserver)
+	if !ok {
+		return fmt.Errorf("merge shard: hist vs %T", o)
+	}
+	return h.h.Merge(s.h)
+}
+
+func (d *distinctObserver) mergeShard(o rowObserver) error {
+	s, ok := o.(*distinctObserver)
+	if !ok {
+		return fmt.Errorf("merge shard: distinct vs %T", o)
+	}
+	for k := range s.seen {
+		d.seen[k] = true
+	}
+	return nil
+}
+
+// shardMerger is implemented by every built-in observer; external test
+// observers need not implement it (they are never sharded).
+type shardMerger interface {
+	mergeShard(rowObserver) error
+}
+
+// mergeShards folds the worker shards (one []rowObserver per worker, all
+// built from the same statistic list) into the first shard and finishes it,
+// recording the merged statistics into the store.
+func mergeShards(shards [][]rowObserver) error {
+	if len(shards) == 0 {
+		return nil
+	}
+	base := shards[0]
+	for _, shard := range shards[1:] {
+		if len(shard) != len(base) {
+			return fmt.Errorf("merge shards: observer count mismatch (%d vs %d)", len(shard), len(base))
+		}
+		for i, o := range shard {
+			m, ok := base[i].(shardMerger)
+			if !ok {
+				return fmt.Errorf("merge shards: %T cannot merge", base[i])
+			}
+			if err := m.mergeShard(o); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range base {
+		o.finish()
+	}
+	return nil
 }
 
 // observersFor builds the per-row handlers for the given statistics against

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Inter-block parallelism. An ETL workflow's optimizable blocks form a DAG:
+// block B depends on block A exactly when one of B's inputs reads A's
+// boundary output (BlockInput.FromBlock). Blocks with no path between them
+// touch disjoint state, so they can execute on separate goroutines. The
+// scheduler below runs the DAG with a bounded worker pool; every block
+// writes its side effects (materialized tables, the row-work counter) into
+// a private blockSink that the scheduler folds into the shared Result under
+// its own lock, so block execution itself never touches shared maps.
+//
+// With workers <= 1 the scheduler degenerates to the plain topological loop
+// the engines always used, reproducing sequential behavior exactly.
+
+// blockSink collects one block's side effects during execution. upstream
+// holds the boundary outputs of the blocks this block reads from (complete
+// before the block is scheduled), so chains never read the shared Result.
+type blockSink struct {
+	upstream     map[int]*data.Table
+	materialized map[string]*data.Table
+	rows         int64
+}
+
+func newBlockSink() *blockSink {
+	return &blockSink{materialized: make(map[string]*data.Table)}
+}
+
+// blockRunner executes one block against its sink and returns the block's
+// boundary output.
+type blockRunner func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error)
+
+// blockDeps returns the upstream block indices each block reads from.
+func blockDeps(an *workflow.Analysis) map[int][]int {
+	deps := make(map[int][]int, len(an.Blocks))
+	for _, blk := range an.Blocks {
+		var d []int
+		for _, in := range blk.Inputs {
+			if in.FromBlock >= 0 {
+				d = append(d, in.FromBlock)
+			}
+		}
+		deps[blk.Index] = d
+	}
+	return deps
+}
+
+// runBlocksDAG executes every block of the analysis, respecting the block
+// dependency DAG, with at most `workers` blocks in flight. Block outputs,
+// materialized tables and row counters land in out. When several blocks are
+// ready the lowest block index starts first, and on failure the error of
+// the lowest failing block index is returned, so error reporting is
+// deterministic regardless of goroutine timing.
+func runBlocksDAG(an *workflow.Analysis, plans map[int]*workflow.JoinTree, workers int, out *Result, run blockRunner) error {
+	treeOf := func(blk *workflow.Block) *workflow.JoinTree {
+		tree := blk.Initial
+		if plans != nil {
+			if t, ok := plans[blk.Index]; ok && t != nil {
+				tree = t
+			}
+		}
+		return tree
+	}
+	deps := blockDeps(an)
+
+	if workers <= 1 || len(an.Blocks) <= 1 {
+		// Sequential: an.Blocks is topologically ordered, so every
+		// dependency is already in out.BlockOut when its reader runs.
+		for _, blk := range an.Blocks {
+			sink := newBlockSink()
+			sink.upstream = make(map[int]*data.Table, len(deps[blk.Index]))
+			for _, d := range deps[blk.Index] {
+				sink.upstream[d] = out.BlockOut[d]
+			}
+			tbl, err := run(blk, treeOf(blk), sink)
+			if err != nil {
+				return fmt.Errorf("block %d: %w", blk.Index, err)
+			}
+			out.BlockOut[blk.Index] = tbl
+			for k, v := range sink.materialized {
+				out.Materialized[k] = v
+			}
+			out.Rows += sink.rows
+		}
+		return nil
+	}
+
+	if workers > len(an.Blocks) {
+		workers = len(an.Blocks)
+	}
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		started = make(map[int]bool, len(an.Blocks))
+		done    = make(map[int]bool, len(an.Blocks))
+		errs    = make(map[int]error)
+		left    = len(an.Blocks)
+	)
+	// nextReady picks the lowest-index block whose dependencies completed.
+	nextReady := func() *workflow.Block {
+		for _, blk := range an.Blocks {
+			if started[blk.Index] {
+				continue
+			}
+			ready := true
+			for _, d := range deps[blk.Index] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				return blk
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			if len(errs) > 0 || left == 0 {
+				return
+			}
+			blk := nextReady()
+			if blk == nil {
+				// Everything runnable is in flight (the topological order
+				// guarantees progress while blocks remain and none failed).
+				cond.Wait()
+				continue
+			}
+			started[blk.Index] = true
+			sink := newBlockSink()
+			sink.upstream = make(map[int]*data.Table, len(deps[blk.Index]))
+			for _, d := range deps[blk.Index] {
+				sink.upstream[d] = out.BlockOut[d]
+			}
+			mu.Unlock()
+			tbl, err := run(blk, treeOf(blk), sink)
+			mu.Lock()
+			if err != nil {
+				errs[blk.Index] = err
+			} else {
+				out.BlockOut[blk.Index] = tbl
+				for k, v := range sink.materialized {
+					out.Materialized[k] = v
+				}
+				out.Rows += sink.rows
+				done[blk.Index] = true
+			}
+			left--
+			cond.Broadcast()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		idxs := make([]int, 0, len(errs))
+		for i := range errs {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		return fmt.Errorf("block %d: %w", idxs[0], errs[idxs[0]])
+	}
+	return nil
+}
+
+// routeSinks fills out.Sinks from the block outputs (shared by both
+// engines' RunPlans).
+func routeSinks(an *workflow.Analysis, out *Result) error {
+	for _, sink := range an.Graph.Sinks() {
+		blk := an.BlockOf(sink.Inputs[0])
+		if blk == nil {
+			// The sink's input is a block terminal.
+			for _, b := range an.Blocks {
+				if b.Terminal == sink.Inputs[0] {
+					blk = b
+					break
+				}
+			}
+		}
+		if blk == nil {
+			return fmt.Errorf("sink %q: cannot locate producing block", sink.ID)
+		}
+		out.Sinks[sink.Rel] = out.BlockOut[blk.Index]
+	}
+	return nil
+}
+
+// splitmix64 mixes a 64-bit value; the partitioner uses it so that skewed
+// join keys still spread across workers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// partitionByKey splits rows across w partitions by hash of the key column.
+// All rows sharing a join-key value land in the same partition, and within
+// a partition rows keep their relative order.
+func partitionByKey(rows []data.Row, col, w int) [][]data.Row {
+	parts := make([][]data.Row, w)
+	for _, r := range rows {
+		p := int(splitmix64(uint64(r[col])) % uint64(w))
+		parts[p] = append(parts[p], r)
+	}
+	return parts
+}
+
+// partitionChunks splits rows into w contiguous chunks (order-preserving:
+// concatenating the chunks reproduces rows exactly).
+func partitionChunks(rows []data.Row, w int) [][]data.Row {
+	parts := make([][]data.Row, w)
+	n := len(rows)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		parts[i] = rows[lo:hi]
+	}
+	return parts
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/wftest"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// equalResults compares every externally visible part of two engine
+// results: sinks, materialized side tables, observed statistics and the
+// work metric. Row order within tables is not part of the contract.
+func equalResults(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	for name, tbl := range seq.Sinks {
+		if !equalTables(tbl, par.Sinks[name]) {
+			t.Errorf("%s: sink %q differs", label, name)
+		}
+	}
+	if len(seq.Materialized) != len(par.Materialized) {
+		t.Errorf("%s: materialized sets differ: %d vs %d", label, len(seq.Materialized), len(par.Materialized))
+	}
+	for name, tbl := range seq.Materialized {
+		if !equalTables(tbl, par.Materialized[name]) {
+			t.Errorf("%s: materialized %q differs", label, name)
+		}
+	}
+	if (seq.Observed == nil) != (par.Observed == nil) {
+		t.Errorf("%s: one result has no observations", label)
+	} else if seq.Observed != nil && !equalStores(t, seq.Observed, par.Observed) {
+		t.Errorf("%s: observed statistics differ", label)
+	}
+	if seq.Rows != par.Rows {
+		t.Errorf("%s: work metric differs: %d vs %d", label, seq.Rows, par.Rows)
+	}
+}
+
+// TestParallelMatchesSequentialRetail is the cheap smoke check: the retail
+// workflow at Workers=4 must match Workers=1 on both engines.
+func TestParallelMatchesSequentialRetail(t *testing.T) {
+	db, cat := tinyDB()
+	an, err := workflow.Analyze(retailGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	observe := res.ObservableStats()
+
+	seqBatch, err := New(an, db, nil).RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("sequential batch: %v", err)
+	}
+	parBatch := New(an, db, nil)
+	parBatch.Workers = 4
+	outB, err := parBatch.RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("parallel batch: %v", err)
+	}
+	equalResults(t, "batch", seqBatch, outB)
+
+	seqStream, err := NewStream(an, db, nil).RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("sequential stream: %v", err)
+	}
+	parStream := NewStream(an, db, nil)
+	parStream.Workers = 4
+	outS, err := parStream.RunObserved(res, observe)
+	if err != nil {
+		t.Fatalf("parallel stream: %v", err)
+	}
+	equalResults(t, "stream", seqStream, outS)
+}
+
+// TestParallelMatchesSequentialFuzz is the harsh version of the check:
+// random workflows (including multi-block ones with reject links and
+// chains), observing everything observable, at several worker counts.
+func TestParallelMatchesSequentialFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign skipped in -short mode")
+	}
+	for seed := int64(300); seed < 312; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g, cat, db := wftest.Generate(seed, wftest.Options{MaxCard: 90})
+			an, err := workflow.Analyze(g, cat)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			res, err := css.Generate(an, css.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			observe := res.ObservableStats()
+
+			seqBatch, err := New(an, db, nil).RunObserved(res, observe)
+			if err != nil {
+				t.Fatalf("sequential batch: %v", err)
+			}
+			seqStream, err := NewStream(an, db, nil).RunObserved(res, observe)
+			if err != nil {
+				t.Fatalf("sequential stream: %v", err)
+			}
+			for _, w := range []int{2, 4} {
+				eb := New(an, db, nil)
+				eb.Workers = w
+				outB, err := eb.RunObserved(res, observe)
+				if err != nil {
+					t.Fatalf("batch workers=%d: %v", w, err)
+				}
+				equalResults(t, fmt.Sprintf("batch workers=%d", w), seqBatch, outB)
+
+				es := NewStream(an, db, nil)
+				es.Workers = w
+				outS, err := es.RunObserved(res, observe)
+				if err != nil {
+					t.Fatalf("stream workers=%d: %v", w, err)
+				}
+				equalResults(t, fmt.Sprintf("stream workers=%d", w), seqStream, outS)
+			}
+		})
+	}
+}
+
+// multiBlockGraph builds a workflow whose analysis yields a block DAG with
+// genuine parallelism: two independent source branches, each closed by a
+// GroupBy (a block boundary), joined in a final block.
+func multiBlockGraph() *workflow.Graph {
+	b := workflow.NewBuilder("diamond")
+	o := b.Source("Orders")
+	g1 := b.GroupBy(o, workflow.Attr{Rel: "Orders", Col: "cid"})
+	c := b.Source("Customer")
+	g2 := b.GroupBy(c, workflow.Attr{Rel: "Customer", Col: "cid"})
+	j := b.Join(g1, g2, workflow.Attr{Rel: "Orders", Col: "cid"}, workflow.Attr{Rel: "Customer", Col: "cid"})
+	b.Sink(j, "out")
+	return b.Graph()
+}
+
+// TestBlockDAGParallel checks the inter-block scheduler on a workflow whose
+// first two blocks are mutually independent.
+func TestBlockDAGParallel(t *testing.T) {
+	db, cat := tinyDB()
+	an, err := workflow.Analyze(multiBlockGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Blocks) < 3 {
+		t.Fatalf("want a multi-block analysis, got %d blocks", len(an.Blocks))
+	}
+	deps := blockDeps(an)
+	independent := 0
+	for _, blk := range an.Blocks {
+		if len(deps[blk.Index]) == 0 {
+			independent++
+		}
+	}
+	if independent < 2 {
+		t.Fatalf("want >= 2 independent blocks, got %d", independent)
+	}
+	seq, err := New(an, db, nil).Run()
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, mk := range []func() interface {
+		Run() (*Result, error)
+	}{
+		func() interface {
+			Run() (*Result, error)
+		} {
+			e := New(an, db, nil)
+			e.Workers = 4
+			return e
+		},
+		func() interface {
+			Run() (*Result, error)
+		} {
+			e := NewStream(an, db, nil)
+			e.Workers = 4
+			return e
+		},
+	} {
+		out, err := mk().Run()
+		if err != nil {
+			t.Fatalf("parallel: %v", err)
+		}
+		equalResults(t, "dag", seq, out)
+	}
+}
+
+// TestParallelErrorDeterministic: when several blocks fail, the reported
+// error must be the lowest-index block's, independent of completion order.
+func TestParallelErrorDeterministic(t *testing.T) {
+	db, cat := tinyDB()
+	delete(db, "Orders")
+	delete(db, "Customer")
+	an, err := workflow.Analyze(multiBlockGraph(), cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var first string
+	for trial := 0; trial < 8; trial++ {
+		e := New(an, db, nil)
+		e.Workers = 4
+		_, err := e.Run()
+		if err == nil {
+			t.Fatal("want error for missing relations")
+		}
+		if trial == 0 {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error varies across runs: %q vs %q", first, err.Error())
+		}
+	}
+}
+
+func TestPartitionChunks(t *testing.T) {
+	rows := make([]data.Row, 10)
+	for i := range rows {
+		rows[i] = data.Row{int64(i)}
+	}
+	parts := partitionChunks(rows, 3)
+	var back []data.Row
+	for _, p := range parts {
+		back = append(back, p...)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("chunks lost rows: %d vs %d", len(back), len(rows))
+	}
+	for i := range rows {
+		if back[i][0] != rows[i][0] {
+			t.Fatalf("chunk concatenation reordered rows at %d", i)
+		}
+	}
+}
+
+func TestPartitionByKeyLocality(t *testing.T) {
+	rows := make([]data.Row, 100)
+	for i := range rows {
+		rows[i] = data.Row{int64(i % 7)}
+	}
+	parts := partitionByKey(rows, 0, 4)
+	total := 0
+	owner := make(map[int64]int)
+	for w, p := range parts {
+		total += len(p)
+		for _, r := range p {
+			if prev, ok := owner[r[0]]; ok && prev != w {
+				t.Fatalf("key %d split across workers %d and %d", r[0], prev, w)
+			}
+			owner[r[0]] = w
+		}
+	}
+	if total != len(rows) {
+		t.Fatalf("partition lost rows: %d vs %d", total, len(rows))
+	}
+}

@@ -19,6 +19,12 @@ type StreamEngine struct {
 	An  *workflow.Analysis
 	DB  DB
 	Reg Registry
+	// Workers bounds block-level concurrency and, within each block,
+	// partitions chain and join-probe pipelines across goroutines with
+	// per-worker statistic shards (merged after the operator drains, so
+	// observed values are identical to a sequential run). Values <= 1 run
+	// the classic single-goroutine iterators.
+	Workers int
 }
 
 // NewStream returns a streaming engine.
@@ -54,33 +60,14 @@ func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Resul
 		}
 		out.Observed = taps.store
 	}
-	for _, blk := range e.An.Blocks {
-		tree := blk.Initial
-		if plans != nil {
-			if t, ok := plans[blk.Index]; ok && t != nil {
-				tree = t
-			}
-		}
-		tbl, err := e.runBlock(blk, tree, taps, out)
-		if err != nil {
-			return nil, fmt.Errorf("block %d: %w", blk.Index, err)
-		}
-		out.BlockOut[blk.Index] = tbl
+	err := runBlocksDAG(e.An, plans, e.Workers, out, func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error) {
+		return e.runBlock(blk, tree, taps, sink)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, sink := range e.An.Graph.Sinks() {
-		blk := e.An.BlockOf(sink.Inputs[0])
-		if blk == nil {
-			for _, b := range e.An.Blocks {
-				if b.Terminal == sink.Inputs[0] {
-					blk = b
-					break
-				}
-			}
-		}
-		if blk == nil {
-			return nil, fmt.Errorf("sink %q: cannot locate producing block", sink.ID)
-		}
-		out.Sinks[sink.Rel] = out.BlockOut[blk.Index]
+	if err := routeSinks(e.An, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -91,7 +78,7 @@ type stream struct {
 	attrs []workflow.Attr
 }
 
-func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *Result) (*data.Table, error) {
+func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *blockSink) (*data.Table, error) {
 	// Materialize inputs through streaming chains (chain-point handlers
 	// fire per tuple on the way).
 	inputs := make([]*data.Table, len(blk.Inputs))
@@ -108,6 +95,12 @@ func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, ta
 			return nil, fmt.Errorf("join-free block with %d inputs", len(inputs))
 		}
 		result = inputs[0]
+	} else if e.Workers > 1 && !tree.IsLeaf() {
+		tbl, err := e.runTreeParallel(blk, tree, inputs, taps, out)
+		if err != nil {
+			return nil, err
+		}
+		result = tbl
 	} else {
 		st, se, aux, err := e.buildTree(blk, tree, inputs, taps, out)
 		if err != nil {
@@ -127,10 +120,10 @@ func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, ta
 	}
 	for _, op := range blk.TopOps {
 		if op.Kind == workflow.KindMaterialize {
-			out.Materialized[op.Rel] = result
+			out.materialized[op.Rel] = result
 			continue
 		}
-		st, err := e.opStream(&stream{it: &scanIter{tbl: result}, attrs: result.Attrs}, op, out)
+		st, err := e.opStream(&stream{it: &scanIter{tbl: result}, attrs: result.Attrs}, op)
 		if err != nil {
 			return nil, fmt.Errorf("top op %q: %w", op.ID, err)
 		}
@@ -138,7 +131,7 @@ func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, ta
 		if err != nil {
 			return nil, err
 		}
-		out.Rows += tbl.Card()
+		out.rows += tbl.Card()
 		result = tbl
 	}
 	return result, nil
@@ -146,7 +139,7 @@ func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, ta
 
 // runChain streams one block input's pushed-down operators into a
 // materialized table, tapping every chain point per tuple.
-func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *Result) (*data.Table, error) {
+func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *blockSink) (*data.Table, error) {
 	in := blk.Inputs[i]
 	var base *data.Table
 	switch {
@@ -157,7 +150,7 @@ func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *R
 		}
 		base = src
 	case in.FromBlock >= 0:
-		up, ok := out.BlockOut[in.FromBlock]
+		up, ok := out.upstream[in.FromBlock]
 		if !ok {
 			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
 		}
@@ -165,13 +158,16 @@ func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *R
 	default:
 		return nil, fmt.Errorf("input %d has neither source nor upstream block", i)
 	}
+	if e.Workers > 1 && len(base.Rows) >= 2*e.Workers {
+		return e.runChainParallel(blk, i, base, taps, out)
+	}
 	st := &stream{it: &scanIter{tbl: base}, attrs: base.Attrs}
 	st, err := e.tapChainPoint(st, blk, i, 0, len(in.Ops), taps, out)
 	if err != nil {
 		return nil, err
 	}
 	for d, op := range in.Ops {
-		st, err = e.opStream(st, op, out)
+		st, err = e.opStream(st, op)
 		if err != nil {
 			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
 		}
@@ -189,21 +185,26 @@ func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *R
 
 // tapChainPoint wraps a stream with the observers registered at a chain
 // point (the cooked end doubles as the singleton SE) and the work counter.
-func (e *StreamEngine) tapChainPoint(st *stream, blk *workflow.Block, input, depth, chainLen int, taps *tapSet, out *Result) (*stream, error) {
-	var obs []rowObserver
-	if taps != nil {
-		var statsHere []stats.Stat
-		statsHere = append(statsHere, taps.chain[[3]int{blk.Index, input, depth}]...)
-		if depth == chainLen {
-			statsHere = append(statsHere, taps.se[seKey{blk.Index, expr.NewSet(input)}]...)
-		}
-		var err error
-		obs, err = observersFor(taps, statsHere, st.attrs)
-		if err != nil {
-			return nil, err
-		}
+func (e *StreamEngine) tapChainPoint(st *stream, blk *workflow.Block, input, depth, chainLen int, taps *tapSet, out *blockSink) (*stream, error) {
+	obs, err := observersFor(taps, chainPointStats(taps, blk, input, depth, chainLen), st.attrs)
+	if err != nil {
+		return nil, err
 	}
-	return &stream{it: &tapIter{src: st.it, observers: obs, rows: &out.Rows}, attrs: st.attrs}, nil
+	return &stream{it: &tapIter{src: st.it, observers: obs, rows: &out.rows}, attrs: st.attrs}, nil
+}
+
+// chainPointStats lists the statistics registered at a chain point (the
+// cooked end doubles as the singleton SE). Nil taps yield nil.
+func chainPointStats(taps *tapSet, blk *workflow.Block, input, depth, chainLen int) []stats.Stat {
+	if taps == nil {
+		return nil
+	}
+	var out []stats.Stat
+	out = append(out, taps.chain[[3]int{blk.Index, input, depth}]...)
+	if depth == chainLen {
+		out = append(out, taps.se[seKey{blk.Index, expr.NewSet(input)}]...)
+	}
+	return out
 }
 
 // auxReject remembers a pending union–division auxiliary join: the misses
@@ -247,7 +248,7 @@ func (a *auxReject) run(blk *workflow.Block, taps *tapSet, inputs []*data.Table)
 // buildTree assembles the streaming join pipeline for a join tree: the
 // right side of each join is materialized (the hash build), the left side
 // streams.
-func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *Result) (*stream, expr.Set, []*auxReject, error) {
+func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*stream, expr.Set, []*auxReject, error) {
 	if t.IsLeaf() {
 		tbl := inputs[t.Leaf]
 		// Chain taps already observed the cooked input; the leaf stream
@@ -343,7 +344,7 @@ func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inpu
 			}
 			sink.Rows = append(sink.Rows, r)
 		}
-		out.Materialized[string(edge.Node)+".reject"] = sink
+		out.materialized[string(edge.Node)+".reject"] = sink
 	}
 	aux = append(aux, missSinks...)
 
@@ -357,7 +358,7 @@ func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inpu
 			return nil, 0, nil, err
 		}
 	}
-	return &stream{it: &tapIter{src: join, observers: obs, rows: &out.Rows}, attrs: attrs}, se, aux, nil
+	return &stream{it: &tapIter{src: join, observers: obs, rows: &out.rows}, attrs: attrs}, se, aux, nil
 }
 
 // rejectHandlers prepares the per-row observers for singleton reject
@@ -385,7 +386,7 @@ func rejectHandlers(blk *workflow.Block, taps *tapSet, t, f int, attrs []workflo
 }
 
 // opStream wraps one unary operator around a stream.
-func (e *StreamEngine) opStream(st *stream, op *workflow.Node, out *Result) (*stream, error) {
+func (e *StreamEngine) opStream(st *stream, op *workflow.Node) (*stream, error) {
 	switch op.Kind {
 	case workflow.KindSelect:
 		cols, err := colsOf(st.attrs, []workflow.Attr{op.Pred.Attr})

@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Intra-operator parallelism for the streaming engine. With Workers > 1 a
+// block's scan→filter→probe pipelines are partitioned across goroutines:
+//
+//   - Input chains split into contiguous row chunks; each worker runs the
+//     full operator chain over its chunk with private statistic shards.
+//     Concatenating the chunk outputs in order reproduces the sequential
+//     row order exactly (chains carry only per-row operators).
+//   - Join trees execute as a probe cascade along the streamed (left)
+//     spine: every build side is materialized once and indexed, the base
+//     input is partitioned by hash of the first probe key (splitmix64, so
+//     all rows of one key land on one worker), and each worker drives its
+//     rows through every probe stage with per-worker observers, miss sinks
+//     and matched-key sets.
+//
+// After a pipeline drains, the per-worker shards merge (counts add,
+// histogram buckets add, distinct sets union) and the merged observer
+// records into the store — so every observed statistic is identical to the
+// sequential run's, which the cross-check tests assert at Workers=4.
+
+// shardTapIter is tapIter without the end-of-stream finish: worker shards
+// are finished exactly once, by the merge step, not per worker.
+type shardTapIter struct {
+	src       Iterator
+	observers []rowObserver
+	rows      *int64
+}
+
+func (t *shardTapIter) Open() error { return t.src.Open() }
+func (t *shardTapIter) Next() (data.Row, bool, error) {
+	r, ok, err := t.src.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for _, o := range t.observers {
+		o.observe(r)
+	}
+	if t.rows != nil {
+		*t.rows++
+	}
+	return r, true, nil
+}
+func (t *shardTapIter) Close() error { return t.src.Close() }
+
+// perRowChain reports whether every chain operator is per-row (select,
+// project, transform): only then can chunks run independently. Block
+// analysis cuts chains at blocking operators, so this always holds today;
+// the check keeps the fallback honest if that ever changes.
+func perRowChain(ops []*workflow.Node) bool {
+	for _, op := range ops {
+		switch op.Kind {
+		case workflow.KindSelect, workflow.KindProject, workflow.KindTransform:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// runChainParallel is runChain's Workers>1 path: contiguous chunks of the
+// base relation stream through per-worker copies of the operator chain.
+func (e *StreamEngine) runChainParallel(blk *workflow.Block, i int, base *data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
+	in := blk.Inputs[i]
+	if !perRowChain(in.Ops) {
+		return e.runChainSequential(blk, i, base, taps, out)
+	}
+	w := e.Workers
+	parts := partitionChunks(base.Rows, w)
+
+	type chainShard struct {
+		rows int64
+		obs  [][]rowObserver // per chain point, in depth order
+		out  *data.Table
+		err  error
+	}
+	shards := make([]*chainShard, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		shard := &chainShard{}
+		shards[wi] = shard
+		part := parts[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chunk := &data.Table{Rel: base.Rel, Attrs: base.Attrs, Rows: part}
+			st := &stream{it: &scanIter{tbl: chunk}, attrs: base.Attrs}
+			tap := func(depth int) error {
+				obs, err := observersFor(taps, chainPointStats(taps, blk, i, depth, len(in.Ops)), st.attrs)
+				if err != nil {
+					return err
+				}
+				shard.obs = append(shard.obs, obs)
+				st = &stream{it: &shardTapIter{src: st.it, observers: obs, rows: &shard.rows}, attrs: st.attrs}
+				return nil
+			}
+			if err := tap(0); err != nil {
+				shard.err = err
+				return
+			}
+			for d, op := range in.Ops {
+				next, err := e.opStream(st, op)
+				if err != nil {
+					shard.err = fmt.Errorf("chain op %q: %w", op.ID, err)
+					return
+				}
+				st = next
+				if err := tap(d + 1); err != nil {
+					shard.err = err
+					return
+				}
+			}
+			tbl, err := drain(st.it, in.Name, st.attrs)
+			if err != nil {
+				shard.err = err
+				return
+			}
+			shard.out = tbl
+		}()
+	}
+	wg.Wait()
+	for _, shard := range shards {
+		if shard.err != nil {
+			return nil, shard.err
+		}
+	}
+	// Concatenate chunk outputs in order, merge the statistic shards per
+	// chain point, and fold the per-worker row counters.
+	result := &data.Table{Rel: in.Name, Attrs: shards[0].out.Attrs}
+	for _, shard := range shards {
+		result.Rows = append(result.Rows, shard.out.Rows...)
+		out.rows += shard.rows
+	}
+	for d := 0; d <= len(in.Ops); d++ {
+		group := make([][]rowObserver, w)
+		for wi, shard := range shards {
+			group[wi] = shard.obs[d]
+		}
+		if err := mergeShards(group); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// runChainSequential is the classic single-goroutine chain over an already
+// resolved base table (the fallback for non-per-row chains).
+func (e *StreamEngine) runChainSequential(blk *workflow.Block, i int, base *data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
+	in := blk.Inputs[i]
+	st := &stream{it: &scanIter{tbl: base}, attrs: base.Attrs}
+	st, err := e.tapChainPoint(st, blk, i, 0, len(in.Ops), taps, out)
+	if err != nil {
+		return nil, err
+	}
+	for d, op := range in.Ops {
+		st, err = e.opStream(st, op)
+		if err != nil {
+			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
+		}
+		st, err = e.tapChainPoint(st, blk, i, d+1, len(in.Ops), taps, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return drain(st.it, in.Name, st.attrs)
+}
+
+// probeStage is one hash join along the streamed spine of a join tree: a
+// materialized, indexed build side plus the statistic and reject wiring the
+// sequential pipeline would attach at the same point.
+type probeStage struct {
+	edge    int // index into blk.Joins
+	right   *data.Table
+	index   map[int64][]data.Row
+	lc, rc  int
+	inAttrs []workflow.Attr // streamed-side schema entering the stage
+	attrs   []workflow.Attr // output schema (inAttrs + right.Attrs)
+	seStats []stats.Stat    // observers on the stage's join output
+
+	leftSingles  []stats.Stat // singleton reject stats over left misses
+	leftAux      *auxReject   // two-input reject variants over left misses
+	rightSingles []stats.Stat
+	rightAux     *auxReject
+	rejectLink   string // non-empty: materialize left misses under this name
+}
+
+// stageState is one worker's private view of one stage.
+type stageState struct {
+	seObs      []rowObserver
+	leftObs    []rowObserver
+	leftMisses []data.Row
+	linkRows   []data.Row
+	matched    map[int64]bool
+}
+
+// runTreeParallel executes a join tree with partitioned probe pipelines,
+// returning the block's joined output (root rel name matches the
+// sequential drain).
+func (e *StreamEngine) runTreeParallel(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
+	tbl, _, err := e.runSpine(blk, t, inputs, taps, out, "block")
+	return tbl, err
+}
+
+// evalSubtree materializes a join-tree node: leaves are the (already
+// cooked) block inputs, internal nodes run their own partitioned spine.
+func (e *StreamEngine) evalSubtree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, expr.Set, error) {
+	if t.IsLeaf() {
+		return inputs[t.Leaf], expr.NewSet(t.Leaf), nil
+	}
+	return e.runSpine(blk, t, inputs, taps, out, "build")
+}
+
+func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink, rel string) (*data.Table, expr.Set, error) {
+	// Collect the streamed spine bottom-up; the spine leaf is the base
+	// input every probe partition starts from.
+	var nodes []*workflow.JoinTree
+	cur := t
+	for !cur.IsLeaf() {
+		nodes = append(nodes, cur)
+		cur = cur.Left
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	base := inputs[cur.Leaf]
+	lse := expr.NewSet(cur.Leaf)
+	leftAttrs := base.Attrs
+
+	var stages []*probeStage
+	var auxes []*auxReject
+	for _, nd := range nodes {
+		right, rse, err := e.evalSubtree(blk, nd.Right, inputs, taps, out)
+		if err != nil {
+			return nil, 0, err
+		}
+		edge := blk.Joins[nd.Join]
+		la, ra := edge.LeftAttr, edge.RightAttr
+		lc, err := colsOf(leftAttrs, []workflow.Attr{la})
+		if err != nil {
+			la, ra = ra, la
+			lc, err = colsOf(leftAttrs, []workflow.Attr{la})
+			if err != nil {
+				return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
+			}
+		}
+		rc, err := colsOf(right.Attrs, []workflow.Attr{ra})
+		if err != nil {
+			return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
+		}
+		st := &probeStage{
+			edge:    nd.Join,
+			right:   right,
+			lc:      lc[0],
+			rc:      rc[0],
+			inAttrs: leftAttrs,
+			attrs:   append(append([]workflow.Attr(nil), leftAttrs...), right.Attrs...),
+		}
+		st.index = make(map[int64][]data.Row, len(right.Rows))
+		for _, r := range right.Rows {
+			st.index[r[st.rc]] = append(st.index[r[st.rc]], r)
+		}
+		if taps != nil {
+			st.seStats = taps.se[seKey{blk.Index, lse.Union(rse)}]
+			if lse.Len() == 1 {
+				sink, singles := rejectStats(blk, taps, lse.Lowest(), nd.Join)
+				st.leftSingles = singles
+				st.leftAux = sink
+				if sink != nil {
+					sink.misses = &data.Table{Rel: "miss", Attrs: leftAttrs}
+					auxes = append(auxes, sink)
+				}
+			}
+			if rse.Len() == 1 {
+				sink, singles := rejectStats(blk, taps, rse.Lowest(), nd.Join)
+				st.rightSingles = singles
+				st.rightAux = sink
+				if sink != nil {
+					sink.misses = &data.Table{Rel: "miss", Attrs: right.Attrs}
+					auxes = append(auxes, sink)
+				}
+			}
+		}
+		if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
+			st.rejectLink = string(edge.Node) + ".reject"
+		}
+		leftAttrs = st.attrs
+		lse = lse.Union(rse)
+		stages = append(stages, st)
+	}
+
+	w := e.Workers
+	parts := partitionByKey(base.Rows, stages[0].lc, w)
+
+	type treeShard struct {
+		rows   int64
+		out    []data.Row
+		stages []stageState
+		err    error
+	}
+	shards := make([]*treeShard, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		shard := &treeShard{stages: make([]stageState, len(stages))}
+		shards[wi] = shard
+		part := parts[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si, st := range stages {
+				ss := &shard.stages[si]
+				ss.matched = make(map[int64]bool)
+				var err error
+				if ss.seObs, err = observersFor(taps, st.seStats, st.attrs); err != nil {
+					shard.err = err
+					return
+				}
+				if ss.leftObs, err = observersFor(taps, st.leftSingles, st.inAttrs); err != nil {
+					shard.err = err
+					return
+				}
+			}
+			var emit func(row data.Row, si int)
+			emit = func(row data.Row, si int) {
+				if si == len(stages) {
+					shard.out = append(shard.out, row)
+					return
+				}
+				st := stages[si]
+				ss := &shard.stages[si]
+				matches := st.index[row[st.lc]]
+				if len(matches) == 0 {
+					for _, o := range ss.leftObs {
+						o.observe(row)
+					}
+					if st.leftAux != nil {
+						ss.leftMisses = append(ss.leftMisses, row)
+					}
+					if st.rejectLink != "" {
+						ss.linkRows = append(ss.linkRows, row)
+					}
+					return
+				}
+				ss.matched[row[st.lc]] = true
+				for _, rrow := range matches {
+					joined := make(data.Row, 0, len(row)+len(rrow))
+					joined = append(append(joined, row...), rrow...)
+					for _, o := range ss.seObs {
+						o.observe(joined)
+					}
+					shard.rows++
+					emit(joined, si+1)
+				}
+			}
+			for _, r := range part {
+				emit(r, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, shard := range shards {
+		if shard.err != nil {
+			return nil, 0, shard.err
+		}
+	}
+
+	// Merge: worker outputs concatenate, observer shards fold into the
+	// store, matched-key sets union so build-side misses are computed once.
+	result := &data.Table{Rel: rel, Attrs: leftAttrs}
+	for _, shard := range shards {
+		result.Rows = append(result.Rows, shard.out...)
+		out.rows += shard.rows
+	}
+	for si, st := range stages {
+		seGroup := make([][]rowObserver, w)
+		leftGroup := make([][]rowObserver, w)
+		for wi, shard := range shards {
+			seGroup[wi] = shard.stages[si].seObs
+			leftGroup[wi] = shard.stages[si].leftObs
+		}
+		if err := mergeShards(seGroup); err != nil {
+			return nil, 0, err
+		}
+		if err := mergeShards(leftGroup); err != nil {
+			return nil, 0, err
+		}
+		if st.leftAux != nil {
+			for _, shard := range shards {
+				st.leftAux.misses.Rows = append(st.leftAux.misses.Rows, shard.stages[si].leftMisses...)
+			}
+		}
+		if st.rejectLink != "" {
+			link := &data.Table{Rel: "reject", Attrs: st.inAttrs}
+			for _, shard := range shards {
+				link.Rows = append(link.Rows, shard.stages[si].linkRows...)
+			}
+			out.materialized[st.rejectLink] = link
+		}
+		if st.rightSingles != nil || st.rightAux != nil {
+			matched := make(map[int64]bool)
+			for _, shard := range shards {
+				for k := range shard.stages[si].matched {
+					matched[k] = true
+				}
+			}
+			obs, err := observersFor(taps, st.rightSingles, st.right.Attrs)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, r := range st.right.Rows {
+				if matched[r[st.rc]] {
+					continue
+				}
+				for _, o := range obs {
+					o.observe(r)
+				}
+				if st.rightAux != nil {
+					st.rightAux.misses.Rows = append(st.rightAux.misses.Rows, r)
+				}
+			}
+			for _, o := range obs {
+				o.finish()
+			}
+		}
+	}
+	// Auxiliary reject joins (two-input union–division counters) run after
+	// the cascade, exactly like the sequential engine runs them after the
+	// root drains.
+	for _, a := range auxes {
+		a.run(blk, taps, inputs)
+	}
+	return result, lse, nil
+}
+
+// rejectStats splits the reject statistics registered at (input t, edge f)
+// into per-row singleton stats and (when two-input variants exist) an
+// auxiliary-join sink, mirroring rejectHandlers without building observers.
+func rejectStats(blk *workflow.Block, taps *tapSet, t, f int) (*auxReject, []stats.Stat) {
+	var singles []stats.Stat
+	needAux := false
+	for _, s := range taps.reject[[3]int{blk.Index, t, f}] {
+		if s.Target.Set.Len() == 1 {
+			singles = append(singles, s)
+		} else {
+			needAux = true
+		}
+	}
+	if !needAux {
+		return nil, singles
+	}
+	return &auxReject{t: t, f: f}, singles
+}

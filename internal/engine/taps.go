@@ -127,7 +127,7 @@ func (t *tapSet) collect(s stats.Stat, tbl *data.Table) {
 	}
 	switch s.Kind {
 	case stats.Card:
-		t.store.PutScalar(s, tbl.Card())
+		t.store.PutScalarOnce(s, tbl.Card())
 	case stats.Distinct:
 		cols, err := t.columnsFor(s, tbl)
 		if err != nil {
@@ -141,7 +141,7 @@ func (t *tapSet) collect(s stats.Stat, tbl *data.Table) {
 			}
 			seen[rowKey(key)] = true
 		}
-		t.store.PutScalar(s, int64(len(seen)))
+		t.store.PutScalarOnce(s, int64(len(seen)))
 	case stats.Hist:
 		cols, err := t.columnsFor(s, tbl)
 		if err != nil {
@@ -155,7 +155,7 @@ func (t *tapSet) collect(s stats.Stat, tbl *data.Table) {
 			}
 			h.Inc(vals, 1)
 		}
-		t.store.PutHist(s, h)
+		t.store.PutHistOnce(s, h)
 	}
 }
 

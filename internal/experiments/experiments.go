@@ -28,6 +28,12 @@ import (
 	"github.com/essential-stats/etlopt/internal/suite"
 )
 
+// Workers bounds execution-layer concurrency for the experiments that run
+// the engines (e2e, work); values <= 1 execute sequentially. Observed
+// statistics are identical either way, so every measurement is
+// worker-count independent except wall-clock time.
+var Workers int
+
 // selectOptions caps the exact solver so wide workflows finish promptly;
 // the incumbent is still reported (Optimal=false) when the cap bites.
 func selectOptions() selector.Options {

@@ -57,7 +57,9 @@ func endToEndOne(id int, scale float64) (*E2ERow, error) {
 	{
 		w := suite.Get(id)
 		db := w.Data(scale)
-		cy, err := core.Run(w.Graph, w.Catalog, db, core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		cfg.Workers = Workers
+		cy, err := core.Run(w.Graph, w.Catalog, db, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -364,6 +366,7 @@ func WorkComparison(ids []int, scale float64) ([]*WorkRow, error) {
 		}
 		db := w.Data(scale)
 		eng := engine.New(an, db, nil)
+		eng.Workers = Workers
 
 		// Framework: one instrumented run with the optimal statistics.
 		coster := costmodel.NewMemoryCoster(res, an.Cat)

@@ -158,6 +158,9 @@ func optimizeBlock(bi int, blk *workflow.Block, sp *expr.Space, cards CardSource
 				return nil, err
 			}
 			c := l.cost + r.cost + joinCost(model, lCard, rCard, outCard)
+			// Strict < keeps the earliest enumerated plan on cost ties;
+			// sp.Plans order is deterministic (SEs sorted, subset splits
+			// ordered), so the chosen tree is stable across runs.
 			if c < cur.cost {
 				cur = entry{
 					cost: c,

@@ -127,6 +127,30 @@ func TestOptimizeInitialAlreadyBest(t *testing.T) {
 	}
 }
 
+// TestOptimizeDeterministicUnderTies forces every plan of the block to
+// cost exactly the same (all cardinalities 1) and checks that repeated
+// optimization returns the identical tree — the tie must break on plan
+// enumeration order, not on map iteration or other incidental state.
+func TestOptimizeDeterministicUnderTies(t *testing.T) {
+	res := chain3(t)
+	cards := fixedCards{} // every SE defaults to card 1: all plans tie
+	var prev string
+	for trial := 0; trial < 5; trial++ {
+		out, err := Optimize(res, cards, Cout)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		got := out.Plans[0].Tree.String()
+		if trial == 0 {
+			prev = got
+			continue
+		}
+		if got != prev {
+			t.Fatalf("trial %d picked %s, first trial picked %s", trial, got, prev)
+		}
+	}
+}
+
 func TestOptimizeHashJoinModel(t *testing.T) {
 	res := chain3(t)
 	cards := fixedCards{res.Space(0).Full(): 10}

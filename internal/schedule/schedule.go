@@ -11,6 +11,7 @@ package schedule
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/engine"
@@ -247,14 +248,48 @@ func render(t *workflow.JoinTree) string {
 // under re-ordered plans, so the engine's unfiltered observation mode is
 // used; statistics a run's plans fail to expose simply stay absent and are
 // reported as an error at the end.
+//
+// Runs are independent full executions, so when the engine is configured
+// with Workers > 1 they execute concurrently (bounded by Workers). Stores
+// merge in run order, so the merged result is identical to a sequential
+// execution regardless of completion order.
 func Execute(eng *engine.Engine, res *css.Result, plan *Plan) (*stats.Store, error) {
 	merged := stats.NewStore()
-	for i, run := range plan.Runs {
-		result, err := eng.RunPlansObserving(run.Trees, res, run.Observe)
-		if err != nil {
-			return nil, fmt.Errorf("schedule: run %d: %w", i+1, err)
+	workers := eng.Workers
+	if workers > len(plan.Runs) {
+		workers = len(plan.Runs)
+	}
+	if workers > 1 {
+		results := make([]*engine.Result, len(plan.Runs))
+		errs := make([]error, len(plan.Runs))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, run := range plan.Runs {
+			wg.Add(1)
+			go func(i int, run *Run) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = eng.RunPlansObserving(run.Trees, res, run.Observe)
+			}(i, run)
 		}
-		merged.Merge(result.Observed)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("schedule: run %d: %w", i+1, err)
+			}
+		}
+		for _, result := range results {
+			merged.Merge(result.Observed)
+		}
+	} else {
+		for i, run := range plan.Runs {
+			result, err := eng.RunPlansObserving(run.Trees, res, run.Observe)
+			if err != nil {
+				return nil, fmt.Errorf("schedule: run %d: %w", i+1, err)
+			}
+			merged.Merge(result.Observed)
+		}
 	}
 	for _, run := range plan.Runs {
 		for _, s := range run.Observe {

@@ -108,6 +108,44 @@ func TestExecuteScheduleCoversAndEstimates(t *testing.T) {
 	}
 }
 
+// TestExecuteParallelMatchesSequential: with Workers > 1 the runs of a
+// schedule execute concurrently; the merged store must be identical to
+// the sequential execution.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	u, res, an, db := buildUniverse(t, 3)
+	plan, err := Build(u, 64)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	seqEng := engine.New(an, db, nil)
+	seq, err := Execute(seqEng, res, plan)
+	if err != nil {
+		t.Fatalf("sequential Execute: %v", err)
+	}
+	parEng := engine.New(an, db, nil)
+	parEng.Workers = 4
+	par, err := Execute(parEng, res, plan)
+	if err != nil {
+		t.Fatalf("parallel Execute: %v", err)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("store sizes differ: %d vs %d", seq.Len(), par.Len())
+	}
+	for _, v := range seq.Values() {
+		if v.Hist != nil {
+			h, err := par.Hist(v.Stat)
+			if err != nil || h.Total() != v.Hist.Total() || h.Buckets() != v.Hist.Buckets() {
+				t.Errorf("hist %v differs (%v)", v.Stat.Key(), err)
+			}
+			continue
+		}
+		got, err := par.Scalar(v.Stat)
+		if err != nil || got != v.Scalar {
+			t.Errorf("scalar %v: %d vs %d (%v)", v.Stat.Key(), v.Scalar, got, err)
+		}
+	}
+}
+
 func TestGenerousBudgetSingleRun(t *testing.T) {
 	u, _, _, _ := buildUniverse(t, 3)
 	plan, err := Build(u, 1<<40)

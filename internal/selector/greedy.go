@@ -53,7 +53,10 @@ func greedyComplete(u *Universe, observed, banned []bool) error {
 			if math.IsInf(dist[r], 1) {
 				return fmt.Errorf("selector: required statistic %v not derivable", u.Stats[r].Key())
 			}
-			if dist[r] < bestCost {
+			// Ties break on the lower statistic index, so the pick (and
+			// hence the whole greedy run) is deterministic regardless of
+			// the order requirements were registered in.
+			if dist[r] < bestCost || dist[r] == bestCost && r < bestR {
 				bestCost = dist[r]
 				bestR = r
 			}

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -85,6 +86,39 @@ func TestGreedyCovers(t *testing.T) {
 	}
 	if sel.Cost <= 0 {
 		t.Fatalf("greedy cost = %v, want positive", sel.Cost)
+	}
+}
+
+// TestGreedyDeterministic guards the tie-break: selecting twice over
+// independently built universes must pick the same statistics in the same
+// order, even when several derivations cost the same.
+func TestGreedyDeterministic(t *testing.T) {
+	for _, opt := range []css.Options{{}, css.DefaultOptions()} {
+		g, cat := retail(t)
+		var prev []string
+		for trial := 0; trial < 2; trial++ {
+			u := buildUniverse(t, g, cat, opt)
+			sel, err := Greedy(u)
+			if err != nil {
+				t.Fatalf("Greedy: %v", err)
+			}
+			keys := make([]string, len(sel.Observe))
+			for i, s := range sel.Observe {
+				keys[i] = fmt.Sprintf("%v", s.Key())
+			}
+			if trial == 0 {
+				prev = keys
+				continue
+			}
+			if len(keys) != len(prev) {
+				t.Fatalf("greedy picked %d stats, then %d", len(prev), len(keys))
+			}
+			for i := range keys {
+				if keys[i] != prev[i] {
+					t.Fatalf("greedy pick %d differs between runs: %s vs %s", i, prev[i], keys[i])
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestMulInt64(t *testing.T) {
+	ok := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{math.MinInt64, 0, 0},
+		{3, 7, 21},
+		{-4, 5, -20},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MinInt64, 1, math.MinInt64},
+		{1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, tc := range ok {
+		got, err := MulInt64(tc.a, tc.b)
+		if err != nil || got != tc.want {
+			t.Errorf("MulInt64(%d, %d) = %d, %v; want %d", tc.a, tc.b, got, err, tc.want)
+		}
+	}
+	bad := [][2]int64{
+		{math.MaxInt64, 2},
+		{2, math.MaxInt64},
+		{math.MinInt64, -1},
+		{-1, math.MinInt64},
+		{math.MinInt64, 2},
+		{1 << 32, 1 << 32},
+		{-(1 << 32), 1 << 32},
+	}
+	for _, tc := range bad {
+		if _, err := MulInt64(tc[0], tc[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("MulInt64(%d, %d): want ErrOverflow, got %v", tc[0], tc[1], err)
+		}
+	}
+}
+
+func TestAddInt64(t *testing.T) {
+	ok := []struct{ a, b, want int64 }{
+		{math.MaxInt64, 0, math.MaxInt64},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MinInt64, 0, math.MinInt64},
+		{math.MinInt64 + 1, -1, math.MinInt64},
+		{-5, 5, 0},
+	}
+	for _, tc := range ok {
+		got, err := AddInt64(tc.a, tc.b)
+		if err != nil || got != tc.want {
+			t.Errorf("AddInt64(%d, %d) = %d, %v; want %d", tc.a, tc.b, got, err, tc.want)
+		}
+	}
+	bad := [][2]int64{
+		{math.MaxInt64, 1},
+		{1, math.MaxInt64},
+		{math.MinInt64, -1},
+		{-1, math.MinInt64},
+	}
+	for _, tc := range bad {
+		if _, err := AddInt64(tc[0], tc[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("AddInt64(%d, %d): want ErrOverflow, got %v", tc[0], tc[1], err)
+		}
+	}
+}
+
+func TestDotProductOverflowError(t *testing.T) {
+	a := workflow.Attr{Rel: "R", Col: "k"}
+	h1 := NewHistogram(a)
+	h2 := NewHistogram(a)
+	h1.Inc([]int64{1}, math.MaxInt64)
+	h2.Inc([]int64{1}, 2)
+	if _, err := DotProduct(h1, h2); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := workflow.Attr{Rel: "R", Col: "k"}
+	b := workflow.Attr{Rel: "R", Col: "v"}
+	h1 := NewHistogram(a, b)
+	h2 := NewHistogram(a, b)
+	h1.Inc([]int64{1, 10}, 3)
+	h1.Inc([]int64{2, 20}, 1)
+	h2.Inc([]int64{1, 10}, 4)
+	h2.Inc([]int64{3, 30}, 5)
+	h2.Inc([]int64{2, 20}, -1) // cancels h1's bucket
+	if err := h1.Merge(h2); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := h1.Freq(1, 10); got != 7 {
+		t.Errorf("bucket (1,10) = %d, want 7", got)
+	}
+	if got := h1.Freq(3, 30); got != 5 {
+		t.Errorf("bucket (3,30) = %d, want 5", got)
+	}
+	if got := h1.Buckets(); got != 2 {
+		t.Errorf("%d buckets after merge, want 2 (zero bucket pruned)", got)
+	}
+
+	other := NewHistogram(a)
+	if err := h1.Merge(other); err == nil || !strings.Contains(err.Error(), "attribute sets differ") {
+		t.Fatalf("want attribute mismatch error, got %v", err)
+	}
+}

@@ -109,6 +109,25 @@ func (h *Histogram) Clone() *Histogram {
 	return out
 }
 
+// Merge folds every bucket of other into h. Both histograms must range
+// over the same attribute set. The parallel engine gives each worker a
+// private histogram shard and merges the shards after the operator drains;
+// because bucket counts are integers, addition is associative and the
+// merged histogram is bit-identical to a sequential observation.
+func (h *Histogram) Merge(other *Histogram) error {
+	if workflow.AttrsString(h.Attrs) != workflow.AttrsString(other.Attrs) {
+		return fmt.Errorf("merge: attribute sets differ: %s vs %s",
+			workflow.AttrsString(h.Attrs), workflow.AttrsString(other.Attrs))
+	}
+	for k, f := range other.m {
+		h.m[k] += f
+		if h.m[k] == 0 {
+			delete(h.m, k)
+		}
+	}
+	return nil
+}
+
 // attrPos returns the positions of want within h.Attrs, or an error when an
 // attribute is missing.
 func (h *Histogram) attrPos(want []workflow.Attr) ([]int, error) {
@@ -161,7 +180,14 @@ func DotProduct(h1, h2 *Histogram) (int64, error) {
 		small, large = large, small
 	}
 	for k, f := range small.m {
-		total += f * large.m[k]
+		p, err := MulInt64(f, large.m[k])
+		if err != nil {
+			return 0, fmt.Errorf("dot product: bucket %v: %w", decodeVals(k), err)
+		}
+		total, err = AddInt64(total, p)
+		if err != nil {
+			return 0, fmt.Errorf("dot product: %w", err)
+		}
 	}
 	return total, nil
 }
@@ -222,7 +248,11 @@ func Join(h1, h2 *Histogram, join workflow.Attr, out []workflow.Attr) (*Histogra
 					vals[i] = v2[s.pos]
 				}
 			}
-			res.Inc(vals, f1*f2)
+			f, err := MulInt64(f1, f2)
+			if err != nil {
+				return nil, fmt.Errorf("join: bucket %v: %w", vals, err)
+			}
+			res.Inc(vals, f)
 		}
 	}
 	return res, nil
@@ -238,7 +268,11 @@ func Multiply(h1, h2 *Histogram) (*Histogram, error) {
 	out := NewHistogram(h1.Attrs...)
 	for k, f1 := range h1.m {
 		if f2 := h2.m[k]; f2 != 0 {
-			out.m[k] = f1 * f2
+			f, err := MulInt64(f1, f2)
+			if err != nil {
+				return nil, fmt.Errorf("multiply: bucket %v: %w", decodeVals(k), err)
+			}
+			out.m[k] = f
 		}
 	}
 	return out, nil

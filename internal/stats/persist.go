@@ -22,21 +22,23 @@ const (
 	persistVersion = 1
 )
 
-// WriteTo serializes the store. It implements io.WriterTo.
+// WriteTo serializes the store. It implements io.WriterTo: the returned
+// count is the number of bytes actually written to w, so the counter sits
+// under the buffer (counting flushed bytes), not over it — and the final
+// Flush error is propagated, which is where buffered write errors surface.
 func (st *Store) WriteTo(w io.Writer) (int64, error) {
-	cw := &countWriter{w: bufio.NewWriter(w)}
-	if err := writeHeader(cw, st.Len()); err != nil {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if err := writeHeader(bw, st.Len()); err != nil {
 		return cw.n, err
 	}
 	for _, v := range st.Values() {
-		if err := writeValue(cw, v); err != nil {
+		if err := writeValue(bw, v); err != nil {
 			return cw.n, err
 		}
 	}
-	if bw, ok := cw.w.(*bufio.Writer); ok {
-		if err := bw.Flush(); err != nil {
-			return cw.n, err
-		}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
 	}
 	return cw.n, nil
 }

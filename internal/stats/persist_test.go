@@ -102,6 +102,52 @@ func TestPersistErrors(t *testing.T) {
 	}
 }
 
+// failAfterWriter accepts the first limit bytes, then fails every write.
+type failAfterWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		room := w.limit - w.n
+		if room < 0 {
+			room = 0
+		}
+		w.n += room
+		return room, errFull
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+var errFull = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "device full" }
+
+func TestWriteToPropagatesWriteError(t *testing.T) {
+	st := sampleStore()
+	var ref bytes.Buffer
+	if _, err := st.WriteTo(&ref); err != nil {
+		t.Fatal(err)
+	}
+	// Fail at every prefix length: the error must always surface, and the
+	// reported byte count must match what the sink actually accepted —
+	// buffered-but-unflushed bytes must not be counted.
+	for limit := 0; limit < ref.Len(); limit += 7 {
+		w := &failAfterWriter{limit: limit}
+		n, err := st.WriteTo(w)
+		if err == nil {
+			t.Fatalf("limit %d: want write error, got nil", limit)
+		}
+		if n != int64(w.n) {
+			t.Fatalf("limit %d: WriteTo reported %d bytes, sink accepted %d", limit, n, w.n)
+		}
+	}
+}
+
 func TestPersistQuickScalars(t *testing.T) {
 	f := func(vals []int64) bool {
 		st := NewStore()

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
@@ -18,18 +19,29 @@ type Value struct {
 // Store holds observed (or derived) statistic values keyed by statistic
 // identity. It is the hand-off point between the instrumented execution of
 // the initial plan and the optimizer's estimation layer.
+//
+// A store is safe for concurrent use: the parallel execution engine feeds
+// it from several block goroutines at once (each block writes disjoint
+// keys, but the underlying map still needs synchronization).
 type Store struct {
-	m map[Key]*Value
+	mu sync.RWMutex
+	m  map[Key]*Value
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{m: make(map[Key]*Value)} }
 
 // Len returns the number of stored statistics.
-func (st *Store) Len() int { return len(st.m) }
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}
 
 // Has reports whether the statistic is present.
 func (st *Store) Has(s Stat) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	_, ok := st.m[s.Key()]
 	return ok
 }
@@ -39,6 +51,8 @@ func (st *Store) PutScalar(s Stat, v int64) {
 	if s.Kind == Hist {
 		panic("PutScalar on histogram statistic")
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.m[s.Key()] = &Value{Stat: s, Scalar: v}
 }
 
@@ -47,12 +61,42 @@ func (st *Store) PutHist(s Stat, h *Histogram) {
 	if s.Kind != Hist {
 		panic("PutHist on scalar statistic")
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.m[s.Key()] = &Value{Stat: s, Hist: h}
+}
+
+// PutScalarOnce records the scalar unless the statistic is already present,
+// atomically (the check-then-put the collectors rely on).
+func (st *Store) PutScalarOnce(s Stat, v int64) {
+	if s.Kind == Hist {
+		panic("PutScalarOnce on histogram statistic")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[s.Key()]; !ok {
+		st.m[s.Key()] = &Value{Stat: s, Scalar: v}
+	}
+}
+
+// PutHistOnce records the histogram unless the statistic is already
+// present, atomically.
+func (st *Store) PutHistOnce(s Stat, h *Histogram) {
+	if s.Kind != Hist {
+		panic("PutHistOnce on scalar statistic")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[s.Key()]; !ok {
+		st.m[s.Key()] = &Value{Stat: s, Hist: h}
+	}
 }
 
 // Scalar returns the scalar value of a cardinality or distinct statistic.
 func (st *Store) Scalar(s Stat) (int64, error) {
+	st.mu.RLock()
 	v, ok := st.m[s.Key()]
+	st.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("statistic not in store: %v", s.Key())
 	}
@@ -64,7 +108,9 @@ func (st *Store) Scalar(s Stat) (int64, error) {
 
 // Hist returns the histogram value of a distribution statistic.
 func (st *Store) Hist(s Stat) (*Histogram, error) {
+	st.mu.RLock()
 	v, ok := st.m[s.Key()]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("statistic not in store: %v", s.Key())
 	}
@@ -76,10 +122,12 @@ func (st *Store) Hist(s Stat) (*Histogram, error) {
 
 // Values returns all stored values in a deterministic order.
 func (st *Store) Values() []*Value {
+	st.mu.RLock()
 	out := make([]*Value, 0, len(st.m))
 	for _, v := range st.m {
 		out = append(out, v)
 	}
+	st.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Stat.Key(), out[j].Stat.Key()) })
 	return out
 }
@@ -109,6 +157,13 @@ func keyLess(a, b Key) bool {
 // Merge copies every value from other that st does not already hold;
 // the pay-as-you-go baseline accumulates observations across runs with it.
 func (st *Store) Merge(other *Store) {
+	if st == other {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for k, v := range other.m {
 		if _, ok := st.m[k]; !ok {
 			st.m[k] = v
@@ -121,6 +176,8 @@ func (st *Store) Merge(other *Store) {
 // a-priori cost model of Section 5.4 bounds this by domain-size products;
 // this accessor reports what the observation actually used.
 func (st *Store) MemoryUnits() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var total int64
 	for _, v := range st.m {
 		if v.Hist != nil {
