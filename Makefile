@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race short bench vet check
+.PHONY: build test race short bench vet lint check
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,13 @@ bench:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# lint always vets; staticcheck runs only where it is installed (CI
+# installs it, minimal dev containers may not have it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+check: build lint test race

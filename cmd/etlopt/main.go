@@ -13,7 +13,8 @@
 //	etlopt dot     -wf 8 | dot -Tsvg  # Graphviz rendering with block clusters
 //	etlopt run     -wf 3 -scale 0.002 # full cycle over generated data
 //	etlopt run     -f flow.json -data dir/   # full cycle over CSV flat files
-//	etlopt explain -wf 3 -scale 0.002 # derivation tree of every SE cardinality
+//	etlopt explain -wf 3              # compiled physical plan with tap points
+//	etlopt explain -wf 3 -derive      # …plus the derivation tree of every SE cardinality
 //	etlopt gendata -wf 3 -out dir/    # export a suite workflow's data as CSVs
 //	etlopt schedule -wf 3 -budget 64  # Section 6.1 multi-run observation schedule
 //	etlopt report  -wf 3 > cycle.md   # markdown report of one full cycle
@@ -38,6 +39,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/engine"
 	"github.com/essential-stats/etlopt/internal/estimate"
 	"github.com/essential-stats/etlopt/internal/payg"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/schedule"
 	"github.com/essential-stats/etlopt/internal/selector"
 	"github.com/essential-stats/etlopt/internal/stats"
@@ -61,6 +63,8 @@ func main() {
 	outDir := fs.String("out", "", "output directory for gendata")
 	budget := fs.Int64("budget", 0, "per-run memory budget for schedule (integer units)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "execution-layer worker goroutines (1 = sequential)")
+	maxRows := fs.Int64("max-rows", 100_000_000, "abort a run whose intermediate results exceed this many rows (0 = unguarded)")
+	derive := fs.Bool("derive", false, "explain: also print the derivation tree of every SE cardinality")
 	_ = fs.Parse(os.Args[2:])
 
 	var err error
@@ -87,13 +91,13 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers)
+		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers, *maxRows)
 	case "explain":
-		err = runCycle(*file, *wfID, *dataDir, *scale, true, *workers)
+		err = explainCmd(*file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows)
 	case "gendata":
 		err = genData(*wfID, *scale, *outDir)
 	case "schedule":
-		err = scheduleCmd(*wfID, *scale, *budget, *workers)
+		err = scheduleCmd(*wfID, *scale, *budget, *workers, *maxRows)
 	case "report":
 		err = reportCmd(*wfID, *scale)
 	default:
@@ -110,37 +114,39 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report> [-f flow.json | -wf N] [flags]")
 }
 
-// runCycle executes one full optimization cycle — over a suite workflow's
-// generated data, or over a directory of CSV flat files (the paper's
-// no-statistics worst case: the catalog is inferred from the data) —
-// optionally printing the derivation tree of every SE cardinality.
-func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int) error {
-	var (
-		g   *workflow.Graph
-		cat *workflow.Catalog
-		db  engine.DB
-	)
+// loadWorkflow resolves the graph, catalog and database for run/explain —
+// a suite workflow's generated data, or a directory of CSV flat files (the
+// paper's no-statistics worst case: the catalog is inferred from the data).
+func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workflow.Graph, *workflow.Catalog, engine.DB, error) {
 	switch {
 	case dataDir != "":
 		doc, err := loadDoc(file, wfID)
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		tables, err := data.LoadDir(dataDir)
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
-		g = doc.Workflow
-		cat = data.InferCatalog(tables)
-		db = engine.DB(tables)
+		return doc.Workflow, data.InferCatalog(tables), engine.DB(tables), nil
 	case wfID >= 1 && wfID <= 30:
 		w := suite.Get(wfID)
-		g, cat, db = w.Graph, w.Catalog, w.Data(scale)
+		return w.Graph, w.Catalog, w.Data(scale), nil
 	default:
-		return fmt.Errorf("run/explain need -wf <1..30>, or -f flow.json with -data dir/")
+		return nil, nil, nil, fmt.Errorf("run/explain need -wf <1..30>, or -f flow.json with -data dir/")
+	}
+}
+
+// runCycle executes one full optimization cycle, optionally printing the
+// derivation tree of every SE cardinality.
+func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64) error {
+	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
+	if err != nil {
+		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
+	cfg.MaxRows = maxRows
 	cy, err := core.Run(g, cat, db, cfg)
 	if err != nil {
 		return err
@@ -148,9 +154,9 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	fmt.Printf("workflow %s\n", g.Name)
 	fmt.Printf("observed %d statistics (memory %d units) in one instrumented run\n\n",
 		len(cy.Selection.Observe), cy.Selection.Memory)
-	for bi, p := range cy.Plans.Plans {
-		blk := cy.Analysis.Blocks[bi]
-		if p.Tree == nil {
+	for bi, blk := range cy.Analysis.Blocks {
+		p, ok := cy.Plans.Plans[bi]
+		if !ok || p.Tree == nil {
 			continue
 		}
 		fmt.Printf("block %d designed:  %s (cost %.0f)\n", bi, blk.Initial.Render(blk), p.InitialCost)
@@ -175,6 +181,44 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	return nil
 }
 
+// explainCmd compiles the workflow's physical plan — the initial join trees
+// instrumented with the exact-method statistic selection — and prints it
+// with every tap point. The output is deterministic (no execution happens),
+// so it doubles as a golden rendering of what an instrumented run would do.
+// With -derive it additionally runs the full cycle and prints the
+// derivation tree of every SE cardinality.
+func explainCmd(file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64) error {
+	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
+	if err != nil {
+		return err
+	}
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		return err
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	sel, err := selector.Select(res, coster, selector.Options{Method: selector.MethodExact})
+	if err != nil {
+		return err
+	}
+	plan, err := physical.Compile(an, db, physical.Options{Res: res, Observe: sel.Observe})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s — compiled physical plan (%d block(s), %d tap(s))\n\n",
+		g.Name, len(plan.Blocks), plan.NumTaps())
+	fmt.Print(plan.String())
+	if !derive {
+		return nil
+	}
+	fmt.Println()
+	return runCycle(file, wfID, dataDir, scale, true, workers, maxRows)
+}
+
 // reportCmd runs one cycle over a suite workflow and writes the markdown
 // report to stdout.
 func reportCmd(wfID int, scale float64) error {
@@ -192,7 +236,7 @@ func reportCmd(wfID int, scale float64) error {
 // scheduleCmd builds and executes a Section 6.1 multi-run observation
 // schedule under a per-run memory budget, then derives every SE cardinality
 // from the merged observations.
-func scheduleCmd(wfID int, scale float64, budget int64, workers int) error {
+func scheduleCmd(wfID int, scale float64, budget int64, workers int, maxRows int64) error {
 	if wfID < 1 || wfID > 30 {
 		return fmt.Errorf("schedule needs -wf <1..30>")
 	}
@@ -230,6 +274,7 @@ func scheduleCmd(wfID int, scale float64, budget int64, workers int) error {
 	db := w.Data(scale)
 	eng := engine.New(an, db, nil)
 	eng.Workers = workers
+	eng.MaxRows = maxRows
 	store, err := schedule.Execute(eng, res, plan)
 	if err != nil {
 		return err

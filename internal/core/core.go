@@ -55,6 +55,11 @@ type Config struct {
 	// Values <= 1 execute sequentially; observed statistics are identical
 	// either way.
 	Workers int
+	// MaxRows caps the total intermediate rows any single execution may
+	// produce (both engines); a run exceeding it aborts with a clear
+	// intermediate-cardinality-guard error instead of blowing up memory on
+	// skewed joins. 0 runs unguarded.
+	MaxRows int64
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -99,10 +104,12 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 	if cfg.Streaming {
 		eng := engine.NewStream(an, db, cfg.Registry)
 		eng.Workers = cfg.Workers
+		eng.MaxRows = cfg.MaxRows
 		return eng
 	}
 	eng := engine.New(an, db, cfg.Registry)
 	eng.Workers = cfg.Workers
+	eng.MaxRows = cfg.MaxRows
 	return eng
 }
 

@@ -1,10 +1,13 @@
 // Package engine executes ETL workflows over materialized tables, the way
-// a batch ETL runtime does: each optimizable block's input chains run
-// first, then its join tree (either the designed initial order or any
-// reordering supplied by the optimizer), then its pinned top operators; the
-// block output feeds downstream blocks until the sinks are written.
+// a batch ETL runtime does. Both engines in this package are thin
+// executors of the shared physical-plan IR (internal/physical): the
+// compiler lowers each optimizable block's input chains, join tree (the
+// designed initial order or any reordering supplied by the optimizer) and
+// pinned top operators into a typed operator DAG with statistic taps
+// already bound to their observation points; the batch engine interprets
+// that DAG table-at-a-time, the streaming engine row-at-a-time.
 //
-// The engine realizes Sections 3.2.5–3.2.6 of the paper: it can be
+// The engines realize Sections 3.2.5–3.2.6 of the paper: execution can be
 // instrumented with per-point statistic collectors (tuple counters,
 // distinct counters, exact frequency histograms, and reject-link
 // observation) so a single execution of the initial plan gathers the
@@ -16,43 +19,25 @@ import (
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
-	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
 // DB maps base relation names to materialized tables.
-type DB map[string]*data.Table
+type DB = physical.DB
 
 // UDF is a scalar transformation function applied per tuple.
-type UDF func(vals []int64) int64
+type UDF = physical.UDF
 
 // Registry resolves transform function names to implementations.
-type Registry map[string]UDF
+type Registry = physical.Registry
 
 // DefaultRegistry returns the built-in UDFs used by the examples and the
 // benchmark suite.
-func DefaultRegistry() Registry {
-	return Registry{
-		// identity passes the first input through.
-		"identity": func(v []int64) int64 { return v[0] },
-		// bucket10 maps values into ten buckets.
-		"bucket10": func(v []int64) int64 { return v[0]%10 + 1 },
-		// sum adds all inputs.
-		"sum": func(v []int64) int64 {
-			var t int64
-			for _, x := range v {
-				t += x
-			}
-			return t
-		},
-		// scramble is a cheap value scrambler standing in for opaque
-		// cleansing code.
-		"scramble": func(v []int64) int64 { return (v[0]*2654435761 + 17) % 100003 },
-	}
-}
+func DefaultRegistry() Registry { return physical.DefaultRegistry() }
 
-// Engine executes workflows.
+// Engine executes workflows in batch (table-at-a-time) mode.
 type Engine struct {
 	An  *workflow.Analysis
 	DB  DB
@@ -61,6 +46,11 @@ type Engine struct {
 	// (the block dependency DAG is derived from the analysis). Values <= 1
 	// run the classic sequential loop.
 	Workers int
+	// MaxRows caps the total intermediate rows one run may produce (the
+	// work metric Result.Rows); exceeding it aborts the run with a clear
+	// error instead of letting a skewed join order blow up memory. 0 (the
+	// default) runs unguarded.
+	MaxRows int64
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -117,22 +107,24 @@ func (e *Engine) RunPlansObserving(plans map[int]*workflow.JoinTree, res *css.Re
 }
 
 func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
+	plan, err := physical.Compile(e.An, e.DB, physical.Options{
+		Plans: plans, Res: res, Observe: observe, AnyPoint: anyPoint, Reg: e.Reg,
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{
 		BlockOut:     make(map[int]*data.Table),
 		Sinks:        make(map[string]*data.Table),
 		Materialized: make(map[string]*data.Table),
 	}
-	var taps *tapSet
+	var col *collector
 	if res != nil {
-		var err error
-		taps, err = newTapSet(res, observe, anyPoint)
-		if err != nil {
-			return nil, err
-		}
-		out.Observed = taps.store
+		col = newCollector()
+		out.Observed = col.store
 	}
-	err := runBlocksDAG(e.An, plans, e.Workers, out, func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error) {
-		return e.runBlock(blk, tree, taps, sink)
+	err = runBlocksDAG(plan, e.Workers, newRowBudget(e.MaxRows), out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+		return runBatchBlock(bp, col, sink)
 	})
 	if err != nil {
 		return nil, err
@@ -143,132 +135,204 @@ func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 	return out, nil
 }
 
-// runBlock executes one block: input chains, join tree, top operators.
-func (e *Engine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *blockSink) (*data.Table, error) {
-	// Materialize the inputs.
-	inputs := make([]*data.Table, len(blk.Inputs))
-	for i := range blk.Inputs {
-		tbl, err := e.runChain(blk, i, taps, out)
+// runBatchBlock interprets one compiled block table-at-a-time: every node
+// of the plan evaluates in topological order, feeding its taps over the
+// whole output table at once.
+func runBatchBlock(bp *physical.BlockPlan, col *collector, out *blockSink) (*data.Table, error) {
+	tables := make([]*data.Table, len(bp.Nodes))
+	for _, n := range bp.Nodes {
+		tbl, err := evalNode(bp, n, tables, col, out)
 		if err != nil {
-			return nil, fmt.Errorf("input %d (%s): %w", i, blk.Inputs[i].Name, err)
+			return nil, fmt.Errorf("%s: %w", n.Label, err)
 		}
-		inputs[i] = tbl
+		tables[n.ID] = tbl
 	}
-	var result *data.Table
-	if tree == nil {
-		if len(inputs) != 1 {
-			return nil, fmt.Errorf("join-free block with %d inputs", len(inputs))
-		}
-		result = inputs[0]
-	} else {
-		var err error
-		result, _, err = e.runTree(blk, tree, inputs, taps, out)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Top operators.
-	for _, op := range blk.TopOps {
-		var err error
-		result, err = e.applyOp(result, op, out)
-		if err != nil {
-			return nil, fmt.Errorf("top op %q: %w", op.ID, err)
-		}
-	}
-	// A reject-pinned block's terminal join already ran inside the tree;
-	// its materialized reject link is recorded there.
-	return result, nil
+	return tables[bp.Root.ID], nil
 }
 
-// runChain materializes input i of the block and applies its pushed-down
-// operators, feeding chain-point taps at every depth.
-func (e *Engine) runChain(blk *workflow.Block, i int, taps *tapSet, out *blockSink) (*data.Table, error) {
-	in := blk.Inputs[i]
+// evalNode evaluates one physical node over its input tables, counts its
+// output rows against the work metric and row budget, and feeds its taps.
+func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink) (*data.Table, error) {
 	var tbl *data.Table
-	switch {
-	case in.SourceRel != "":
-		src, ok := e.DB[in.SourceRel]
-		if !ok {
-			return nil, fmt.Errorf("relation %q not in database", in.SourceRel)
+	switch n.Kind {
+	case physical.OpScan:
+		tbl = n.Src
+		if n.FromBlock >= 0 {
+			up, ok := out.upstream[n.FromBlock]
+			if !ok {
+				return nil, fmt.Errorf("upstream block %d not yet executed", n.FromBlock)
+			}
+			tbl = up
 		}
-		tbl = src
-	case in.FromBlock >= 0:
-		up, ok := out.upstream[in.FromBlock]
-		if !ok {
-			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
+	case physical.OpFilter:
+		in := tables[n.Input.ID]
+		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
+		for _, r := range in.Rows {
+			if n.Pred.Matches(r[n.PredCol]) {
+				tbl.Rows = append(tbl.Rows, r)
+			}
 		}
-		tbl = up
+	case physical.OpProject:
+		in := tables[n.Input.ID]
+		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
+		for _, r := range in.Rows {
+			row := make(data.Row, len(n.Cols))
+			for i, c := range n.Cols {
+				row[i] = r[c]
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	case physical.OpTransform:
+		in := tables[n.Input.ID]
+		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
+		buf := make([]int64, len(n.FnIns))
+		for _, r := range in.Rows {
+			for i, c := range n.FnIns {
+				buf[i] = r[c]
+			}
+			row := make(data.Row, 0, len(r)+1)
+			row = append(append(row, r...), n.Fn(buf))
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	case physical.OpGroupBy:
+		in := tables[n.Input.ID]
+		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
+		seen := make(map[string]bool)
+		var kbuf []byte
+		for _, r := range in.Rows {
+			key := make(data.Row, len(n.Cols))
+			for i, c := range n.Cols {
+				key[i] = r[c]
+			}
+			kbuf = appendRowKey(kbuf[:0], key)
+			if !seen[string(kbuf)] {
+				seen[string(kbuf)] = true
+				tbl.Rows = append(tbl.Rows, key)
+			}
+		}
+	case physical.OpAggregateUDF:
+		in := tables[n.Input.ID]
+		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
+		seen := make(map[string]bool)
+		buf := make([]int64, len(n.FnIns))
+		var kbuf []byte
+		for _, r := range in.Rows {
+			for i, c := range n.FnIns {
+				buf[i] = r[c]
+			}
+			kbuf = appendRowKey(kbuf[:0], buf)
+			if seen[string(kbuf)] {
+				continue
+			}
+			seen[string(kbuf)] = true
+			row := make(data.Row, 0, len(buf)+1)
+			row = append(append(row, buf...), n.Fn(buf))
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	case physical.OpHashJoin:
+		return evalJoin(bp, n, tables, col, out)
+	case physical.OpMaterialize:
+		tbl = tables[n.Input.ID]
+		out.materialized[n.Rel] = tbl
+		// Materialization moves no rows: not counted, and its taps (none
+		// are ever attached) would see the input unchanged.
+		return tbl, nil
 	default:
-		return nil, fmt.Errorf("input %d has neither source nor upstream block", i)
+		return nil, fmt.Errorf("unexpected physical operator %v", n.Kind)
 	}
-	if taps != nil {
-		taps.observeChainPoint(blk.Index, i, 0, len(in.Ops), tbl)
+	if err := out.count(tbl.Card()); err != nil {
+		return nil, err
 	}
-	out.rows += tbl.Card()
-	for d, op := range in.Ops {
-		var err error
-		tbl, err = e.applyOp(tbl, op, out)
-		if err != nil {
-			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
-		}
-		if taps != nil {
-			taps.observeChainPoint(blk.Index, i, d+1, len(in.Ops), tbl)
-		}
+	for _, t := range n.Taps {
+		col.collect(t, tbl)
 	}
 	return tbl, nil
 }
 
-// runTree evaluates a join tree bottom-up, returning the result table and
-// the SE it represents, feeding SE taps and reject taps along the way.
-func (e *Engine) runTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, expr.Set, error) {
-	if t.IsLeaf() {
-		se := expr.NewSet(t.Leaf)
-		if taps != nil {
-			taps.observeSE(blk.Index, se, inputs[t.Leaf])
+// evalJoin evaluates a hash-join node: build on the right, probe with the
+// left, collecting both sides' misses for reject statistics and reject
+// links. The row budget is checked while the output grows, so a blowing-up
+// join aborts before exhausting memory.
+func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink) (*data.Table, error) {
+	left, right := tables[n.Left.ID], tables[n.Right.ID]
+	index := make(map[int64][]data.Row, len(right.Rows))
+	for _, r := range right.Rows {
+		index[r[n.RightCol]] = append(index[r[n.RightCol]], r)
+	}
+	joined := &data.Table{Rel: left.Rel + "⋈" + right.Rel, Attrs: n.Attrs}
+	leftMiss := &data.Table{Rel: left.Rel + "!", Attrs: left.Attrs}
+	matched := make(map[int64]bool)
+	var pending int64
+	for _, lrow := range left.Rows {
+		matches := index[lrow[n.LeftCol]]
+		if len(matches) == 0 {
+			leftMiss.Rows = append(leftMiss.Rows, lrow)
+			continue
 		}
-		return inputs[t.Leaf], se, nil
-	}
-	left, lse, err := e.runTree(blk, t.Left, inputs, taps, out)
-	if err != nil {
-		return nil, 0, err
-	}
-	right, rse, err := e.runTree(blk, t.Right, inputs, taps, out)
-	if err != nil {
-		return nil, 0, err
-	}
-	edge := blk.Joins[t.Join]
-	la, ra := edge.LeftAttr, edge.RightAttr
-	// Normalize the attributes to the sides as executed.
-	if left.Col(la) < 0 {
-		la, ra = ra, la
-	}
-	joined, leftMisses, rightMisses, err := hashJoin(left, right, la, ra)
-	if err != nil {
-		return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
-	}
-	out.rows += joined.Card()
-	se := lse.Union(rse)
-	if taps != nil {
-		taps.observeSE(blk.Index, se, joined)
-		// Union–division reject observation: a side that is a bare input
-		// joined over this edge can feed reject-singleton taps.
-		if lse.Len() == 1 {
-			taps.observeReject(blk, lse.Lowest(), t.Join, leftMisses, inputs)
+		matched[lrow[n.LeftCol]] = true
+		for _, rrow := range matches {
+			row := make(data.Row, 0, len(lrow)+len(rrow))
+			row = append(append(row, lrow...), rrow...)
+			joined.Rows = append(joined.Rows, row)
 		}
-		if rse.Len() == 1 {
-			taps.observeReject(blk, rse.Lowest(), t.Join, rightMisses, inputs)
+		pending += int64(len(matches))
+		if pending >= 4096 {
+			if err := out.count(pending); err != nil {
+				return nil, err
+			}
+			pending = 0
 		}
 	}
-	// A designed reject link materializes the left side's misses.
-	if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
-		name := string(edge.Node) + ".reject"
-		out.materialized[name] = leftMisses
+	if err := out.count(pending); err != nil {
+		return nil, err
 	}
-	return joined, se, nil
+	rightMiss := &data.Table{Rel: right.Rel + "!", Attrs: right.Attrs}
+	for _, rrow := range right.Rows {
+		if !matched[rrow[n.RightCol]] {
+			rightMiss.Rows = append(rightMiss.Rows, rrow)
+		}
+	}
+	for _, t := range n.Taps {
+		col.collect(t, joined)
+	}
+	if n.LeftReject != nil {
+		collectReject(bp, n.LeftReject, leftMiss, tables, col)
+	}
+	if n.RightReject != nil {
+		collectReject(bp, n.RightReject, rightMiss, tables, col)
+	}
+	if n.RejectLink != "" {
+		out.materialized[n.RejectLink] = leftMiss
+	}
+	return joined, nil
+}
+
+// collectReject feeds one side's reject statistics: singletons over the
+// miss rows directly, two-input variants through their auxiliary joins with
+// the partner's cooked input.
+func collectReject(bp *physical.BlockPlan, rt *physical.RejectTaps, misses *data.Table, tables []*data.Table, col *collector) {
+	for _, t := range rt.Singles {
+		col.collect(t, misses)
+	}
+	if len(rt.Aux) == 0 {
+		return
+	}
+	st := &auxState{aux: rt.Aux, misses: misses}
+	st.run(col, chainEnds(bp, tables))
+}
+
+// chainEnds returns each input's cooked table (the chain-end node outputs).
+func chainEnds(bp *physical.BlockPlan, tables []*data.Table) []*data.Table {
+	out := make([]*data.Table, len(bp.Chains))
+	for i, ch := range bp.Chains {
+		out[i] = tables[ch[len(ch)-1].ID]
+	}
+	return out
 }
 
 // hashJoin equi-joins two tables, also returning each side's non-matching
-// rows (the reject sets).
+// rows (the reject sets). It is the reference join the auxiliary
+// union–division counters and the tests use.
 func hashJoin(left, right *data.Table, la, ra workflow.Attr) (joined, leftMiss, rightMiss *data.Table, err error) {
 	lc := left.Col(la)
 	rc := right.Col(ra)
@@ -305,138 +369,4 @@ func hashJoin(left, right *data.Table, la, ra workflow.Attr) (joined, leftMiss, 
 		}
 	}
 	return joined, leftMiss, rightMiss, nil
-}
-
-// applyOp executes one unary operator.
-func (e *Engine) applyOp(tbl *data.Table, op *workflow.Node, out *blockSink) (*data.Table, error) {
-	switch op.Kind {
-	case workflow.KindSelect:
-		c := tbl.Col(op.Pred.Attr)
-		if c < 0 {
-			return nil, fmt.Errorf("select attr %s not in schema", op.Pred.Attr)
-		}
-		res := &data.Table{Rel: tbl.Rel, Attrs: tbl.Attrs}
-		for _, r := range tbl.Rows {
-			if op.Pred.Matches(r[c]) {
-				res.Rows = append(res.Rows, r)
-			}
-		}
-		out.rows += res.Card()
-		return res, nil
-	case workflow.KindProject:
-		cols := make([]int, len(op.Cols))
-		for i, a := range op.Cols {
-			cols[i] = tbl.Col(a)
-			if cols[i] < 0 {
-				return nil, fmt.Errorf("project attr %s not in schema", a)
-			}
-		}
-		res := &data.Table{Rel: tbl.Rel, Attrs: append([]workflow.Attr(nil), op.Cols...)}
-		for _, r := range tbl.Rows {
-			row := make(data.Row, len(cols))
-			for i, c := range cols {
-				row[i] = r[c]
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		out.rows += res.Card()
-		return res, nil
-	case workflow.KindTransform:
-		fn, ok := e.Reg[op.Transform.Fn]
-		if !ok {
-			return nil, fmt.Errorf("unknown UDF %q", op.Transform.Fn)
-		}
-		ins := make([]int, len(op.Transform.Ins))
-		for i, a := range op.Transform.Ins {
-			ins[i] = tbl.Col(a)
-			if ins[i] < 0 {
-				return nil, fmt.Errorf("transform attr %s not in schema", a)
-			}
-		}
-		res := &data.Table{Rel: tbl.Rel, Attrs: append(append([]workflow.Attr(nil), tbl.Attrs...), op.Transform.Out)}
-		buf := make([]int64, len(ins))
-		for _, r := range tbl.Rows {
-			for i, c := range ins {
-				buf[i] = r[c]
-			}
-			row := make(data.Row, 0, len(r)+1)
-			row = append(append(row, r...), fn(buf))
-			res.Rows = append(res.Rows, row)
-		}
-		out.rows += res.Card()
-		return res, nil
-	case workflow.KindGroupBy:
-		cols := make([]int, len(op.Cols))
-		for i, a := range op.Cols {
-			cols[i] = tbl.Col(a)
-			if cols[i] < 0 {
-				return nil, fmt.Errorf("group-by attr %s not in schema", a)
-			}
-		}
-		res := &data.Table{Rel: tbl.Rel, Attrs: append([]workflow.Attr(nil), op.Cols...)}
-		seen := make(map[string]bool)
-		for _, r := range tbl.Rows {
-			key := make(data.Row, len(cols))
-			for i, c := range cols {
-				key[i] = r[c]
-			}
-			k := rowKey(key)
-			if !seen[k] {
-				seen[k] = true
-				res.Rows = append(res.Rows, key)
-			}
-		}
-		out.rows += res.Card()
-		return res, nil
-	case workflow.KindAggregateUDF:
-		fn, ok := e.Reg[op.Transform.Fn]
-		if !ok {
-			return nil, fmt.Errorf("unknown aggregate UDF %q", op.Transform.Fn)
-		}
-		ins := make([]int, len(op.Transform.Ins))
-		for i, a := range op.Transform.Ins {
-			ins[i] = tbl.Col(a)
-			if ins[i] < 0 {
-				return nil, fmt.Errorf("aggregate attr %s not in schema", a)
-			}
-		}
-		// The opaque aggregate groups by its input attributes and emits
-		// one row per group: (inputs..., fn(inputs)).
-		attrs := make([]workflow.Attr, 0, len(op.Transform.Ins)+1)
-		attrs = append(attrs, op.Transform.Ins...)
-		attrs = append(attrs, op.Transform.Out)
-		res := &data.Table{Rel: tbl.Rel, Attrs: attrs}
-		seen := make(map[string]bool)
-		buf := make([]int64, len(ins))
-		for _, r := range tbl.Rows {
-			for i, c := range ins {
-				buf[i] = r[c]
-			}
-			k := rowKey(buf)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			row := make(data.Row, 0, len(buf)+1)
-			row = append(append(row, buf...), fn(buf))
-			res.Rows = append(res.Rows, row)
-		}
-		out.rows += res.Card()
-		return res, nil
-	case workflow.KindMaterialize:
-		out.materialized[op.Rel] = tbl
-		return tbl, nil
-	default:
-		return nil, fmt.Errorf("unexpected operator kind %v in block", op.Kind)
-	}
-}
-
-func rowKey(r []int64) string {
-	buf := make([]byte, 0, len(r)*8)
-	for _, v := range r {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(v>>s))
-		}
-	}
-	return string(buf)
 }

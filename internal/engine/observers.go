@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
-	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
 // rowObserver is a per-tuple statistic handler; finish records the
@@ -17,23 +17,23 @@ type rowObserver interface {
 
 // cardObserver counts tuples.
 type cardObserver struct {
-	taps *tapSet
-	stat stats.Stat
-	n    int64
+	store *stats.Store
+	stat  stats.Stat
+	n     int64
 }
 
 func (c *cardObserver) observe(data.Row) { c.n++ }
 func (c *cardObserver) finish() {
-	c.taps.store.PutScalarOnce(c.stat, c.n)
+	c.store.PutScalarOnce(c.stat, c.n)
 }
 
 // histObserver builds an exact frequency histogram.
 type histObserver struct {
-	taps *tapSet
-	stat stats.Stat
-	cols []int
-	h    *stats.Histogram
-	vals []int64
+	store *stats.Store
+	stat  stats.Stat
+	cols  []int
+	h     *stats.Histogram
+	vals  []int64
 }
 
 func (h *histObserver) observe(r data.Row) {
@@ -43,26 +43,30 @@ func (h *histObserver) observe(r data.Row) {
 	h.h.Inc(h.vals, 1)
 }
 func (h *histObserver) finish() {
-	h.taps.store.PutHistOnce(h.stat, h.h)
+	h.store.PutHistOnce(h.stat, h.h)
 }
 
 // distinctObserver counts distinct combinations.
 type distinctObserver struct {
-	taps *tapSet
-	stat stats.Stat
-	cols []int
-	seen map[string]bool
-	vals []int64
+	store *stats.Store
+	stat  stats.Stat
+	cols  []int
+	seen  map[string]bool
+	vals  []int64
+	kbuf  []byte
 }
 
 func (d *distinctObserver) observe(r data.Row) {
 	for i, c := range d.cols {
 		d.vals[i] = r[c]
 	}
-	d.seen[rowKey(d.vals)] = true
+	d.kbuf = appendRowKey(d.kbuf[:0], d.vals)
+	if !d.seen[string(d.kbuf)] {
+		d.seen[string(d.kbuf)] = true
+	}
 }
 func (d *distinctObserver) finish() {
-	d.taps.store.PutScalarOnce(d.stat, int64(len(d.seen)))
+	d.store.PutScalarOnce(d.stat, int64(len(d.seen)))
 }
 
 // mergeObserver folds another shard of the same statistic into this one.
@@ -106,7 +110,7 @@ type shardMerger interface {
 }
 
 // mergeShards folds the worker shards (one []rowObserver per worker, all
-// built from the same statistic list) into the first shard and finishes it,
+// built from the same tap list) into the first shard and finishes it,
 // recording the merged statistics into the store.
 func mergeShards(shards [][]rowObserver) error {
 	if len(shards) == 0 {
@@ -133,33 +137,29 @@ func mergeShards(shards [][]rowObserver) error {
 	return nil
 }
 
-// observersFor builds the per-row handlers for the given statistics against
-// a record-set schema.
-func observersFor(taps *tapSet, list []stats.Stat, attrs []workflow.Attr) ([]rowObserver, error) {
+// observersFor builds the per-row handlers for compiled taps. The physical
+// compiler already bound every tap's columns, so construction cannot fail;
+// a nil collector yields no observers.
+func observersFor(col *collector, taps []physical.Tap) []rowObserver {
+	if col == nil {
+		return nil
+	}
 	var out []rowObserver
-	for _, s := range list {
-		switch s.Kind {
+	for _, t := range taps {
+		switch t.Stat.Kind {
 		case stats.Card:
-			out = append(out, &cardObserver{taps: taps, stat: s})
+			out = append(out, &cardObserver{store: col.store, stat: t.Stat})
 		case stats.Hist:
-			cols, err := taps.colsForSchema(s, attrs)
-			if err != nil {
-				return nil, err
-			}
 			out = append(out, &histObserver{
-				taps: taps, stat: s, cols: cols,
-				h: stats.NewHistogram(s.Attrs...), vals: make([]int64, len(cols)),
+				store: col.store, stat: t.Stat, cols: t.Cols,
+				h: stats.NewHistogram(t.Stat.Attrs...), vals: make([]int64, len(t.Cols)),
 			})
 		case stats.Distinct:
-			cols, err := taps.colsForSchema(s, attrs)
-			if err != nil {
-				return nil, err
-			}
 			out = append(out, &distinctObserver{
-				taps: taps, stat: s, cols: cols,
-				seen: make(map[string]bool), vals: make([]int64, len(cols)),
+				store: col.store, stat: t.Stat, cols: t.Cols,
+				seen: make(map[string]bool), vals: make([]int64, len(t.Cols)),
 			})
 		}
 	}
-	return out, nil
+	return out
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
@@ -13,13 +15,40 @@ import (
 // block B depends on block A exactly when one of B's inputs reads A's
 // boundary output (BlockInput.FromBlock). Blocks with no path between them
 // touch disjoint state, so they can execute on separate goroutines. The
-// scheduler below runs the DAG with a bounded worker pool; every block
-// writes its side effects (materialized tables, the row-work counter) into
-// a private blockSink that the scheduler folds into the shared Result under
-// its own lock, so block execution itself never touches shared maps.
+// scheduler below runs the compiled block plans with a bounded worker pool;
+// every block writes its side effects (materialized tables, the row-work
+// counter) into a private blockSink that the scheduler folds into the
+// shared Result under its own lock, so block execution itself never touches
+// shared maps.
 //
 // With workers <= 1 the scheduler degenerates to the plain topological loop
 // the engines always used, reproducing sequential behavior exactly.
+
+// rowBudget is the shared intermediate-cardinality guard: every counted row
+// of the run charges it, across blocks and workers. A nil budget (MaxRows
+// <= 0) never trips.
+type rowBudget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+func newRowBudget(limit int64) *rowBudget {
+	if limit <= 0 {
+		return nil
+	}
+	return &rowBudget{limit: limit}
+}
+
+// add charges n rows and fails once the limit is crossed.
+func (b *rowBudget) add(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.used.Add(n) > b.limit {
+		return fmt.Errorf("intermediate-cardinality guard: run exceeded MaxRows=%d intermediate rows (join blowup from data skew or a bad join order; raise MaxRows or set 0 to disable)", b.limit)
+	}
+	return nil
+}
 
 // blockSink collects one block's side effects during execution. upstream
 // holds the boundary outputs of the blocks this block reads from (complete
@@ -28,63 +57,62 @@ type blockSink struct {
 	upstream     map[int]*data.Table
 	materialized map[string]*data.Table
 	rows         int64
+	budget       *rowBudget
 }
 
-func newBlockSink() *blockSink {
-	return &blockSink{materialized: make(map[string]*data.Table)}
+func newBlockSink(budget *rowBudget) *blockSink {
+	return &blockSink{materialized: make(map[string]*data.Table), budget: budget}
 }
 
-// blockRunner executes one block against its sink and returns the block's
-// boundary output.
-type blockRunner func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error)
+// count adds n rows to the block's work metric and charges the run's row
+// budget.
+func (s *blockSink) count(n int64) error {
+	s.rows += n
+	return s.budget.add(n)
+}
+
+// blockRunner executes one compiled block against its sink and returns the
+// block's boundary output.
+type blockRunner func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error)
 
 // blockDeps returns the upstream block indices each block reads from.
-func blockDeps(an *workflow.Analysis) map[int][]int {
-	deps := make(map[int][]int, len(an.Blocks))
-	for _, blk := range an.Blocks {
+func blockDeps(plan *physical.Plan) map[int][]int {
+	deps := make(map[int][]int, len(plan.Blocks))
+	for _, bp := range plan.Blocks {
 		var d []int
-		for _, in := range blk.Inputs {
+		for _, in := range bp.Block.Inputs {
 			if in.FromBlock >= 0 {
 				d = append(d, in.FromBlock)
 			}
 		}
-		deps[blk.Index] = d
+		deps[bp.Block.Index] = d
 	}
 	return deps
 }
 
-// runBlocksDAG executes every block of the analysis, respecting the block
+// runBlocksDAG executes every compiled block, respecting the block
 // dependency DAG, with at most `workers` blocks in flight. Block outputs,
 // materialized tables and row counters land in out. When several blocks are
 // ready the lowest block index starts first, and on failure the error of
 // the lowest failing block index is returned, so error reporting is
 // deterministic regardless of goroutine timing.
-func runBlocksDAG(an *workflow.Analysis, plans map[int]*workflow.JoinTree, workers int, out *Result, run blockRunner) error {
-	treeOf := func(blk *workflow.Block) *workflow.JoinTree {
-		tree := blk.Initial
-		if plans != nil {
-			if t, ok := plans[blk.Index]; ok && t != nil {
-				tree = t
-			}
-		}
-		return tree
-	}
-	deps := blockDeps(an)
+func runBlocksDAG(plan *physical.Plan, workers int, budget *rowBudget, out *Result, run blockRunner) error {
+	deps := blockDeps(plan)
 
-	if workers <= 1 || len(an.Blocks) <= 1 {
-		// Sequential: an.Blocks is topologically ordered, so every
+	if workers <= 1 || len(plan.Blocks) <= 1 {
+		// Sequential: plan.Blocks is topologically ordered, so every
 		// dependency is already in out.BlockOut when its reader runs.
-		for _, blk := range an.Blocks {
-			sink := newBlockSink()
-			sink.upstream = make(map[int]*data.Table, len(deps[blk.Index]))
-			for _, d := range deps[blk.Index] {
+		for _, bp := range plan.Blocks {
+			sink := newBlockSink(budget)
+			sink.upstream = make(map[int]*data.Table, len(deps[bp.Block.Index]))
+			for _, d := range deps[bp.Block.Index] {
 				sink.upstream[d] = out.BlockOut[d]
 			}
-			tbl, err := run(blk, treeOf(blk), sink)
+			tbl, err := run(bp, sink)
 			if err != nil {
-				return fmt.Errorf("block %d: %w", blk.Index, err)
+				return fmt.Errorf("block %d: %w", bp.Block.Index, err)
 			}
-			out.BlockOut[blk.Index] = tbl
+			out.BlockOut[bp.Block.Index] = tbl
 			for k, v := range sink.materialized {
 				out.Materialized[k] = v
 			}
@@ -93,32 +121,32 @@ func runBlocksDAG(an *workflow.Analysis, plans map[int]*workflow.JoinTree, worke
 		return nil
 	}
 
-	if workers > len(an.Blocks) {
-		workers = len(an.Blocks)
+	if workers > len(plan.Blocks) {
+		workers = len(plan.Blocks)
 	}
 	var (
 		mu      sync.Mutex
 		cond    = sync.NewCond(&mu)
-		started = make(map[int]bool, len(an.Blocks))
-		done    = make(map[int]bool, len(an.Blocks))
+		started = make(map[int]bool, len(plan.Blocks))
+		done    = make(map[int]bool, len(plan.Blocks))
 		errs    = make(map[int]error)
-		left    = len(an.Blocks)
+		left    = len(plan.Blocks)
 	)
 	// nextReady picks the lowest-index block whose dependencies completed.
-	nextReady := func() *workflow.Block {
-		for _, blk := range an.Blocks {
-			if started[blk.Index] {
+	nextReady := func() *physical.BlockPlan {
+		for _, bp := range plan.Blocks {
+			if started[bp.Block.Index] {
 				continue
 			}
 			ready := true
-			for _, d := range deps[blk.Index] {
+			for _, d := range deps[bp.Block.Index] {
 				if !done[d] {
 					ready = false
 					break
 				}
 			}
 			if ready {
-				return blk
+				return bp
 			}
 		}
 		return nil
@@ -132,31 +160,31 @@ func runBlocksDAG(an *workflow.Analysis, plans map[int]*workflow.JoinTree, worke
 			if len(errs) > 0 || left == 0 {
 				return
 			}
-			blk := nextReady()
-			if blk == nil {
+			bp := nextReady()
+			if bp == nil {
 				// Everything runnable is in flight (the topological order
 				// guarantees progress while blocks remain and none failed).
 				cond.Wait()
 				continue
 			}
-			started[blk.Index] = true
-			sink := newBlockSink()
-			sink.upstream = make(map[int]*data.Table, len(deps[blk.Index]))
-			for _, d := range deps[blk.Index] {
+			started[bp.Block.Index] = true
+			sink := newBlockSink(budget)
+			sink.upstream = make(map[int]*data.Table, len(deps[bp.Block.Index]))
+			for _, d := range deps[bp.Block.Index] {
 				sink.upstream[d] = out.BlockOut[d]
 			}
 			mu.Unlock()
-			tbl, err := run(blk, treeOf(blk), sink)
+			tbl, err := run(bp, sink)
 			mu.Lock()
 			if err != nil {
-				errs[blk.Index] = err
+				errs[bp.Block.Index] = err
 			} else {
-				out.BlockOut[blk.Index] = tbl
+				out.BlockOut[bp.Block.Index] = tbl
 				for k, v := range sink.materialized {
 					out.Materialized[k] = v
 				}
 				out.Rows += sink.rows
-				done[blk.Index] = true
+				done[bp.Block.Index] = true
 			}
 			left--
 			cond.Broadcast()

@@ -6,6 +6,7 @@ import (
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/wftest"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
@@ -152,7 +153,11 @@ func TestBlockDAGParallel(t *testing.T) {
 	if len(an.Blocks) < 3 {
 		t.Fatalf("want a multi-block analysis, got %d blocks", len(an.Blocks))
 	}
-	deps := blockDeps(an)
+	plan, err := physical.Compile(an, db, physical.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	deps := blockDeps(plan)
 	independent := 0
 	for _, blk := range an.Blocks {
 		if len(deps[blk.Index]) == 0 {

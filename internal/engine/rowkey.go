@@ -1,0 +1,21 @@
+package engine
+
+// appendRowKey encodes a row of values into dst as fixed-width
+// little-endian bytes and returns the extended slice. Hot paths (hash
+// aggregation, distinct counting) reuse one buffer across rows and look up
+// maps with string(buf) — the compiler elides that conversion's allocation
+// for map access, so steady-state deduplication allocates only when a new
+// key is inserted.
+func appendRowKey(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = append(dst,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return dst
+}
+
+// rowKey is the allocating convenience form of appendRowKey.
+func rowKey(r []int64) string {
+	return string(appendRowKey(make([]byte, 0, len(r)*8), r))
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestAppendRowKey pins the encoding contract: fixed-width little-endian,
+// injective over rows of equal arity, and identical to the allocating form.
+func TestAppendRowKey(t *testing.T) {
+	rows := [][]int64{
+		{},
+		{0},
+		{1, 2, 3},
+		{-1, 1 << 40, -(1 << 40)},
+		{256, 1}, // distinct from {1, 256} — order matters
+		{1, 256},
+	}
+	seen := map[string][]int64{}
+	var buf []byte
+	for _, r := range rows {
+		buf = appendRowKey(buf[:0], r)
+		if len(buf) != 8*len(r) {
+			t.Fatalf("row %v: key length %d, want %d", r, len(buf), 8*len(r))
+		}
+		if got, want := string(buf), rowKey(r); got != want {
+			t.Fatalf("row %v: appendRowKey and rowKey disagree", r)
+		}
+		if prev, dup := seen[string(buf)]; dup {
+			t.Fatalf("rows %v and %v collide on %q", prev, r, buf)
+		}
+		seen[string(buf)] = r
+	}
+}
+
+// benchRows is a deterministic workload shaped like the group-by hot path:
+// many rows, three key columns, moderate duplication.
+func benchRows() [][]int64 {
+	rows := make([][]int64, 4096)
+	for i := range rows {
+		rows[i] = []int64{int64(i % 97), int64(i % 31), int64(i)}
+	}
+	return rows
+}
+
+// BenchmarkRowKey measures the allocating form: one fresh byte slice and one
+// string conversion per row.
+func BenchmarkRowKey(b *testing.B) {
+	rows := benchRows()
+	seen := make(map[string]bool, len(rows))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clear(seen)
+		for _, r := range rows {
+			k := rowKey(r)
+			if !seen[k] {
+				seen[k] = true
+			}
+		}
+	}
+}
+
+// BenchmarkAppendRowKey measures the reused-buffer form the engines use:
+// the map lookup's string(buf) conversion is elided by the compiler, so
+// steady-state lookups are allocation-free and only insertions copy the key.
+func BenchmarkAppendRowKey(b *testing.B) {
+	rows := benchRows()
+	seen := make(map[string]bool, len(rows))
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clear(seen)
+		for _, r := range rows {
+			buf = appendRowKey(buf[:0], r)
+			if !seen[string(buf)] {
+				seen[string(buf)] = true
+			}
+		}
+	}
+}

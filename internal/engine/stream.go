@@ -121,6 +121,7 @@ func (g *groupByIter) Open() error {
 		return err
 	}
 	seen := make(map[string]bool)
+	var kbuf []byte
 	for {
 		r, ok, err := g.src.Next()
 		if err != nil {
@@ -133,9 +134,9 @@ func (g *groupByIter) Open() error {
 		for i, c := range g.cols {
 			key[i] = r[c]
 		}
-		k := rowKey(key)
-		if !seen[k] {
-			seen[k] = true
+		kbuf = appendRowKey(kbuf[:0], key)
+		if !seen[string(kbuf)] {
+			seen[string(kbuf)] = true
 			g.out = append(g.out, key)
 		}
 	}
@@ -168,6 +169,7 @@ func (a *aggUDFIter) Open() error {
 	}
 	seen := make(map[string]bool)
 	buf := make([]int64, len(a.ins))
+	var kbuf []byte
 	for {
 		r, ok, err := a.src.Next()
 		if err != nil {
@@ -179,11 +181,11 @@ func (a *aggUDFIter) Open() error {
 		for i, c := range a.ins {
 			buf[i] = r[c]
 		}
-		k := rowKey(buf)
-		if seen[k] {
+		kbuf = appendRowKey(kbuf[:0], buf)
+		if seen[string(kbuf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(kbuf)] = true
 		row := make(data.Row, 0, len(buf)+1)
 		row = append(append(row, buf...), a.fn(buf))
 		a.out = append(a.out, row)
@@ -274,11 +276,15 @@ func (h *hashJoinIter) Close() error {
 }
 
 // tapIter invokes per-row observers — the paper's "user defined handlers
-// invoked for every tuple that passes through that point".
+// invoked for every tuple that passes through that point". When a row
+// budget is attached, every passing row charges it, so a blowing-up
+// pipeline aborts with a clear error naming the point.
 type tapIter struct {
 	src       Iterator
 	observers []rowObserver
 	rows      *int64
+	budget    *rowBudget
+	at        string
 }
 
 func (t *tapIter) Open() error { return t.src.Open() }
@@ -292,6 +298,11 @@ func (t *tapIter) Next() (data.Row, bool, error) {
 	}
 	if t.rows != nil {
 		*t.rows++
+	}
+	if t.budget != nil {
+		if err := t.budget.add(1); err != nil {
+			return nil, false, fmt.Errorf("%s: %w", t.at, err)
+		}
 	}
 	return r, true, nil
 }

@@ -5,16 +5,19 @@ import (
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
-	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
-// StreamEngine executes workflows in pipelined (Volcano) mode: tuples flow
-// through operator iterators, statistic handlers fire per tuple, and only
-// hash-join build sides, block inputs and block outputs are materialized.
-// Its results and observations are row-for-row identical to Engine's (the
-// tests cross-check), so either mode can back the optimization loop.
+// StreamEngine executes compiled physical plans in pipelined (Volcano)
+// mode: tuples flow through operator iterators, statistic handlers fire per
+// tuple, and only hash-join build sides, block inputs and block outputs are
+// materialized. It interprets the same physical IR as the batch Engine —
+// operator semantics, tap placement and reject routing are decided once, by
+// the compiler — so its results and observations are row-for-row identical
+// to Engine's (the tests cross-check), and either mode can back the
+// optimization loop.
 type StreamEngine struct {
 	An  *workflow.Analysis
 	DB  DB
@@ -25,6 +28,11 @@ type StreamEngine struct {
 	// observed values are identical to a sequential run). Values <= 1 run
 	// the classic single-goroutine iterators.
 	Workers int
+	// MaxRows caps the total intermediate rows one run may produce (the
+	// work metric Result.Rows); exceeding it aborts the run with a clear
+	// error instead of letting a skewed join order blow up memory. 0 (the
+	// default) runs unguarded.
+	MaxRows int64
 }
 
 // NewStream returns a streaming engine.
@@ -46,22 +54,24 @@ func (e *StreamEngine) RunObserved(res *css.Result, observe []stats.Stat) (*Resu
 
 // RunPlans mirrors Engine.RunPlans in streaming mode.
 func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	plan, err := physical.Compile(e.An, e.DB, physical.Options{
+		Plans: plans, Res: res, Observe: observe, Reg: e.Reg,
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{
 		BlockOut:     make(map[int]*data.Table),
 		Sinks:        make(map[string]*data.Table),
 		Materialized: make(map[string]*data.Table),
 	}
-	var taps *tapSet
+	var col *collector
 	if res != nil {
-		var err error
-		taps, err = newTapSet(res, observe, false)
-		if err != nil {
-			return nil, err
-		}
-		out.Observed = taps.store
+		col = newCollector()
+		out.Observed = col.store
 	}
-	err := runBlocksDAG(e.An, plans, e.Workers, out, func(blk *workflow.Block, tree *workflow.JoinTree, sink *blockSink) (*data.Table, error) {
-		return e.runBlock(blk, tree, taps, sink)
+	err = runBlocksDAG(plan, e.Workers, newRowBudget(e.MaxRows), out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+		return e.runStreamBlock(bp, col, sink)
 	})
 	if err != nil {
 		return nil, err
@@ -78,362 +88,207 @@ type stream struct {
 	attrs []workflow.Attr
 }
 
-func (e *StreamEngine) runBlock(blk *workflow.Block, tree *workflow.JoinTree, taps *tapSet, out *blockSink) (*data.Table, error) {
-	// Materialize inputs through streaming chains (chain-point handlers
-	// fire per tuple on the way).
-	inputs := make([]*data.Table, len(blk.Inputs))
-	for i := range blk.Inputs {
-		tbl, err := e.runChain(blk, i, taps, out)
+// runStreamBlock pipelines one compiled block: every input chain streams
+// into a materialized cooked input, the join DAG probes along its streamed
+// spine, and the pinned top operators stream over the joined output.
+func (e *StreamEngine) runStreamBlock(bp *physical.BlockPlan, col *collector, out *blockSink) (*data.Table, error) {
+	inputs := make([]*data.Table, len(bp.Chains))
+	for i, chain := range bp.Chains {
+		tbl, err := e.runStreamChain(bp, chain, col, out)
 		if err != nil {
-			return nil, fmt.Errorf("input %d (%s): %w", i, blk.Inputs[i].Name, err)
+			return nil, fmt.Errorf("input %d (%s): %w", i, bp.Block.Inputs[i].Name, err)
 		}
 		inputs[i] = tbl
 	}
 	var result *data.Table
-	if tree == nil {
-		if len(inputs) != 1 {
-			return nil, fmt.Errorf("join-free block with %d inputs", len(inputs))
-		}
+	switch {
+	case bp.JoinRoot == nil:
+		// Join-free block: the compiler guarantees a single input.
 		result = inputs[0]
-	} else if e.Workers > 1 && !tree.IsLeaf() {
-		tbl, err := e.runTreeParallel(blk, tree, inputs, taps, out)
+	case bp.JoinRoot.Kind != physical.OpHashJoin:
+		// Single-leaf tree: the root is the cooked chain end, already
+		// tapped and counted by the chain pipeline.
+		result = inputs[bp.JoinRoot.ChainInput]
+	case e.Workers > 1:
+		tbl, err := e.runSpine(bp.JoinRoot, inputs, col, out, "block")
 		if err != nil {
 			return nil, err
 		}
 		result = tbl
-	} else {
-		st, se, aux, err := e.buildTree(blk, tree, inputs, taps, out)
+	default:
+		st, auxes, err := e.buildStream(bp.JoinRoot, inputs, col, out)
 		if err != nil {
 			return nil, err
 		}
-		_ = se
-		// The root's rows were already counted by its output tap.
 		tbl, err := drain(st.it, "block", st.attrs)
 		if err != nil {
 			return nil, err
 		}
-		result = tbl
 		// Post-stream auxiliary reject joins (union–division counters).
-		for _, a := range aux {
-			a.run(blk, taps, inputs)
+		for _, a := range auxes {
+			a.run(col, inputs)
 		}
+		result = tbl
 	}
-	for _, op := range blk.TopOps {
-		if op.Kind == workflow.KindMaterialize {
-			out.materialized[op.Rel] = result
+	for _, n := range bp.TopNodes {
+		if n.Kind == physical.OpMaterialize {
+			out.materialized[n.Rel] = result
 			continue
 		}
-		st, err := e.opStream(&stream{it: &scanIter{tbl: result}, attrs: result.Attrs}, op)
-		if err != nil {
-			return nil, fmt.Errorf("top op %q: %w", op.ID, err)
-		}
+		st := opIter(n, &stream{it: &scanIter{tbl: result}, attrs: result.Attrs})
+		st = tapFor(n, st, col, out)
 		tbl, err := drain(st.it, result.Rel, st.attrs)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("top op %s: %w", n.Label, err)
 		}
-		out.rows += tbl.Card()
 		result = tbl
 	}
 	return result, nil
 }
 
-// runChain streams one block input's pushed-down operators into a
-// materialized table, tapping every chain point per tuple.
-func (e *StreamEngine) runChain(blk *workflow.Block, i int, taps *tapSet, out *blockSink) (*data.Table, error) {
-	in := blk.Inputs[i]
-	var base *data.Table
-	switch {
-	case in.SourceRel != "":
-		src, ok := e.DB[in.SourceRel]
+// runStreamChain streams one input chain into a materialized table, tapping
+// every chain point per tuple.
+func (e *StreamEngine) runStreamChain(bp *physical.BlockPlan, chain []*physical.Node, col *collector, out *blockSink) (*data.Table, error) {
+	scan := chain[0]
+	base := scan.Src
+	if scan.FromBlock >= 0 {
+		up, ok := out.upstream[scan.FromBlock]
 		if !ok {
-			return nil, fmt.Errorf("relation %q not in database", in.SourceRel)
-		}
-		base = src
-	case in.FromBlock >= 0:
-		up, ok := out.upstream[in.FromBlock]
-		if !ok {
-			return nil, fmt.Errorf("upstream block %d not yet executed", in.FromBlock)
+			return nil, fmt.Errorf("upstream block %d not yet executed", scan.FromBlock)
 		}
 		base = up
+	}
+	if e.Workers > 1 && len(base.Rows) >= 2*e.Workers && perRowChain(chain) {
+		return e.runChainParallel(bp, chain, base, col, out)
+	}
+	st := &stream{it: &scanIter{tbl: base}, attrs: scan.Attrs}
+	st = tapFor(scan, st, col, out)
+	for _, n := range chain[1:] {
+		st = opIter(n, st)
+		st = tapFor(n, st, col, out)
+	}
+	return drain(st.it, bp.Block.Inputs[scan.ChainInput].Name, st.attrs)
+}
+
+// opIter wraps one unary physical operator around a stream. The compiler
+// already resolved columns and functions, so construction cannot fail;
+// scans and materializations pass through.
+func opIter(n *physical.Node, src *stream) *stream {
+	switch n.Kind {
+	case physical.OpFilter:
+		return &stream{it: &filterIter{src: src.it, col: n.PredCol, pred: n.Pred}, attrs: n.Attrs}
+	case physical.OpProject:
+		return &stream{it: &projectIter{src: src.it, cols: n.Cols}, attrs: n.Attrs}
+	case physical.OpTransform:
+		return &stream{it: &transformIter{src: src.it, fn: n.Fn, ins: n.FnIns}, attrs: n.Attrs}
+	case physical.OpGroupBy:
+		return &stream{it: &groupByIter{src: src.it, cols: n.Cols}, attrs: n.Attrs}
+	case physical.OpAggregateUDF:
+		return &stream{it: &aggUDFIter{src: src.it, fn: n.Fn, ins: n.FnIns}, attrs: n.Attrs}
 	default:
-		return nil, fmt.Errorf("input %d has neither source nor upstream block", i)
-	}
-	if e.Workers > 1 && len(base.Rows) >= 2*e.Workers {
-		return e.runChainParallel(blk, i, base, taps, out)
-	}
-	st := &stream{it: &scanIter{tbl: base}, attrs: base.Attrs}
-	st, err := e.tapChainPoint(st, blk, i, 0, len(in.Ops), taps, out)
-	if err != nil {
-		return nil, err
-	}
-	for d, op := range in.Ops {
-		st, err = e.opStream(st, op)
-		if err != nil {
-			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
-		}
-		st, err = e.tapChainPoint(st, blk, i, d+1, len(in.Ops), taps, out)
-		if err != nil {
-			return nil, err
-		}
-	}
-	tbl, err := drain(st.it, in.Name, st.attrs)
-	if err != nil {
-		return nil, err
-	}
-	return tbl, nil
-}
-
-// tapChainPoint wraps a stream with the observers registered at a chain
-// point (the cooked end doubles as the singleton SE) and the work counter.
-func (e *StreamEngine) tapChainPoint(st *stream, blk *workflow.Block, input, depth, chainLen int, taps *tapSet, out *blockSink) (*stream, error) {
-	obs, err := observersFor(taps, chainPointStats(taps, blk, input, depth, chainLen), st.attrs)
-	if err != nil {
-		return nil, err
-	}
-	return &stream{it: &tapIter{src: st.it, observers: obs, rows: &out.rows}, attrs: st.attrs}, nil
-}
-
-// chainPointStats lists the statistics registered at a chain point (the
-// cooked end doubles as the singleton SE). Nil taps yield nil.
-func chainPointStats(taps *tapSet, blk *workflow.Block, input, depth, chainLen int) []stats.Stat {
-	if taps == nil {
-		return nil
-	}
-	var out []stats.Stat
-	out = append(out, taps.chain[[3]int{blk.Index, input, depth}]...)
-	if depth == chainLen {
-		out = append(out, taps.se[seKey{blk.Index, expr.NewSet(input)}]...)
-	}
-	return out
-}
-
-// auxReject remembers a pending union–division auxiliary join: the misses
-// of input t (w.r.t. edge f) joined with a single partner input.
-type auxReject struct {
-	t, f   int
-	misses *data.Table
-}
-
-// run executes the auxiliary joins for every registered two-input reject
-// statistic at (t, f).
-func (a *auxReject) run(blk *workflow.Block, taps *tapSet, inputs []*data.Table) {
-	for _, s := range taps.reject[[3]int{blk.Index, a.t, a.f}] {
-		rest := s.Target.Set.Without(expr.NewSet(a.t))
-		if rest.Len() != 1 {
-			continue
-		}
-		r := rest.Lowest()
-		g := -1
-		for j, e := range blk.Joins {
-			if e.LeftInput == a.t && e.RightInput == r || e.LeftInput == r && e.RightInput == a.t {
-				g = j
-				break
-			}
-		}
-		if g < 0 || inputs[r] == nil {
-			continue
-		}
-		la, ra := blk.Joins[g].LeftAttr, blk.Joins[g].RightAttr
-		if a.misses.Col(la) < 0 {
-			la, ra = ra, la
-		}
-		joined, _, _, err := hashJoin(a.misses, inputs[r], la, ra)
-		if err != nil {
-			continue
-		}
-		taps.collect(s, joined)
+		return src
 	}
 }
 
-// buildTree assembles the streaming join pipeline for a join tree: the
-// right side of each join is materialized (the hash build), the left side
-// streams.
-func (e *StreamEngine) buildTree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*stream, expr.Set, []*auxReject, error) {
-	if t.IsLeaf() {
-		tbl := inputs[t.Leaf]
-		// Chain taps already observed the cooked input; the leaf stream
-		// needs no further handlers.
-		return &stream{it: &scanIter{tbl: tbl}, attrs: tbl.Attrs}, expr.NewSet(t.Leaf), nil, nil
-	}
-	left, lse, lAux, err := e.buildTree(blk, t.Left, inputs, taps, out)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	rightStream, rse, rAux, err := e.buildTree(blk, t.Right, inputs, taps, out)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	aux := append(lAux, rAux...)
-	// Materialize the build side.
-	right, err := drain(rightStream.it, "build", rightStream.attrs)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	edge := blk.Joins[t.Join]
-	la, ra := edge.LeftAttr, edge.RightAttr
-	lc, err := colsOf(left.attrs, []workflow.Attr{la})
-	if err != nil {
-		la, ra = ra, la
-		lc, err = colsOf(left.attrs, []workflow.Attr{la})
-		if err != nil {
-			return nil, 0, nil, fmt.Errorf("join %q: %w", edge.Node, err)
-		}
-	}
-	rc, err := colsOf(right.Attrs, []workflow.Attr{ra})
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("join %q: %w", edge.Node, err)
-	}
-
-	join := &hashJoinIter{left: left.it, right: right, lc: lc[0], rc: rc[0]}
-	se := lse.Union(rse)
-
-	// Reject handlers: streamed-side misses surface per tuple; build-side
-	// misses at Close.
-	var missSinks []*auxReject
-	if taps != nil {
-		if lse.Len() == 1 {
-			tIdx := lse.Lowest()
-			sink, obs, err := rejectHandlers(blk, taps, tIdx, t.Join, left.attrs)
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			if sink != nil {
-				missSinks = append(missSinks, sink)
-			}
-			if obs != nil || sink != nil {
-				join.onLeftMiss = func(r data.Row) {
-					for _, o := range obs {
-						o.observe(r)
-					}
-					if sink != nil {
-						sink.misses.Rows = append(sink.misses.Rows, r)
-					}
-				}
-				join.leftMissFinish = obs
-			}
-		}
-		if rse.Len() == 1 {
-			tIdx := rse.Lowest()
-			sink, obs, err := rejectHandlers(blk, taps, tIdx, t.Join, right.Attrs)
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			if sink != nil {
-				missSinks = append(missSinks, sink)
-			}
-			if obs != nil || sink != nil {
-				join.onRightMiss = func(r data.Row) {
-					for _, o := range obs {
-						o.observe(r)
-					}
-					if sink != nil {
-						sink.misses.Rows = append(sink.misses.Rows, r)
-					}
-				}
-				join.rightMissFinish = obs
-			}
-		}
-	}
-	// A designed reject link materializes the left side's misses.
-	if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
-		sink := &data.Table{Rel: "reject", Attrs: left.attrs}
-		prev := join.onLeftMiss
-		join.onLeftMiss = func(r data.Row) {
-			if prev != nil {
-				prev(r)
-			}
-			sink.Rows = append(sink.Rows, r)
-		}
-		out.materialized[string(edge.Node)+".reject"] = sink
-	}
-	aux = append(aux, missSinks...)
-
-	attrs := append(append([]workflow.Attr(nil), left.attrs...), right.Attrs...)
-	// Tap the join output: SE handlers per tuple + work counter.
-	var obs []rowObserver
-	if taps != nil {
-		var err error
-		obs, err = observersFor(taps, taps.se[seKey{blk.Index, se}], attrs)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-	}
-	return &stream{it: &tapIter{src: join, observers: obs, rows: &out.rows}, attrs: attrs}, se, aux, nil
+// tapFor wraps a node's output with its compiled taps, the block's work
+// counter and the run's row budget — the streaming counterpart of the batch
+// engine's per-node count-and-collect.
+func tapFor(n *physical.Node, src *stream, col *collector, out *blockSink) *stream {
+	return &stream{it: &tapIter{
+		src:       src.it,
+		observers: observersFor(col, n.Taps),
+		rows:      &out.rows,
+		budget:    out.budget,
+		at:        n.Label,
+	}, attrs: src.attrs}
 }
 
-// rejectHandlers prepares the per-row observers for singleton reject
-// statistics at (t, f) and, when two-input reject statistics are
-// registered, a miss sink feeding the post-stream auxiliary join.
-func rejectHandlers(blk *workflow.Block, taps *tapSet, t, f int, attrs []workflow.Attr) (*auxReject, []rowObserver, error) {
-	var singles []stats.Stat
-	needAux := false
-	for _, s := range taps.reject[[3]int{blk.Index, t, f}] {
-		if s.Target.Set.Len() == 1 {
-			singles = append(singles, s)
-		} else {
-			needAux = true
-		}
+// buildStream assembles the streaming pipeline for a join subtree: the
+// right side of each hash join is materialized (the build), the left side
+// streams and probes. Reject instrumentation and reject links ride on the
+// join's miss callbacks.
+func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *collector, out *blockSink) (*stream, []*auxState, error) {
+	if n.Kind != physical.OpHashJoin {
+		// A chain-end leaf: already cooked, tapped and counted.
+		tbl := inputs[n.ChainInput]
+		return &stream{it: &scanIter{tbl: tbl}, attrs: tbl.Attrs}, nil, nil
 	}
-	obs, err := observersFor(taps, singles, attrs)
+	left, aux, err := e.buildStream(n.Left, inputs, col, out)
 	if err != nil {
 		return nil, nil, err
 	}
-	var sink *auxReject
-	if needAux {
-		sink = &auxReject{t: t, f: f, misses: &data.Table{Rel: "miss", Attrs: attrs}}
+	var right *data.Table
+	if n.Right.Kind != physical.OpHashJoin {
+		right = inputs[n.Right.ChainInput]
+	} else {
+		rs, rAux, err := e.buildStream(n.Right, inputs, col, out)
+		if err != nil {
+			return nil, nil, err
+		}
+		aux = append(aux, rAux...)
+		right, err = drain(rs.it, "build", rs.attrs)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	return sink, obs, nil
+	join := &hashJoinIter{left: left.it, right: right, lc: n.LeftCol, rc: n.RightCol}
+
+	// Streamed-side misses surface per tuple; build-side misses at Close.
+	var leftSink *auxState
+	var leftObs []rowObserver
+	if n.LeftReject != nil {
+		leftSink, leftObs = rejectState(n.LeftReject, n.Left.Attrs, col)
+		if leftSink != nil {
+			aux = append(aux, leftSink)
+		}
+	}
+	var link *data.Table
+	if n.RejectLink != "" {
+		// A designed reject link materializes the left side's misses.
+		link = &data.Table{Rel: "reject", Attrs: n.Left.Attrs}
+		out.materialized[n.RejectLink] = link
+	}
+	if leftObs != nil || leftSink != nil || link != nil {
+		join.onLeftMiss = func(r data.Row) {
+			for _, o := range leftObs {
+				o.observe(r)
+			}
+			if leftSink != nil {
+				leftSink.misses.Rows = append(leftSink.misses.Rows, r)
+			}
+			if link != nil {
+				link.Rows = append(link.Rows, r)
+			}
+		}
+		join.leftMissFinish = leftObs
+	}
+	if n.RightReject != nil {
+		sink, obs := rejectState(n.RightReject, n.Right.Attrs, col)
+		if sink != nil {
+			aux = append(aux, sink)
+		}
+		join.onRightMiss = func(r data.Row) {
+			for _, o := range obs {
+				o.observe(r)
+			}
+			if sink != nil {
+				sink.misses.Rows = append(sink.misses.Rows, r)
+			}
+		}
+		join.rightMissFinish = obs
+	}
+	// Tap the join output: SE handlers per tuple, work counter, row budget.
+	return tapFor(n, &stream{it: join, attrs: n.Attrs}, col, out), aux, nil
 }
 
-// opStream wraps one unary operator around a stream.
-func (e *StreamEngine) opStream(st *stream, op *workflow.Node) (*stream, error) {
-	switch op.Kind {
-	case workflow.KindSelect:
-		cols, err := colsOf(st.attrs, []workflow.Attr{op.Pred.Attr})
-		if err != nil {
-			return nil, err
-		}
-		return &stream{it: &filterIter{src: st.it, col: cols[0], pred: op.Pred}, attrs: st.attrs}, nil
-	case workflow.KindProject:
-		cols, err := colsOf(st.attrs, op.Cols)
-		if err != nil {
-			return nil, err
-		}
-		return &stream{it: &projectIter{src: st.it, cols: cols}, attrs: append([]workflow.Attr(nil), op.Cols...)}, nil
-	case workflow.KindTransform:
-		fn, ok := e.Reg[op.Transform.Fn]
-		if !ok {
-			return nil, fmt.Errorf("unknown UDF %q", op.Transform.Fn)
-		}
-		cols, err := colsOf(st.attrs, op.Transform.Ins)
-		if err != nil {
-			return nil, err
-		}
-		attrs := append(append([]workflow.Attr(nil), st.attrs...), op.Transform.Out)
-		return &stream{it: &transformIter{src: st.it, fn: fn, ins: cols}, attrs: attrs}, nil
-	case workflow.KindGroupBy:
-		cols, err := colsOf(st.attrs, op.Cols)
-		if err != nil {
-			return nil, err
-		}
-		return &stream{it: &groupByIter{src: st.it, cols: cols}, attrs: append([]workflow.Attr(nil), op.Cols...)}, nil
-	case workflow.KindAggregateUDF:
-		fn, ok := e.Reg[op.Transform.Fn]
-		if !ok {
-			return nil, fmt.Errorf("unknown aggregate UDF %q", op.Transform.Fn)
-		}
-		cols, err := colsOf(st.attrs, op.Transform.Ins)
-		if err != nil {
-			return nil, err
-		}
-		attrs := make([]workflow.Attr, 0, len(op.Transform.Ins)+1)
-		attrs = append(attrs, op.Transform.Ins...)
-		attrs = append(attrs, op.Transform.Out)
-		return &stream{it: &aggUDFIter{src: st.it, fn: fn, ins: cols}, attrs: attrs}, nil
-	case workflow.KindMaterialize:
-		// Handled by the caller: the drained result is recorded.
-		return st, nil
-	default:
-		return nil, fmt.Errorf("unexpected operator kind %v", op.Kind)
+// rejectState prepares one join side's reject instrumentation: per-row
+// observers for the singleton statistics and, when two-input variants were
+// compiled, a miss sink feeding the post-stream auxiliary joins.
+func rejectState(rt *physical.RejectTaps, missAttrs []workflow.Attr, col *collector) (*auxState, []rowObserver) {
+	obs := observersFor(col, rt.Singles)
+	var sink *auxState
+	if len(rt.Aux) > 0 {
+		sink = &auxState{aux: rt.Aux, misses: &data.Table{Rel: "miss", Attrs: missAttrs}}
 	}
+	return sink, obs
 }

@@ -5,16 +5,14 @@ import (
 	"sync"
 
 	"github.com/essential-stats/etlopt/internal/data"
-	"github.com/essential-stats/etlopt/internal/expr"
-	"github.com/essential-stats/etlopt/internal/stats"
-	"github.com/essential-stats/etlopt/internal/workflow"
+	"github.com/essential-stats/etlopt/internal/physical"
 )
 
 // Intra-operator parallelism for the streaming engine. With Workers > 1 a
 // block's scan→filter→probe pipelines are partitioned across goroutines:
 //
 //   - Input chains split into contiguous row chunks; each worker runs the
-//     full operator chain over its chunk with private statistic shards.
+//     compiled operator chain over its chunk with private statistic shards.
 //     Concatenating the chunk outputs in order reproduces the sequential
 //     row order exactly (chains carry only per-row operators).
 //   - Join trees execute as a probe cascade along the streamed (left)
@@ -28,13 +26,25 @@ import (
 // histogram buckets add, distinct sets union) and the merged observer
 // records into the store — so every observed statistic is identical to the
 // sequential run's, which the cross-check tests assert at Workers=4.
+//
+// The run's row budget is shared across workers; shards charge it in
+// chunks so the guard stays cheap under contention while still aborting a
+// blowing-up cascade promptly.
+
+// budgetChunk is how many rows a worker accumulates locally before charging
+// the shared row budget.
+const budgetChunk = 1024
 
 // shardTapIter is tapIter without the end-of-stream finish: worker shards
-// are finished exactly once, by the merge step, not per worker.
+// are finished exactly once, by the merge step, not per worker. Its row
+// counter is shard-private; only the budget is shared (charged in chunks).
 type shardTapIter struct {
 	src       Iterator
 	observers []rowObserver
 	rows      *int64
+	budget    *rowBudget
+	at        string
+	pend      int64
 }
 
 func (t *shardTapIter) Open() error { return t.src.Open() }
@@ -49,18 +59,35 @@ func (t *shardTapIter) Next() (data.Row, bool, error) {
 	if t.rows != nil {
 		*t.rows++
 	}
+	if t.budget != nil {
+		t.pend++
+		if t.pend >= budgetChunk {
+			if err := t.budget.add(t.pend); err != nil {
+				return nil, false, fmt.Errorf("%s: %w", t.at, err)
+			}
+			t.pend = 0
+		}
+	}
 	return r, true, nil
 }
-func (t *shardTapIter) Close() error { return t.src.Close() }
+func (t *shardTapIter) Close() error {
+	if t.budget != nil && t.pend > 0 {
+		if err := t.budget.add(t.pend); err != nil {
+			return fmt.Errorf("%s: %w", t.at, err)
+		}
+		t.pend = 0
+	}
+	return t.src.Close()
+}
 
-// perRowChain reports whether every chain operator is per-row (select,
-// project, transform): only then can chunks run independently. Block
-// analysis cuts chains at blocking operators, so this always holds today;
-// the check keeps the fallback honest if that ever changes.
-func perRowChain(ops []*workflow.Node) bool {
-	for _, op := range ops {
-		switch op.Kind {
-		case workflow.KindSelect, workflow.KindProject, workflow.KindTransform:
+// perRowChain reports whether every chain operator past the scan is per-row
+// (filter, project, transform): only then can chunks run independently.
+// Block analysis cuts chains at blocking operators, so this always holds
+// today; the check keeps the fallback honest if that ever changes.
+func perRowChain(chain []*physical.Node) bool {
+	for _, n := range chain[1:] {
+		switch n.Kind {
+		case physical.OpFilter, physical.OpProject, physical.OpTransform:
 		default:
 			return false
 		}
@@ -68,19 +95,16 @@ func perRowChain(ops []*workflow.Node) bool {
 	return true
 }
 
-// runChainParallel is runChain's Workers>1 path: contiguous chunks of the
-// base relation stream through per-worker copies of the operator chain.
-func (e *StreamEngine) runChainParallel(blk *workflow.Block, i int, base *data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
-	in := blk.Inputs[i]
-	if !perRowChain(in.Ops) {
-		return e.runChainSequential(blk, i, base, taps, out)
-	}
+// runChainParallel is runStreamChain's Workers>1 path: contiguous chunks of
+// the base relation stream through per-worker copies of the compiled chain.
+func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physical.Node, base *data.Table, col *collector, out *blockSink) (*data.Table, error) {
 	w := e.Workers
 	parts := partitionChunks(base.Rows, w)
+	name := bp.Block.Inputs[chain[0].ChainInput].Name
 
 	type chainShard struct {
 		rows int64
-		obs  [][]rowObserver // per chain point, in depth order
+		obs  [][]rowObserver // per chain node, in depth order
 		out  *data.Table
 		err  error
 	}
@@ -94,33 +118,21 @@ func (e *StreamEngine) runChainParallel(blk *workflow.Block, i int, base *data.T
 		go func() {
 			defer wg.Done()
 			chunk := &data.Table{Rel: base.Rel, Attrs: base.Attrs, Rows: part}
-			st := &stream{it: &scanIter{tbl: chunk}, attrs: base.Attrs}
-			tap := func(depth int) error {
-				obs, err := observersFor(taps, chainPointStats(taps, blk, i, depth, len(in.Ops)), st.attrs)
-				if err != nil {
-					return err
-				}
+			st := &stream{it: &scanIter{tbl: chunk}, attrs: chain[0].Attrs}
+			tap := func(n *physical.Node) {
+				obs := observersFor(col, n.Taps)
 				shard.obs = append(shard.obs, obs)
-				st = &stream{it: &shardTapIter{src: st.it, observers: obs, rows: &shard.rows}, attrs: st.attrs}
-				return nil
+				st = &stream{it: &shardTapIter{
+					src: st.it, observers: obs, rows: &shard.rows,
+					budget: out.budget, at: n.Label,
+				}, attrs: st.attrs}
 			}
-			if err := tap(0); err != nil {
-				shard.err = err
-				return
+			tap(chain[0])
+			for _, n := range chain[1:] {
+				st = opIter(n, st)
+				tap(n)
 			}
-			for d, op := range in.Ops {
-				next, err := e.opStream(st, op)
-				if err != nil {
-					shard.err = fmt.Errorf("chain op %q: %w", op.ID, err)
-					return
-				}
-				st = next
-				if err := tap(d + 1); err != nil {
-					shard.err = err
-					return
-				}
-			}
-			tbl, err := drain(st.it, in.Name, st.attrs)
+			tbl, err := drain(st.it, name, st.attrs)
 			if err != nil {
 				shard.err = err
 				return
@@ -135,13 +147,14 @@ func (e *StreamEngine) runChainParallel(blk *workflow.Block, i int, base *data.T
 		}
 	}
 	// Concatenate chunk outputs in order, merge the statistic shards per
-	// chain point, and fold the per-worker row counters.
-	result := &data.Table{Rel: in.Name, Attrs: shards[0].out.Attrs}
+	// chain point, and fold the per-worker row counters (the budget was
+	// already charged by the shard iterators).
+	result := &data.Table{Rel: name, Attrs: shards[0].out.Attrs}
 	for _, shard := range shards {
 		result.Rows = append(result.Rows, shard.out.Rows...)
 		out.rows += shard.rows
 	}
-	for d := 0; d <= len(in.Ops); d++ {
+	for d := range chain {
 		group := make([][]rowObserver, w)
 		for wi, shard := range shards {
 			group[wi] = shard.obs[d]
@@ -153,45 +166,15 @@ func (e *StreamEngine) runChainParallel(blk *workflow.Block, i int, base *data.T
 	return result, nil
 }
 
-// runChainSequential is the classic single-goroutine chain over an already
-// resolved base table (the fallback for non-per-row chains).
-func (e *StreamEngine) runChainSequential(blk *workflow.Block, i int, base *data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
-	in := blk.Inputs[i]
-	st := &stream{it: &scanIter{tbl: base}, attrs: base.Attrs}
-	st, err := e.tapChainPoint(st, blk, i, 0, len(in.Ops), taps, out)
-	if err != nil {
-		return nil, err
-	}
-	for d, op := range in.Ops {
-		st, err = e.opStream(st, op)
-		if err != nil {
-			return nil, fmt.Errorf("chain op %q: %w", op.ID, err)
-		}
-		st, err = e.tapChainPoint(st, blk, i, d+1, len(in.Ops), taps, out)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return drain(st.it, in.Name, st.attrs)
-}
-
-// probeStage is one hash join along the streamed spine of a join tree: a
-// materialized, indexed build side plus the statistic and reject wiring the
-// sequential pipeline would attach at the same point.
-type probeStage struct {
-	edge    int // index into blk.Joins
-	right   *data.Table
-	index   map[int64][]data.Row
-	lc, rc  int
-	inAttrs []workflow.Attr // streamed-side schema entering the stage
-	attrs   []workflow.Attr // output schema (inAttrs + right.Attrs)
-	seStats []stats.Stat    // observers on the stage's join output
-
-	leftSingles  []stats.Stat // singleton reject stats over left misses
-	leftAux      *auxReject   // two-input reject variants over left misses
-	rightSingles []stats.Stat
-	rightAux     *auxReject
-	rejectLink   string // non-empty: materialize left misses under this name
+// spineStage is one hash join along the streamed spine of a join DAG: the
+// compiled node plus the materialized, indexed build side and the shared
+// miss sinks the merge phase fills.
+type spineStage struct {
+	jn       *physical.Node
+	right    *data.Table
+	index    map[int64][]data.Row
+	leftAux  *auxState
+	rightAux *auxState
 }
 
 // stageState is one worker's private view of one stage.
@@ -203,103 +186,53 @@ type stageState struct {
 	matched    map[int64]bool
 }
 
-// runTreeParallel executes a join tree with partitioned probe pipelines,
-// returning the block's joined output (root rel name matches the
-// sequential drain).
-func (e *StreamEngine) runTreeParallel(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, error) {
-	tbl, _, err := e.runSpine(blk, t, inputs, taps, out, "block")
-	return tbl, err
-}
-
-// evalSubtree materializes a join-tree node: leaves are the (already
-// cooked) block inputs, internal nodes run their own partitioned spine.
-func (e *StreamEngine) evalSubtree(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink) (*data.Table, expr.Set, error) {
-	if t.IsLeaf() {
-		return inputs[t.Leaf], expr.NewSet(t.Leaf), nil
-	}
-	return e.runSpine(blk, t, inputs, taps, out, "build")
-}
-
-func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, inputs []*data.Table, taps *tapSet, out *blockSink, rel string) (*data.Table, expr.Set, error) {
+// runSpine executes a join subtree with partitioned probe pipelines,
+// returning the joined output (rel matches the sequential drain).
+func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *collector, out *blockSink, rel string) (*data.Table, error) {
 	// Collect the streamed spine bottom-up; the spine leaf is the base
 	// input every probe partition starts from.
-	var nodes []*workflow.JoinTree
-	cur := t
-	for !cur.IsLeaf() {
-		nodes = append(nodes, cur)
+	var joins []*physical.Node
+	cur := root
+	for cur.Kind == physical.OpHashJoin {
+		joins = append(joins, cur)
 		cur = cur.Left
 	}
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
+	for i, j := 0, len(joins)-1; i < j; i, j = i+1, j-1 {
+		joins[i], joins[j] = joins[j], joins[i]
 	}
-	base := inputs[cur.Leaf]
-	lse := expr.NewSet(cur.Leaf)
-	leftAttrs := base.Attrs
+	base := inputs[cur.ChainInput]
 
-	var stages []*probeStage
-	var auxes []*auxReject
-	for _, nd := range nodes {
-		right, rse, err := e.evalSubtree(blk, nd.Right, inputs, taps, out)
-		if err != nil {
-			return nil, 0, err
-		}
-		edge := blk.Joins[nd.Join]
-		la, ra := edge.LeftAttr, edge.RightAttr
-		lc, err := colsOf(leftAttrs, []workflow.Attr{la})
-		if err != nil {
-			la, ra = ra, la
-			lc, err = colsOf(leftAttrs, []workflow.Attr{la})
+	var stages []*spineStage
+	var auxes []*auxState
+	for _, jn := range joins {
+		var right *data.Table
+		if jn.Right.Kind == physical.OpHashJoin {
+			var err error
+			right, err = e.runSpine(jn.Right, inputs, col, out, "build")
 			if err != nil {
-				return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
+				return nil, err
 			}
+		} else {
+			right = inputs[jn.Right.ChainInput]
 		}
-		rc, err := colsOf(right.Attrs, []workflow.Attr{ra})
-		if err != nil {
-			return nil, 0, fmt.Errorf("join %q: %w", edge.Node, err)
-		}
-		st := &probeStage{
-			edge:    nd.Join,
-			right:   right,
-			lc:      lc[0],
-			rc:      rc[0],
-			inAttrs: leftAttrs,
-			attrs:   append(append([]workflow.Attr(nil), leftAttrs...), right.Attrs...),
-		}
+		st := &spineStage{jn: jn, right: right}
 		st.index = make(map[int64][]data.Row, len(right.Rows))
 		for _, r := range right.Rows {
-			st.index[r[st.rc]] = append(st.index[r[st.rc]], r)
+			st.index[r[jn.RightCol]] = append(st.index[r[jn.RightCol]], r)
 		}
-		if taps != nil {
-			st.seStats = taps.se[seKey{blk.Index, lse.Union(rse)}]
-			if lse.Len() == 1 {
-				sink, singles := rejectStats(blk, taps, lse.Lowest(), nd.Join)
-				st.leftSingles = singles
-				st.leftAux = sink
-				if sink != nil {
-					sink.misses = &data.Table{Rel: "miss", Attrs: leftAttrs}
-					auxes = append(auxes, sink)
-				}
-			}
-			if rse.Len() == 1 {
-				sink, singles := rejectStats(blk, taps, rse.Lowest(), nd.Join)
-				st.rightSingles = singles
-				st.rightAux = sink
-				if sink != nil {
-					sink.misses = &data.Table{Rel: "miss", Attrs: right.Attrs}
-					auxes = append(auxes, sink)
-				}
-			}
+		if jn.LeftReject != nil && len(jn.LeftReject.Aux) > 0 {
+			st.leftAux = &auxState{aux: jn.LeftReject.Aux, misses: &data.Table{Rel: "miss", Attrs: jn.Left.Attrs}}
+			auxes = append(auxes, st.leftAux)
 		}
-		if n := e.An.Graph.Node(edge.Node); n != nil && n.Join != nil && n.Join.RejectLink {
-			st.rejectLink = string(edge.Node) + ".reject"
+		if jn.RightReject != nil && len(jn.RightReject.Aux) > 0 {
+			st.rightAux = &auxState{aux: jn.RightReject.Aux, misses: &data.Table{Rel: "miss", Attrs: right.Attrs}}
+			auxes = append(auxes, st.rightAux)
 		}
-		leftAttrs = st.attrs
-		lse = lse.Union(rse)
 		stages = append(stages, st)
 	}
 
 	w := e.Workers
-	parts := partitionByKey(base.Rows, stages[0].lc, w)
+	parts := partitionByKey(base.Rows, stages[0].jn.LeftCol, w)
 
 	type treeShard struct {
 		rows   int64
@@ -319,25 +252,21 @@ func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, input
 			for si, st := range stages {
 				ss := &shard.stages[si]
 				ss.matched = make(map[int64]bool)
-				var err error
-				if ss.seObs, err = observersFor(taps, st.seStats, st.attrs); err != nil {
-					shard.err = err
-					return
-				}
-				if ss.leftObs, err = observersFor(taps, st.leftSingles, st.inAttrs); err != nil {
-					shard.err = err
-					return
+				ss.seObs = observersFor(col, st.jn.Taps)
+				if st.jn.LeftReject != nil {
+					ss.leftObs = observersFor(col, st.jn.LeftReject.Singles)
 				}
 			}
-			var emit func(row data.Row, si int)
-			emit = func(row data.Row, si int) {
+			var pend int64
+			var emit func(row data.Row, si int) error
+			emit = func(row data.Row, si int) error {
 				if si == len(stages) {
 					shard.out = append(shard.out, row)
-					return
+					return nil
 				}
 				st := stages[si]
 				ss := &shard.stages[si]
-				matches := st.index[row[st.lc]]
+				matches := st.index[row[st.jn.LeftCol]]
 				if len(matches) == 0 {
 					for _, o := range ss.leftObs {
 						o.observe(row)
@@ -345,12 +274,12 @@ func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, input
 					if st.leftAux != nil {
 						ss.leftMisses = append(ss.leftMisses, row)
 					}
-					if st.rejectLink != "" {
+					if st.jn.RejectLink != "" {
 						ss.linkRows = append(ss.linkRows, row)
 					}
-					return
+					return nil
 				}
-				ss.matched[row[st.lc]] = true
+				ss.matched[row[st.jn.LeftCol]] = true
 				for _, rrow := range matches {
 					joined := make(data.Row, 0, len(row)+len(rrow))
 					joined = append(append(joined, row...), rrow...)
@@ -358,29 +287,48 @@ func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, input
 						o.observe(joined)
 					}
 					shard.rows++
-					emit(joined, si+1)
+					pend++
+					if pend >= budgetChunk {
+						if err := out.budget.add(pend); err != nil {
+							return fmt.Errorf("%s: %w", st.jn.Label, err)
+						}
+						pend = 0
+					}
+					if err := emit(joined, si+1); err != nil {
+						return err
+					}
 				}
+				return nil
 			}
 			for _, r := range part {
-				emit(r, 0)
+				if err := emit(r, 0); err != nil {
+					shard.err = err
+					return
+				}
+			}
+			if pend > 0 {
+				if err := out.budget.add(pend); err != nil {
+					shard.err = err
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	for _, shard := range shards {
 		if shard.err != nil {
-			return nil, 0, shard.err
+			return nil, shard.err
 		}
 	}
 
 	// Merge: worker outputs concatenate, observer shards fold into the
 	// store, matched-key sets union so build-side misses are computed once.
-	result := &data.Table{Rel: rel, Attrs: leftAttrs}
+	result := &data.Table{Rel: rel, Attrs: root.Attrs}
 	for _, shard := range shards {
 		result.Rows = append(result.Rows, shard.out...)
 		out.rows += shard.rows
 	}
 	for si, st := range stages {
+		jn := st.jn
 		seGroup := make([][]rowObserver, w)
 		leftGroup := make([][]rowObserver, w)
 		for wi, shard := range shards {
@@ -388,36 +336,33 @@ func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, input
 			leftGroup[wi] = shard.stages[si].leftObs
 		}
 		if err := mergeShards(seGroup); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if err := mergeShards(leftGroup); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if st.leftAux != nil {
 			for _, shard := range shards {
 				st.leftAux.misses.Rows = append(st.leftAux.misses.Rows, shard.stages[si].leftMisses...)
 			}
 		}
-		if st.rejectLink != "" {
-			link := &data.Table{Rel: "reject", Attrs: st.inAttrs}
+		if jn.RejectLink != "" {
+			link := &data.Table{Rel: "reject", Attrs: jn.Left.Attrs}
 			for _, shard := range shards {
 				link.Rows = append(link.Rows, shard.stages[si].linkRows...)
 			}
-			out.materialized[st.rejectLink] = link
+			out.materialized[jn.RejectLink] = link
 		}
-		if st.rightSingles != nil || st.rightAux != nil {
+		if jn.RightReject != nil {
 			matched := make(map[int64]bool)
 			for _, shard := range shards {
 				for k := range shard.stages[si].matched {
 					matched[k] = true
 				}
 			}
-			obs, err := observersFor(taps, st.rightSingles, st.right.Attrs)
-			if err != nil {
-				return nil, 0, err
-			}
+			obs := observersFor(col, jn.RightReject.Singles)
 			for _, r := range st.right.Rows {
-				if matched[r[st.rc]] {
+				if matched[r[jn.RightCol]] {
 					continue
 				}
 				for _, o := range obs {
@@ -436,26 +381,7 @@ func (e *StreamEngine) runSpine(blk *workflow.Block, t *workflow.JoinTree, input
 	// the cascade, exactly like the sequential engine runs them after the
 	// root drains.
 	for _, a := range auxes {
-		a.run(blk, taps, inputs)
+		a.run(col, inputs)
 	}
-	return result, lse, nil
-}
-
-// rejectStats splits the reject statistics registered at (input t, edge f)
-// into per-row singleton stats and (when two-input variants exist) an
-// auxiliary-join sink, mirroring rejectHandlers without building observers.
-func rejectStats(blk *workflow.Block, taps *tapSet, t, f int) (*auxReject, []stats.Stat) {
-	var singles []stats.Stat
-	needAux := false
-	for _, s := range taps.reject[[3]int{blk.Index, t, f}] {
-		if s.Target.Set.Len() == 1 {
-			singles = append(singles, s)
-		} else {
-			needAux = true
-		}
-	}
-	if !needAux {
-		return nil, singles
-	}
-	return &auxReject{t: t, f: f}, singles
+	return result, nil
 }

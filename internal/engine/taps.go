@@ -1,197 +1,87 @@
 package engine
 
 import (
-	"fmt"
-
-	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
-	"github.com/essential-stats/etlopt/internal/expr"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
-	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
-// tapSet routes record-sets produced during execution to the statistic
-// collectors the selection asked for. Points are keyed three ways: chain
-// points (block, input, depth), cooked SEs (block, set), and reject
-// singletons (block, input, edge).
-type tapSet struct {
-	res   *css.Result
+// collector records compiled taps into a statistic store. All routing —
+// which statistic observes which operator output, with which physical
+// columns — was decided by the physical-plan compiler; the collector only
+// folds record-sets into scalars and histograms. A nil *collector is valid
+// and collects nothing (uninstrumented runs).
+type collector struct {
 	store *stats.Store
-
-	chain  map[[3]int][]stats.Stat
-	se     map[seKey][]stats.Stat
-	reject map[[3]int][]stats.Stat
 }
 
-type seKey struct {
-	block int
-	set   expr.Set
-}
+func newCollector() *collector { return &collector{store: stats.NewStore()} }
 
-// newTapSet indexes the observable statistics of the selection by
-// observation point. Unless anyPoint is set, statistics not observable
-// under the initial plan are skipped: they are derived later by the
-// estimator. With anyPoint, every statistic is registered and collected if
-// (and only if) the executed plans produce its target.
-func newTapSet(res *css.Result, observe []stats.Stat, anyPoint bool) (*tapSet, error) {
-	t := &tapSet{
-		res:    res,
-		store:  stats.NewStore(),
-		chain:  make(map[[3]int][]stats.Stat),
-		se:     make(map[seKey][]stats.Stat),
-		reject: make(map[[3]int][]stats.Stat),
+// collect updates one tap's statistic from a whole record-set (the batch
+// engine's table-at-a-time path). The store is write-once per statistic, so
+// collection stays idempotent if a plan surfaces the same target twice.
+func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
+	if c == nil || c.store.Has(tap.Stat) {
+		return
 	}
-	for _, s := range observe {
-		if !anyPoint && !res.StatObservable(s) {
-			continue
-		}
-		tgt := s.Target
-		switch {
-		case tgt.IsChainPoint():
-			k := [3]int{tgt.Block, tgt.Set.Lowest(), tgt.Depth}
-			t.chain[k] = append(t.chain[k], s)
-		case tgt.IsReject():
-			k := [3]int{tgt.Block, tgt.RejectInput, tgt.RejectEdge}
-			t.reject[k] = append(t.reject[k], s)
-		default:
-			k := seKey{tgt.Block, tgt.Set}
-			t.se[k] = append(t.se[k], s)
-		}
-	}
-	return t, nil
-}
-
-// observeChainPoint feeds the collectors at chain point (block, input,
-// depth). The cooked end of the chain doubles as the singleton SE.
-func (t *tapSet) observeChainPoint(block, input, depth, chainLen int, tbl *data.Table) {
-	for _, s := range t.chain[[3]int{block, input, depth}] {
-		t.collect(s, tbl)
-	}
-	if depth == chainLen {
-		t.observeSE(block, expr.NewSet(input), tbl)
-	}
-}
-
-// observeSE feeds the collectors of a cooked SE.
-func (t *tapSet) observeSE(block int, se expr.Set, tbl *data.Table) {
-	for _, s := range t.se[seKey{block, se}] {
-		t.collect(s, tbl)
-	}
-}
-
-// observeReject feeds the collectors keyed on reject point (input, edge):
-// singleton reject statistics collect directly over the miss rows, and
-// two-input reject variants T̄t ⋈ r run the auxiliary join of the miss rows
-// with the partner input first (the instrumentation the paper adds for rule
-// J4's counter).
-func (t *tapSet) observeReject(blk *workflow.Block, input, edge int, misses *data.Table, inputs []*data.Table) {
-	block := blk.Index
-	for _, s := range t.reject[[3]int{block, input, edge}] {
-		rest := s.Target.Set.Without(expr.NewSet(input))
-		if rest.Empty() {
-			t.collect(s, misses)
-			continue
-		}
-		if rest.Len() != 1 {
-			continue // wider variants are derived, not observed
-		}
-		r := rest.Lowest()
-		g := -1
-		for j, e := range blk.Joins {
-			if e.LeftInput == input && e.RightInput == r || e.LeftInput == r && e.RightInput == input {
-				g = j
-				break
-			}
-		}
-		if g < 0 || inputs[r] == nil {
-			continue
-		}
-		la, ra := blk.Joins[g].LeftAttr, blk.Joins[g].RightAttr
-		if misses.Col(la) < 0 {
-			la, ra = ra, la
-		}
-		joined, _, _, err := hashJoin(misses, inputs[r], la, ra)
-		if err != nil {
-			continue
-		}
-		t.collect(s, joined)
-	}
-}
-
-// collect updates one statistic from a record-set. Histograms are recorded
-// under class-representative attribute labels, so the estimation algebra
-// composes histograms from different relations without renaming.
-func (t *tapSet) collect(s stats.Stat, tbl *data.Table) {
-	if t.store.Has(s) {
-		return // a plan may produce the same SE once only; be idempotent
-	}
-	switch s.Kind {
+	switch tap.Stat.Kind {
 	case stats.Card:
-		t.store.PutScalarOnce(s, tbl.Card())
+		c.store.PutScalarOnce(tap.Stat, tbl.Card())
 	case stats.Distinct:
-		cols, err := t.columnsFor(s, tbl)
-		if err != nil {
-			return
-		}
 		seen := make(map[string]bool)
-		key := make([]int64, len(cols))
+		var kbuf []byte
+		key := make([]int64, len(tap.Cols))
 		for _, r := range tbl.Rows {
-			for i, c := range cols {
-				key[i] = r[c]
+			for i, col := range tap.Cols {
+				key[i] = r[col]
 			}
-			seen[rowKey(key)] = true
+			kbuf = appendRowKey(kbuf[:0], key)
+			if !seen[string(kbuf)] {
+				seen[string(kbuf)] = true
+			}
 		}
-		t.store.PutScalarOnce(s, int64(len(seen)))
+		c.store.PutScalarOnce(tap.Stat, int64(len(seen)))
 	case stats.Hist:
-		cols, err := t.columnsFor(s, tbl)
-		if err != nil {
-			return
-		}
-		h := stats.NewHistogram(s.Attrs...)
-		vals := make([]int64, len(cols))
+		h := stats.NewHistogram(tap.Stat.Attrs...)
+		vals := make([]int64, len(tap.Cols))
 		for _, r := range tbl.Rows {
-			for i, c := range cols {
-				vals[i] = r[c]
+			for i, col := range tap.Cols {
+				vals[i] = r[col]
 			}
 			h.Inc(vals, 1)
 		}
-		t.store.PutHistOnce(s, h)
+		c.store.PutHistOnce(tap.Stat, h)
 	}
 }
 
-// columnsFor resolves a statistic's class-representative attributes to
-// physical columns of the record-set, in the order of s.Attrs (which
-// matches the histogram's canonical attribute order).
-func (t *tapSet) columnsFor(s stats.Stat, tbl *data.Table) ([]int, error) {
-	return t.colsForSchema(s, tbl.Attrs)
+// auxState is a pending union–division auxiliary join: the misses of one
+// input joined with each registered partner input after the block's
+// pipeline drains (rule J4's counter).
+type auxState struct {
+	aux    []*physical.AuxJoin
+	misses *data.Table
 }
 
-// colsForSchema is columnsFor against a bare schema (the streaming engine
-// resolves handlers before any rows exist).
-func (t *tapSet) colsForSchema(s stats.Stat, attrs []workflow.Attr) ([]int, error) {
-	phys, err := t.res.PhysicalAttrs(s)
-	if err != nil {
-		return nil, err
-	}
-	pos := func(a workflow.Attr) int {
-		for i, x := range attrs {
-			if x == a {
-				return i
+// run executes the auxiliary joins over the collected misses and feeds each
+// statistic.
+func (a *auxState) run(col *collector, inputs []*data.Table) {
+	for _, aj := range a.aux {
+		partner := inputs[aj.Partner]
+		if partner == nil {
+			continue
+		}
+		index := make(map[int64][]data.Row, len(partner.Rows))
+		for _, r := range partner.Rows {
+			index[r[aj.PartnerCol]] = append(index[r[aj.PartnerCol]], r)
+		}
+		joined := &data.Table{Rel: "aux", Attrs: aj.Attrs}
+		for _, m := range a.misses.Rows {
+			for _, p := range index[m[aj.MissCol]] {
+				row := make(data.Row, 0, len(m)+len(p))
+				row = append(append(row, m...), p...)
+				joined.Rows = append(joined.Rows, row)
 			}
 		}
-		return -1
+		col.collect(physical.Tap{Stat: aj.Stat, Cols: aj.Cols}, joined)
 	}
-	cols := make([]int, len(phys))
-	for i, a := range phys {
-		cols[i] = pos(a)
-		if cols[i] < 0 {
-			// The class representative itself may be the physical column
-			// (e.g. a derived attribute).
-			cols[i] = pos(s.Attrs[i])
-		}
-		if cols[i] < 0 {
-			return nil, fmt.Errorf("attribute %s not present at observation point (schema %v)", phys[i], attrs)
-		}
-	}
-	return cols, nil
 }

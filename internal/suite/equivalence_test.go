@@ -1,0 +1,220 @@
+package suite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/stats"
+)
+
+// TestEngineEquivalenceGolden is the cross-engine contract check: over
+// every suite workflow, the batch and streaming engines — sequential and
+// worker-parallel — must produce identical sinks, materialized tables,
+// observed statistics and work metric from one compiled physical plan. The
+// batch sequential run is the reference; any divergence means an executor
+// strayed from the shared IR's semantics.
+func TestEngineEquivalenceGolden(t *testing.T) {
+	const scale = 0.001
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			an, err := w.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			res, err := css.Generate(an, css.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			observe := res.ObservableStats()
+			db := w.Data(scale)
+
+			ref, err := engine.New(an, db, nil).RunObserved(res, observe)
+			if err != nil {
+				t.Fatalf("batch seq: %v", err)
+			}
+			runs := []struct {
+				label string
+				run   func() (*engine.Result, error)
+			}{
+				{"batch w4", func() (*engine.Result, error) {
+					e := engine.New(an, db, nil)
+					e.Workers = 4
+					return e.RunObserved(res, observe)
+				}},
+				{"stream w1", func() (*engine.Result, error) {
+					return engine.NewStream(an, db, nil).RunObserved(res, observe)
+				}},
+				{"stream w4", func() (*engine.Result, error) {
+					e := engine.NewStream(an, db, nil)
+					e.Workers = 4
+					return e.RunObserved(res, observe)
+				}},
+			}
+			for _, r := range runs {
+				got, err := r.run()
+				if err != nil {
+					t.Fatalf("%s: %v", r.label, err)
+				}
+				diffResults(t, r.label, ref, got)
+			}
+		})
+	}
+}
+
+// diffResults asserts two engine results are externally identical. Row
+// order within a table is not part of the contract (the parallel probe
+// cascade interleaves partitions), so tables compare as multisets.
+func diffResults(t *testing.T, label string, ref, got *engine.Result) {
+	t.Helper()
+	if len(ref.Sinks) != len(got.Sinks) {
+		t.Errorf("%s: sink count %d vs %d", label, len(got.Sinks), len(ref.Sinks))
+	}
+	for name, tbl := range ref.Sinks {
+		if !sameTable(tbl, got.Sinks[name]) {
+			t.Errorf("%s: sink %q differs", label, name)
+		}
+	}
+	if len(ref.Materialized) != len(got.Materialized) {
+		t.Errorf("%s: materialized count %d vs %d", label, len(got.Materialized), len(ref.Materialized))
+	}
+	for name, tbl := range ref.Materialized {
+		if !sameTable(tbl, got.Materialized[name]) {
+			t.Errorf("%s: materialized %q differs", label, name)
+		}
+	}
+	if got.Rows != ref.Rows {
+		t.Errorf("%s: work metric %d, want %d", label, got.Rows, ref.Rows)
+	}
+	diffStores(t, label, ref.Observed, got.Observed)
+}
+
+// diffStores compares two observation stores value by value.
+func diffStores(t *testing.T, label string, ref, got *stats.Store) {
+	t.Helper()
+	if (ref == nil) != (got == nil) {
+		t.Errorf("%s: one result has no observations", label)
+		return
+	}
+	if ref == nil {
+		return
+	}
+	if got.Len() != ref.Len() {
+		t.Errorf("%s: store sizes differ: %d vs %d", label, got.Len(), ref.Len())
+	}
+	for _, v := range ref.Values() {
+		if v.Hist == nil {
+			g, err := got.Scalar(v.Stat)
+			if err != nil || g != v.Scalar {
+				t.Errorf("%s: scalar %v = %d, want %d (%v)", label, v.Stat.Key(), g, v.Scalar, err)
+			}
+			continue
+		}
+		h, err := got.Hist(v.Stat)
+		if err != nil || h.Buckets() != v.Hist.Buckets() || h.Total() != v.Hist.Total() {
+			t.Errorf("%s: hist %v differs", label, v.Stat.Key())
+			continue
+		}
+		same := true
+		v.Hist.Each(func(vals []int64, f int64) {
+			if h.Freq(vals...) != f {
+				same = false
+			}
+		})
+		if !same {
+			t.Errorf("%s: hist %v bucket mismatch", label, v.Stat.Key())
+		}
+	}
+}
+
+// sameTable compares two tables as row multisets.
+func sameTable(a, b *data.Table) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	ka, kb := rowKeys(a), rowKeys(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKeys(tbl *data.Table) []string {
+	keys := make([]string, len(tbl.Rows))
+	for i, r := range tbl.Rows {
+		var sb strings.Builder
+		for _, v := range r {
+			fmt.Fprintf(&sb, "%d,", v)
+		}
+		keys[i] = sb.String()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestMaxRowsGuard pins the intermediate-cardinality guard on the suite's
+// known blowup case: wf24's Zipf-skewed join keys collide on hot values, so
+// at larger scales its chain joins multiply far beyond the independence
+// estimate. Both engines must abort promptly with the guard's error instead
+// of materializing the blowup.
+func TestMaxRowsGuard(t *testing.T) {
+	w := Get(24)
+	an, err := w.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	db := w.Data(0.01)
+	const limit = 500_000
+	for _, tc := range []struct {
+		label string
+		run   func() (*engine.Result, error)
+	}{
+		{"batch w1", func() (*engine.Result, error) {
+			e := engine.New(an, db, nil)
+			e.MaxRows = limit
+			return e.Run()
+		}},
+		{"batch w4", func() (*engine.Result, error) {
+			e := engine.New(an, db, nil)
+			e.Workers, e.MaxRows = 4, limit
+			return e.Run()
+		}},
+		{"stream w1", func() (*engine.Result, error) {
+			e := engine.NewStream(an, db, nil)
+			e.MaxRows = limit
+			return e.Run()
+		}},
+		{"stream w4", func() (*engine.Result, error) {
+			e := engine.NewStream(an, db, nil)
+			e.Workers, e.MaxRows = 4, limit
+			return e.Run()
+		}},
+	} {
+		_, err := tc.run()
+		if err == nil {
+			t.Errorf("%s: want a guard error, got success", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), "intermediate-cardinality guard") {
+			t.Errorf("%s: error %q does not mention the guard", tc.label, err)
+		}
+	}
+	// The guard must not trip where the budget is ample: the same workflow
+	// at the suite's default scale stays far below the limit.
+	small := w.Data(0.002)
+	e := engine.New(an, small, nil)
+	e.MaxRows = 100_000_000
+	if _, err := e.Run(); err != nil {
+		t.Errorf("ample budget: %v", err)
+	}
+}
