@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race short bench vet lint check
+.PHONY: build test race short bench examples vet lint check
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,18 @@ race:
 short:
 	$(GO) test -short ./...
 
+# bench runs every benchmark once with allocation stats and records the
+# machine-readable results (ns/op, B/op, allocs/op per benchmark) in
+# BENCH_pr3.json via cmd/benchjson; the text output still streams through.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+# examples smoke-runs every runnable example program; each must exit 0.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
 
 vet:
 	$(GO) vet ./...

@@ -281,6 +281,51 @@ func BenchmarkEngineInstrumentedRun(b *testing.B) {
 	})
 }
 
+// BenchmarkMetricsOverhead measures the cost of per-operator metrics
+// collection on the instrumented run for both engines. With metrics off
+// the hot paths never call the clock, so "off" should be indistinguishable
+// from the seed; "on" prices the timing calls and counter updates.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	w := suite.Get(5)
+	db := w.Data(0.002)
+	an, err := w.Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coster := costmodel.NewMemoryCoster(res, an.Cat)
+	sel, err := selector.Select(res, coster, selector.Options{Method: selector.MethodGreedy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run("batch/metrics="+mode.name, func(b *testing.B) {
+			eng := engine.New(an, db, nil)
+			eng.CollectMetrics = mode.on
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunObserved(res, sel.Observe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("streaming/metrics="+mode.name, func(b *testing.B) {
+			eng := engine.NewStream(an, db, nil)
+			eng.CollectMetrics = mode.on
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunObserved(res, sel.Observe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineMode compares batch and pipelined execution of the same
 // workflow (the streaming engine materializes only hash-join build sides).
 func BenchmarkEngineMode(b *testing.B) {

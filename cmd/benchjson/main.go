@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record suitable for committing alongside a PR (BENCH_<pr>.json). It reads
+// the benchmark text from stdin, tees it unchanged to stdout so the run
+// stays readable, and writes the parsed results to -out.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | go run ./cmd/benchjson -out BENCH_pr3.json
+//
+// Each parsed line becomes {"name", "iterations", "ns_per_op", and, when
+// -benchmem was set, "bytes_per_op", "allocs_per_op"}. Lines that are not
+// benchmark results are passed through and ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkMetricsOverhead/batch/metrics=off-8   1   1234567 ns/op   4096 B/op   12 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "path of the JSON file to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench=. ... | benchjson -out BENCH.json")
+		os.Exit(2)
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			r.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			r.AllocsPerOp = &a
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}{results}); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

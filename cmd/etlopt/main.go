@@ -13,8 +13,10 @@
 //	etlopt dot     -wf 8 | dot -Tsvg  # Graphviz rendering with block clusters
 //	etlopt run     -wf 3 -scale 0.002 # full cycle over generated data
 //	etlopt run     -f flow.json -data dir/   # full cycle over CSV flat files
+//	etlopt run     -wf 3 -metrics=table      # …plus per-operator metrics and the q-error report
 //	etlopt explain -wf 3              # compiled physical plan with tap points
 //	etlopt explain -wf 3 -derive      # …plus the derivation tree of every SE cardinality
+//	etlopt explain -wf 3 -metrics=json       # …plus a Metrics section from an instrumented run
 //	etlopt gendata -wf 3 -out dir/    # export a suite workflow's data as CSVs
 //	etlopt schedule -wf 3 -budget 64  # Section 6.1 multi-run observation schedule
 //	etlopt report  -wf 3 > cycle.md   # markdown report of one full cycle
@@ -22,6 +24,13 @@
 // A workflow document is the JSON form of workflow.Document: the operator
 // DAG plus the catalog of relations, domains and (optionally) functional
 // dependencies. `etlopt export` produces examples to start from.
+//
+// The -metrics output on stdout is deterministic (row counts and q-errors
+// only); the wall-clock timing summary goes to stderr.
+//
+// Exit codes: 0 on success, 1 on any runtime error (bad input file,
+// failed run, exceeded -max-rows guard), 2 on usage errors (unknown
+// subcommand, missing arguments).
 package main
 
 import (
@@ -65,6 +74,7 @@ func main() {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "execution-layer worker goroutines (1 = sequential)")
 	maxRows := fs.Int64("max-rows", 100_000_000, "abort a run whose intermediate results exceed this many rows (0 = unguarded)")
 	derive := fs.Bool("derive", false, "explain: also print the derivation tree of every SE cardinality")
+	metrics := fs.String("metrics", "", "run/explain: collect per-operator metrics and print them with the q-error report (table|json)")
 	_ = fs.Parse(os.Args[2:])
 
 	var err error
@@ -91,9 +101,9 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers, *maxRows)
+		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics)
 	case "explain":
-		err = explainCmd(*file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows)
+		err = explainCmd(*file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics)
 	case "gendata":
 		err = genData(*wfID, *scale, *outDir)
 	case "schedule":
@@ -139,7 +149,7 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64) error {
+func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -147,6 +157,7 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
 	cfg.MaxRows = maxRows
+	cfg.CollectMetrics = metricsFmt != ""
 	cy, err := core.Run(g, cat, db, cfg)
 	if err != nil {
 		return err
@@ -164,6 +175,14 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	}
 	fmt.Printf("\nplan-cost improvement: %.2fx\n", cy.Improvement())
 	_ = scale
+	if metricsFmt != "" {
+		fmt.Println("\nmetrics:")
+		if err := cy.WriteMetrics(os.Stdout, metricsFmt); err != nil {
+			return err
+		}
+		// Wall-clock split goes to stderr so stdout stays deterministic.
+		cy.WriteMetricsTimings(os.Stderr)
+	}
 	if !explain {
 		return nil
 	}
@@ -183,11 +202,14 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 
 // explainCmd compiles the workflow's physical plan — the initial join trees
 // instrumented with the exact-method statistic selection — and prints it
-// with every tap point. The output is deterministic (no execution happens),
-// so it doubles as a golden rendering of what an instrumented run would do.
-// With -derive it additionally runs the full cycle and prints the
-// derivation tree of every SE cardinality.
-func explainCmd(file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64) error {
+// with every tap point. The output is deterministic (no execution happens
+// unless -metrics or -derive ask for it), so it doubles as a golden
+// rendering of what an instrumented run would do. With -metrics it
+// additionally executes one instrumented cycle and appends a Metrics
+// section (per-operator row counts plus the q-error feedback report); with
+// -derive it runs the full cycle and prints the derivation tree of every
+// SE cardinality.
+func explainCmd(file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64, metricsFmt string) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -212,11 +234,26 @@ func explainCmd(file string, wfID int, dataDir string, scale float64, derive boo
 	fmt.Printf("workflow %s — compiled physical plan (%d block(s), %d tap(s))\n\n",
 		g.Name, len(plan.Blocks), plan.NumTaps())
 	fmt.Print(plan.String())
+	if metricsFmt != "" {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		cfg.MaxRows = maxRows
+		cfg.CollectMetrics = true
+		cy, err := core.Run(g, cat, db, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nmetrics (one instrumented run):")
+		if err := cy.WriteMetrics(os.Stdout, metricsFmt); err != nil {
+			return err
+		}
+		cy.WriteMetricsTimings(os.Stderr)
+	}
 	if !derive {
 		return nil
 	}
 	fmt.Println()
-	return runCycle(file, wfID, dataDir, scale, true, workers, maxRows)
+	return runCycle(file, wfID, dataDir, scale, true, workers, maxRows, "")
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown

@@ -170,10 +170,10 @@ func runE2E(scale float64) error {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "wf\tSEs\texact\tinitCost\toptCost\tspeedup\tinitRows\toptRows")
+	fmt.Fprintln(w, "wf\tSEs\texact\tinitCost\toptCost\tspeedup\tinitRows\toptRows\tmaxQ\ttap%")
 	for _, r := range rs {
-		fmt.Fprintf(w, "%d\t%d\t%d/%d\t%.0f\t%.0f\t%.2fx\t%d\t%d\n",
-			r.ID, r.SEs, r.ExactSEs, r.SEs, r.InitCost, r.OptCost, r.Speedup, r.InitRows, r.OptRows)
+		fmt.Fprintf(w, "%d\t%d\t%d/%d\t%.0f\t%.0f\t%.2fx\t%d\t%d\t%.3g\t%.1f\n",
+			r.ID, r.SEs, r.ExactSEs, r.SEs, r.InitCost, r.OptCost, r.Speedup, r.InitRows, r.OptRows, r.MaxQ, r.TapPct)
 	}
 	w.Flush()
 	fmt.Println()

@@ -17,6 +17,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/engine"
 	"github.com/essential-stats/etlopt/internal/estimate"
 	"github.com/essential-stats/etlopt/internal/optimizer"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/selector"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -60,6 +61,10 @@ type Config struct {
 	// intermediate-cardinality-guard error instead of blowing up memory on
 	// skewed joins. 0 runs unguarded.
 	MaxRows int64
+	// CollectMetrics turns on per-operator runtime metrics during
+	// execution and builds the estimate-feedback (q-error) report after
+	// the instrumented run. Off by default: the hot paths stay timing-free.
+	CollectMetrics bool
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -82,6 +87,13 @@ type Cycle struct {
 	// Optimized is the re-execution under the optimized plans (nil until
 	// RunOptimized is called).
 	Optimized *engine.Result
+	// Metrics is the instrumented run's per-operator metrics snapshot
+	// (nil unless Config.CollectMetrics was set).
+	Metrics *physical.RunMetrics
+	// Feedback compares the instrumented run's actual cardinalities
+	// against the estimates derived from the selected statistics (nil
+	// unless Config.CollectMetrics was set).
+	Feedback *estimate.Feedback
 	// Timings records the wall-clock duration of each phase.
 	Timings Timings
 
@@ -105,11 +117,13 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 		eng := engine.NewStream(an, db, cfg.Registry)
 		eng.Workers = cfg.Workers
 		eng.MaxRows = cfg.MaxRows
+		eng.CollectMetrics = cfg.CollectMetrics
 		return eng
 	}
 	eng := engine.New(an, db, cfg.Registry)
 	eng.Workers = cfg.Workers
 	eng.MaxRows = cfg.MaxRows
+	eng.CollectMetrics = cfg.CollectMetrics
 	return eng
 }
 
@@ -164,6 +178,11 @@ func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*C
 	}
 	cy.Plans = plans
 	cy.Timings.Optimize = time.Since(start)
+
+	if run.Metrics != nil {
+		cy.Metrics = run.Metrics
+		cy.Feedback = estimate.BuildFeedback(res, cy.Estimator, run.Metrics.Actuals())
+	}
 	return cy, nil
 }
 
@@ -234,6 +253,19 @@ func (cy *Cycle) DriftFrom(prev *Cycle) stats.Drift {
 		return stats.Drift{}
 	}
 	return stats.MeasureDrift(prev.Observed.Observed, cy.Observed.Observed)
+}
+
+// ShouldReoptimize reports whether the drift since a previous cycle
+// warrants re-optimizing. With metrics collected, the base threshold is
+// calibrated by the estimate feedback: accurate derivations keep the base,
+// inaccurate ones shrink it so a shakily-justified plan re-optimizes
+// sooner. Without feedback the base threshold applies directly.
+func (cy *Cycle) ShouldReoptimize(prev *Cycle, base float64) bool {
+	d := cy.DriftFrom(prev)
+	if cy.Feedback != nil {
+		return cy.Feedback.ShouldReoptimize(d, base)
+	}
+	return d.Exceeds(base)
 }
 
 // Improvement returns the ratio of initial plan cost to optimized plan cost

@@ -16,6 +16,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
@@ -51,6 +52,10 @@ type Engine struct {
 	// error instead of letting a skewed join order blow up memory. 0 (the
 	// default) runs unguarded.
 	MaxRows int64
+	// CollectMetrics populates per-operator runtime metrics
+	// (physical.Node.Metrics) during the run and attaches the snapshot to
+	// Result.Metrics. Off by default: the hot paths skip all timing work.
+	CollectMetrics bool
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -76,6 +81,9 @@ type Result struct {
 	// Rows counts tuples processed across all operators (a simple work
 	// metric used to compare plan costs empirically).
 	Rows int64
+	// Metrics is the per-operator metrics snapshot when the engine ran
+	// with CollectMetrics (nil otherwise).
+	Metrics *physical.RunMetrics
 }
 
 // Run executes the workflow with each block using its initial join tree.
@@ -124,7 +132,7 @@ func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 		out.Observed = col.store
 	}
 	err = runBlocksDAG(plan, e.Workers, newRowBudget(e.MaxRows), out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
-		return runBatchBlock(bp, col, sink)
+		return runBatchBlock(bp, col, sink, e.CollectMetrics)
 	})
 	if err != nil {
 		return nil, err
@@ -132,16 +140,23 @@ func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 	if err := routeSinks(e.An, out); err != nil {
 		return nil, err
 	}
+	if e.CollectMetrics {
+		out.Metrics = plan.MetricsSnapshot()
+	}
 	return out, nil
 }
 
 // runBatchBlock interprets one compiled block table-at-a-time: every node
 // of the plan evaluates in topological order, feeding its taps over the
 // whole output table at once.
-func runBatchBlock(bp *physical.BlockPlan, col *collector, out *blockSink) (*data.Table, error) {
+func runBatchBlock(bp *physical.BlockPlan, col *collector, out *blockSink, metrics bool) (*data.Table, error) {
 	tables := make([]*data.Table, len(bp.Nodes))
 	for _, n := range bp.Nodes {
-		tbl, err := evalNode(bp, n, tables, col, out)
+		var met *physical.Metrics
+		if metrics {
+			met = &n.Metrics
+		}
+		tbl, err := evalNode(bp, n, tables, col, out, met)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", n.Label, err)
 		}
@@ -152,7 +167,14 @@ func runBatchBlock(bp *physical.BlockPlan, col *collector, out *blockSink) (*dat
 
 // evalNode evaluates one physical node over its input tables, counts its
 // output rows against the work metric and row budget, and feeds its taps.
-func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink) (*data.Table, error) {
+// When met is non-nil the node's metrics are populated: operator time is
+// exclusive (inputs are already materialized), and tap observation is timed
+// separately so observation overhead never inflates operator time.
+func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink, met *physical.Metrics) (*data.Table, error) {
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
 	var tbl *data.Table
 	switch n.Kind {
 	case physical.OpScan:
@@ -230,7 +252,7 @@ func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 			tbl.Rows = append(tbl.Rows, row)
 		}
 	case physical.OpHashJoin:
-		return evalJoin(bp, n, tables, col, out)
+		return evalJoin(bp, n, tables, col, out, met, start)
 	case physical.OpMaterialize:
 		tbl = tables[n.Input.ID]
 		out.materialized[n.Rel] = tbl
@@ -243,6 +265,19 @@ func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 	if err := out.count(tbl.Card()); err != nil {
 		return nil, err
 	}
+	if met != nil {
+		met.WallNanos += time.Since(start).Nanoseconds()
+		met.Calls++
+		met.RowsOut += tbl.Card()
+		if len(n.Taps) > 0 {
+			tapStart := time.Now()
+			for _, t := range n.Taps {
+				col.collect(t, tbl)
+			}
+			met.TapNanos += time.Since(tapStart).Nanoseconds()
+		}
+		return tbl, nil
+	}
 	for _, t := range n.Taps {
 		col.collect(t, tbl)
 	}
@@ -253,7 +288,7 @@ func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 // left, collecting both sides' misses for reject statistics and reject
 // links. The row budget is checked while the output grows, so a blowing-up
 // join aborts before exhausting memory.
-func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink) (*data.Table, error) {
+func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink, met *physical.Metrics, start time.Time) (*data.Table, error) {
 	left, right := tables[n.Left.ID], tables[n.Right.ID]
 	index := make(map[int64][]data.Row, len(right.Rows))
 	for _, r := range right.Rows {
@@ -292,6 +327,16 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 			rightMiss.Rows = append(rightMiss.Rows, rrow)
 		}
 	}
+	var tapStart time.Time
+	if met != nil {
+		// Miss collection above is part of the join's own work (reject
+		// links need it regardless of instrumentation); only the
+		// statistic observation below counts as tap overhead.
+		met.WallNanos += time.Since(start).Nanoseconds()
+		met.Calls++
+		met.RowsOut += joined.Card()
+		tapStart = time.Now()
+	}
 	for _, t := range n.Taps {
 		col.collect(t, joined)
 	}
@@ -300,6 +345,9 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 	}
 	if n.RightReject != nil {
 		collectReject(bp, n.RightReject, rightMiss, tables, col)
+	}
+	if met != nil {
+		met.TapNanos += time.Since(tapStart).Nanoseconds()
 	}
 	if n.RejectLink != "" {
 		out.materialized[n.RejectLink] = leftMiss

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
@@ -285,10 +287,29 @@ type tapIter struct {
 	rows      *int64
 	budget    *rowBudget
 	at        string
+	// met, when non-nil, accumulates the node's metrics: upstream pull
+	// time into WallNanos (pipelines interleave, so a streaming node's
+	// wall is cumulative along its pipeline), observer time into TapNanos,
+	// emitted rows into RowsOut. Nil keeps the hot path timing-free.
+	met *physical.Metrics
 }
 
-func (t *tapIter) Open() error { return t.src.Open() }
+func (t *tapIter) Open() error {
+	if t.met == nil {
+		return t.src.Open()
+	}
+	// Blocking operators (group-by, aggregate, the join build) do their
+	// work in Open; time it like a pull.
+	t.met.Calls++
+	start := time.Now()
+	err := t.src.Open()
+	t.met.WallNanos += time.Since(start).Nanoseconds()
+	return err
+}
 func (t *tapIter) Next() (data.Row, bool, error) {
+	if t.met != nil {
+		return t.nextMetered()
+	}
 	r, ok, err := t.src.Next()
 	if err != nil || !ok {
 		return nil, false, err
@@ -306,7 +327,40 @@ func (t *tapIter) Next() (data.Row, bool, error) {
 	}
 	return r, true, nil
 }
+func (t *tapIter) nextMetered() (data.Row, bool, error) {
+	start := time.Now()
+	r, ok, err := t.src.Next()
+	t.met.WallNanos += time.Since(start).Nanoseconds()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	t.met.RowsOut++
+	if len(t.observers) > 0 {
+		tapStart := time.Now()
+		for _, o := range t.observers {
+			o.observe(r)
+		}
+		t.met.TapNanos += time.Since(tapStart).Nanoseconds()
+	}
+	if t.rows != nil {
+		*t.rows++
+	}
+	if t.budget != nil {
+		if err := t.budget.add(1); err != nil {
+			return nil, false, fmt.Errorf("%s: %w", t.at, err)
+		}
+	}
+	return r, true, nil
+}
 func (t *tapIter) Close() error {
+	if t.met != nil && len(t.observers) > 0 {
+		tapStart := time.Now()
+		for _, o := range t.observers {
+			o.finish()
+		}
+		t.met.TapNanos += time.Since(tapStart).Nanoseconds()
+		return t.src.Close()
+	}
 	for _, o := range t.observers {
 		o.finish()
 	}

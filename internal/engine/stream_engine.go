@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
@@ -33,6 +34,10 @@ type StreamEngine struct {
 	// error instead of letting a skewed join order blow up memory. 0 (the
 	// default) runs unguarded.
 	MaxRows int64
+	// CollectMetrics populates per-operator runtime metrics
+	// (physical.Node.Metrics) during the run and attaches the snapshot to
+	// Result.Metrics. Off by default: the hot paths skip all timing work.
+	CollectMetrics bool
 }
 
 // NewStream returns a streaming engine.
@@ -79,7 +84,19 @@ func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Resul
 	if err := routeSinks(e.An, out); err != nil {
 		return nil, err
 	}
+	if e.CollectMetrics {
+		out.Metrics = plan.MetricsSnapshot()
+	}
 	return out, nil
+}
+
+// metOf returns the node's metrics accumulator when collection is on, nil
+// otherwise (a nil accumulator keeps every hot path timing-free).
+func metOf(n *physical.Node, on bool) *physical.Metrics {
+	if !on {
+		return nil
+	}
+	return &n.Metrics
 }
 
 // stream pairs an iterator with its schema.
@@ -136,7 +153,7 @@ func (e *StreamEngine) runStreamBlock(bp *physical.BlockPlan, col *collector, ou
 			continue
 		}
 		st := opIter(n, &stream{it: &scanIter{tbl: result}, attrs: result.Attrs})
-		st = tapFor(n, st, col, out)
+		st = tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
 		tbl, err := drain(st.it, result.Rel, st.attrs)
 		if err != nil {
 			return nil, fmt.Errorf("top op %s: %w", n.Label, err)
@@ -162,10 +179,10 @@ func (e *StreamEngine) runStreamChain(bp *physical.BlockPlan, chain []*physical.
 		return e.runChainParallel(bp, chain, base, col, out)
 	}
 	st := &stream{it: &scanIter{tbl: base}, attrs: scan.Attrs}
-	st = tapFor(scan, st, col, out)
+	st = tapFor(scan, st, col, out, metOf(scan, e.CollectMetrics))
 	for _, n := range chain[1:] {
 		st = opIter(n, st)
-		st = tapFor(n, st, col, out)
+		st = tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
 	}
 	return drain(st.it, bp.Block.Inputs[scan.ChainInput].Name, st.attrs)
 }
@@ -192,14 +209,16 @@ func opIter(n *physical.Node, src *stream) *stream {
 
 // tapFor wraps a node's output with its compiled taps, the block's work
 // counter and the run's row budget — the streaming counterpart of the batch
-// engine's per-node count-and-collect.
-func tapFor(n *physical.Node, src *stream, col *collector, out *blockSink) *stream {
+// engine's per-node count-and-collect. met (nil when metrics are off) is
+// the node's metrics accumulator.
+func tapFor(n *physical.Node, src *stream, col *collector, out *blockSink, met *physical.Metrics) *stream {
 	return &stream{it: &tapIter{
 		src:       src.it,
 		observers: observersFor(col, n.Taps),
 		rows:      &out.rows,
 		budget:    out.budget,
 		at:        n.Label,
+		met:       met,
 	}, attrs: src.attrs}
 }
 
@@ -232,6 +251,7 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 		}
 	}
 	join := &hashJoinIter{left: left.it, right: right, lc: n.LeftCol, rc: n.RightCol}
+	met := metOf(n, e.CollectMetrics)
 
 	// Streamed-side misses surface per tuple; build-side misses at Close.
 	var leftSink *auxState
@@ -239,6 +259,7 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 	if n.LeftReject != nil {
 		leftSink, leftObs = rejectState(n.LeftReject, n.Left.Attrs, col)
 		if leftSink != nil {
+			leftSink.met = met
 			aux = append(aux, leftSink)
 		}
 	}
@@ -250,9 +271,7 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 	}
 	if leftObs != nil || leftSink != nil || link != nil {
 		join.onLeftMiss = func(r data.Row) {
-			for _, o := range leftObs {
-				o.observe(r)
-			}
+			observeMisses(leftObs, r, met)
 			if leftSink != nil {
 				leftSink.misses.Rows = append(leftSink.misses.Rows, r)
 			}
@@ -265,12 +284,11 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 	if n.RightReject != nil {
 		sink, obs := rejectState(n.RightReject, n.Right.Attrs, col)
 		if sink != nil {
+			sink.met = met
 			aux = append(aux, sink)
 		}
 		join.onRightMiss = func(r data.Row) {
-			for _, o := range obs {
-				o.observe(r)
-			}
+			observeMisses(obs, r, met)
 			if sink != nil {
 				sink.misses.Rows = append(sink.misses.Rows, r)
 			}
@@ -278,7 +296,23 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 		join.rightMissFinish = obs
 	}
 	// Tap the join output: SE handlers per tuple, work counter, row budget.
-	return tapFor(n, &stream{it: join, attrs: n.Attrs}, col, out), aux, nil
+	return tapFor(n, &stream{it: join, attrs: n.Attrs}, col, out, met), aux, nil
+}
+
+// observeMisses feeds one miss row to the reject observers, timing the
+// observation as tap overhead when metrics are on.
+func observeMisses(obs []rowObserver, r data.Row, met *physical.Metrics) {
+	if met != nil && len(obs) > 0 {
+		tapStart := time.Now()
+		for _, o := range obs {
+			o.observe(r)
+		}
+		met.TapNanos += time.Since(tapStart).Nanoseconds()
+		return
+	}
+	for _, o := range obs {
+		o.observe(r)
+	}
 }
 
 // rejectState prepares one join side's reject instrumentation: per-row

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/essential-stats/etlopt/internal/data"
 	"github.com/essential-stats/etlopt/internal/physical"
@@ -45,16 +46,59 @@ type shardTapIter struct {
 	budget    *rowBudget
 	at        string
 	pend      int64
+	// met is this worker's private metrics shard for the node (merged by
+	// the coordinating goroutine after the pipeline drains, like the
+	// observer shards); nil keeps the hot path timing-free.
+	met *physical.Metrics
 }
 
-func (t *shardTapIter) Open() error { return t.src.Open() }
+func (t *shardTapIter) Open() error {
+	if t.met != nil {
+		t.met.Calls++
+	}
+	return t.src.Open()
+}
 func (t *shardTapIter) Next() (data.Row, bool, error) {
+	if t.met != nil {
+		return t.nextMetered()
+	}
 	r, ok, err := t.src.Next()
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	for _, o := range t.observers {
 		o.observe(r)
+	}
+	if t.rows != nil {
+		*t.rows++
+	}
+	if t.budget != nil {
+		t.pend++
+		if t.pend >= budgetChunk {
+			if err := t.budget.add(t.pend); err != nil {
+				return nil, false, fmt.Errorf("%s: %w", t.at, err)
+			}
+			t.pend = 0
+		}
+	}
+	return r, true, nil
+}
+
+// nextMetered mirrors tapIter.nextMetered with the shard's chunked budget.
+func (t *shardTapIter) nextMetered() (data.Row, bool, error) {
+	start := time.Now()
+	r, ok, err := t.src.Next()
+	t.met.WallNanos += time.Since(start).Nanoseconds()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	t.met.RowsOut++
+	if len(t.observers) > 0 {
+		tapStart := time.Now()
+		for _, o := range t.observers {
+			o.observe(r)
+		}
+		t.met.TapNanos += time.Since(tapStart).Nanoseconds()
 	}
 	if t.rows != nil {
 		*t.rows++
@@ -105,13 +149,14 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 	type chainShard struct {
 		rows int64
 		obs  [][]rowObserver // per chain node, in depth order
+		mets []physical.Metrics
 		out  *data.Table
 		err  error
 	}
 	shards := make([]*chainShard, w)
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
-		shard := &chainShard{}
+		shard := &chainShard{mets: make([]physical.Metrics, len(chain))}
 		shards[wi] = shard
 		part := parts[wi]
 		wg.Add(1)
@@ -122,10 +167,14 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 			tap := func(n *physical.Node) {
 				obs := observersFor(col, n.Taps)
 				shard.obs = append(shard.obs, obs)
-				st = &stream{it: &shardTapIter{
+				ti := &shardTapIter{
 					src: st.it, observers: obs, rows: &shard.rows,
 					budget: out.budget, at: n.Label,
-				}, attrs: st.attrs}
+				}
+				if e.CollectMetrics {
+					ti.met = &shard.mets[len(shard.obs)-1]
+				}
+				st = &stream{it: ti, attrs: st.attrs}
 			}
 			tap(chain[0])
 			for _, n := range chain[1:] {
@@ -162,6 +211,11 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 		if err := mergeShards(group); err != nil {
 			return nil, err
 		}
+		if e.CollectMetrics {
+			for _, shard := range shards {
+				chain[d].Metrics.Merge(&shard.mets[d])
+			}
+		}
 	}
 	return result, nil
 }
@@ -184,6 +238,10 @@ type stageState struct {
 	leftMisses []data.Row
 	linkRows   []data.Row
 	matched    map[int64]bool
+	// met is the worker's private metrics shard for the stage's join node
+	// (RowsOut and TapNanos; the cascade's wall time is attributed to the
+	// root stage at merge because probe stages interleave per row).
+	met physical.Metrics
 }
 
 // runSpine executes a join subtree with partitioned probe pipelines,
@@ -221,11 +279,11 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 			st.index[r[jn.RightCol]] = append(st.index[r[jn.RightCol]], r)
 		}
 		if jn.LeftReject != nil && len(jn.LeftReject.Aux) > 0 {
-			st.leftAux = &auxState{aux: jn.LeftReject.Aux, misses: &data.Table{Rel: "miss", Attrs: jn.Left.Attrs}}
+			st.leftAux = &auxState{aux: jn.LeftReject.Aux, misses: &data.Table{Rel: "miss", Attrs: jn.Left.Attrs}, met: metOf(jn, e.CollectMetrics)}
 			auxes = append(auxes, st.leftAux)
 		}
 		if jn.RightReject != nil && len(jn.RightReject.Aux) > 0 {
-			st.rightAux = &auxState{aux: jn.RightReject.Aux, misses: &data.Table{Rel: "miss", Attrs: right.Attrs}}
+			st.rightAux = &auxState{aux: jn.RightReject.Aux, misses: &data.Table{Rel: "miss", Attrs: right.Attrs}, met: metOf(jn, e.CollectMetrics)}
 			auxes = append(auxes, st.rightAux)
 		}
 		stages = append(stages, st)
@@ -234,8 +292,10 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 	w := e.Workers
 	parts := partitionByKey(base.Rows, stages[0].jn.LeftCol, w)
 
+	metrics := e.CollectMetrics
 	type treeShard struct {
 		rows   int64
+		wall   int64
 		out    []data.Row
 		stages []stageState
 		err    error
@@ -256,6 +316,9 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 				if st.jn.LeftReject != nil {
 					ss.leftObs = observersFor(col, st.jn.LeftReject.Singles)
 				}
+				if metrics {
+					ss.met.Calls = 1
+				}
 			}
 			var pend int64
 			var emit func(row data.Row, si int) error
@@ -268,8 +331,16 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 				ss := &shard.stages[si]
 				matches := st.index[row[st.jn.LeftCol]]
 				if len(matches) == 0 {
-					for _, o := range ss.leftObs {
-						o.observe(row)
+					if metrics && len(ss.leftObs) > 0 {
+						tapStart := time.Now()
+						for _, o := range ss.leftObs {
+							o.observe(row)
+						}
+						ss.met.TapNanos += time.Since(tapStart).Nanoseconds()
+					} else {
+						for _, o := range ss.leftObs {
+							o.observe(row)
+						}
 					}
 					if st.leftAux != nil {
 						ss.leftMisses = append(ss.leftMisses, row)
@@ -283,8 +354,19 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 				for _, rrow := range matches {
 					joined := make(data.Row, 0, len(row)+len(rrow))
 					joined = append(append(joined, row...), rrow...)
-					for _, o := range ss.seObs {
-						o.observe(joined)
+					if metrics {
+						ss.met.RowsOut++
+						if len(ss.seObs) > 0 {
+							tapStart := time.Now()
+							for _, o := range ss.seObs {
+								o.observe(joined)
+							}
+							ss.met.TapNanos += time.Since(tapStart).Nanoseconds()
+						}
+					} else {
+						for _, o := range ss.seObs {
+							o.observe(joined)
+						}
 					}
 					shard.rows++
 					pend++
@@ -300,11 +382,18 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 				}
 				return nil
 			}
+			var cascStart time.Time
+			if metrics {
+				cascStart = time.Now()
+			}
 			for _, r := range part {
 				if err := emit(r, 0); err != nil {
 					shard.err = err
 					return
 				}
+			}
+			if metrics {
+				shard.wall = time.Since(cascStart).Nanoseconds()
 			}
 			if pend > 0 {
 				if err := out.budget.add(pend); err != nil {
@@ -326,6 +415,22 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 	for _, shard := range shards {
 		result.Rows = append(result.Rows, shard.out...)
 		out.rows += shard.rows
+	}
+	if metrics {
+		// Stage metrics merge like observer shards. Probe stages
+		// interleave per row inside one cascade pass, so each worker's
+		// cascade wall time (minus its separately-timed tap work) is
+		// attributed to the root join.
+		rootMet := &stages[len(stages)-1].jn.Metrics
+		for _, shard := range shards {
+			var tap int64
+			for si := range stages {
+				ss := &shard.stages[si]
+				stages[si].jn.Metrics.Merge(&ss.met)
+				tap += ss.met.TapNanos
+			}
+			rootMet.WallNanos += shard.wall - tap
+		}
 	}
 	for si, st := range stages {
 		jn := st.jn
@@ -354,6 +459,12 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 			out.materialized[jn.RejectLink] = link
 		}
 		if jn.RightReject != nil {
+			// The whole build-side miss sweep exists only for reject
+			// statistics, so with metrics on it counts as tap overhead.
+			var tapStart time.Time
+			if metrics {
+				tapStart = time.Now()
+			}
 			matched := make(map[int64]bool)
 			for _, shard := range shards {
 				for k := range shard.stages[si].matched {
@@ -374,6 +485,9 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 			}
 			for _, o := range obs {
 				o.finish()
+			}
+			if metrics {
+				jn.Metrics.TapNanos += time.Since(tapStart).Nanoseconds()
 			}
 		}
 	}

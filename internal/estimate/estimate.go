@@ -45,7 +45,13 @@ func (e *Estimator) SizeOf(t stats.Target) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	return float64(v.Scalar), true
+	// Cardinalities above 2^53 would round silently in the float64 cost
+	// arithmetic; report them as unavailable rather than subtly wrong.
+	f, err := stats.Float64FromInt64(v.Scalar)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
 }
 
 // CardOf returns the (derived) cardinality of an SE.

@@ -332,6 +332,34 @@ func TestUnderivableWithoutObservation(t *testing.T) {
 	}
 }
 
+// TestSizeOfPrecisionBoundary verifies SizeOf refuses cardinalities beyond
+// float64's exact-integer range (2^53) instead of silently rounding them
+// into the cost arithmetic.
+func TestSizeOfPrecisionBoundary(t *testing.T) {
+	g, cat, _ := zipfRetail(t, 5)
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	target := stats.BlockSE(0, res.Space(0).Full())
+
+	put := func(card int64) *Estimator {
+		st := stats.NewStore()
+		st.PutScalar(stats.NewCard(target), card)
+		return New(res, st)
+	}
+	if got, ok := put(stats.MaxExactInt64).SizeOf(target); !ok || got != float64(stats.MaxExactInt64) {
+		t.Fatalf("SizeOf(2^53) = %v, %v; want exact value", got, ok)
+	}
+	if _, ok := put(stats.MaxExactInt64 + 1).SizeOf(target); ok {
+		t.Fatal("SizeOf(2^53+1): want unavailable, got a rounded size")
+	}
+}
+
 func TestExplainDerivationTree(t *testing.T) {
 	g, cat, db := zipfRetail(t, 21)
 	an, res, _, est, _ := pipeline(t, g, cat, db, css.DefaultOptions(), selector.MethodExact)

@@ -1,0 +1,155 @@
+package estimate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		act, est int64
+		want     float64
+	}{
+		{100, 100, 1},
+		{0, 0, 1},
+		{50, 100, 2},
+		{100, 50, 2},
+		{1, 3, 3},
+		{0, 7, math.Inf(1)},
+		{7, 0, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		if got := qError(tc.act, tc.est); got != tc.want {
+			t.Errorf("qError(%d, %d) = %v, want %v", tc.act, tc.est, got, tc.want)
+		}
+	}
+}
+
+func TestCalibratedThreshold(t *testing.T) {
+	// Exact feedback keeps the base threshold; inaccuracy shrinks it;
+	// unbounded or absent feedback forces re-optimization on any drift.
+	exact := &Feedback{Derivable: 4, Total: 4, MaxQ: 1}
+	if got := exact.CalibratedThreshold(0.3); got != 0.3 {
+		t.Errorf("exact threshold = %v, want 0.3", got)
+	}
+	shaky := &Feedback{Derivable: 4, Total: 4, MaxQ: 3}
+	if got := shaky.CalibratedThreshold(0.3); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("shaky threshold = %v, want 0.1", got)
+	}
+	unbounded := &Feedback{Derivable: 4, Total: 4, MaxQ: 1, Unbounded: 1}
+	if got := unbounded.CalibratedThreshold(0.3); got != 0 {
+		t.Errorf("unbounded threshold = %v, want 0", got)
+	}
+	var nilFB *Feedback
+	if got := nilFB.CalibratedThreshold(0.3); got != 0 {
+		t.Errorf("nil feedback threshold = %v, want 0", got)
+	}
+	none := &Feedback{}
+	if got := none.CalibratedThreshold(0.3); got != 0 {
+		t.Errorf("underivable feedback threshold = %v, want 0", got)
+	}
+
+	d := stats.Drift{MaxRel: 0.2}
+	if exact.ShouldReoptimize(d, 0.3) {
+		t.Error("0.2 drift under exact 0.3 threshold should not re-optimize")
+	}
+	if !shaky.ShouldReoptimize(d, 0.3) {
+		t.Error("0.2 drift over calibrated 0.1 threshold must re-optimize")
+	}
+}
+
+// TestBuildFeedbackOnRun builds the feedback over a real instrumented run
+// and checks structure: deterministic SE order, per-rule aggregation, and
+// exact q-errors for the paper's exact derivations.
+func TestBuildFeedbackOnRun(t *testing.T) {
+	g, cat, db := zipfRetail(t, 5)
+	_, res, _, est, _ := pipeline(t, g, cat, db, css.DefaultOptions(), selector.MethodExact)
+
+	actuals := make(map[stats.Target]int64)
+	for bi, sp := range res.Spaces {
+		for _, se := range sp.SEs {
+			card, err := est.CardOf(bi, se)
+			if err != nil {
+				continue
+			}
+			actuals[stats.BlockSE(bi, se)] = card
+		}
+	}
+	if len(actuals) == 0 {
+		t.Fatal("no actuals derived from fixture")
+	}
+
+	fb := BuildFeedback(res, est, actuals)
+	if fb.Total != len(actuals) || fb.Derivable != len(actuals) {
+		t.Fatalf("feedback %d/%d, want %d/%d", fb.Derivable, fb.Total, len(actuals), len(actuals))
+	}
+	if fb.MaxQ != 1 || fb.MeanQ != 1 {
+		t.Fatalf("actuals fed from the estimator itself must be exact: maxQ %v meanQ %v", fb.MaxQ, fb.MeanQ)
+	}
+	for i := 1; i < len(fb.SEs); i++ {
+		a, b := fb.SEs[i-1], fb.SEs[i]
+		if a.Block > b.Block || (a.Block == b.Block && a.Target.Set > b.Target.Set) {
+			t.Fatalf("SE order not deterministic at %d: %+v before %+v", i, a.Target, b.Target)
+		}
+	}
+	var n int
+	for _, r := range fb.Rules {
+		n += r.Count
+		if r.MaxQ != 1 {
+			t.Errorf("rule %s maxQ %v, want 1", r.Rule, r.MaxQ)
+		}
+	}
+	if n != fb.Derivable {
+		t.Errorf("rule counts sum to %d, want %d", n, fb.Derivable)
+	}
+	out := fb.Render()
+	if !strings.Contains(out, "targets derivable") || !strings.Contains(out, "rule accuracy") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+	if fb.Render() != out {
+		t.Error("render not deterministic")
+	}
+}
+
+// TestBuildFeedbackUnderivable pins the mixed case: an SE target with no
+// derivation is reported (not skipped) and drops the calibrated threshold
+// story to the remaining derivable ones; a chain point with no derivation
+// is silently skipped.
+func TestBuildFeedbackUnderivable(t *testing.T) {
+	g, cat, db := zipfRetail(t, 5)
+	_, res, _, est, _ := pipeline(t, g, cat, db, css.DefaultOptions(), selector.MethodExact)
+
+	full := res.Space(0).Full()
+	actuals := map[stats.Target]int64{
+		stats.BlockSE(0, full): 10,
+		// A chain point outside the statistic universe: skipped silently.
+		stats.ChainPoint(0, 0, 99): 5,
+	}
+	empty := New(res, stats.NewStore())
+	fb := BuildFeedback(res, empty, actuals)
+	if fb.Total != 1 || fb.Derivable != 0 {
+		t.Fatalf("feedback %d/%d, want 0/1 (chain point skipped, SE kept)", fb.Derivable, fb.Total)
+	}
+	if fb.SEs[0].Derivable {
+		t.Fatal("underivable SE marked derivable")
+	}
+	if !strings.Contains(fb.Render(), "not derivable") {
+		t.Fatalf("render must flag underivable targets:\n%s", fb.Render())
+	}
+
+	// With the real estimator the same SE is derivable and exact.
+	card, err := est.CardOf(0, full)
+	if err != nil {
+		t.Fatalf("CardOf: %v", err)
+	}
+	actuals[stats.BlockSE(0, full)] = card
+	fb = BuildFeedback(res, est, actuals)
+	if fb.Derivable != 1 || fb.MaxQ != 1 {
+		t.Fatalf("derivable feedback %d maxQ %v, want 1/1", fb.Derivable, fb.MaxQ)
+	}
+}

@@ -30,6 +30,12 @@ type E2ERow struct {
 	InitCost, OptCost, Speedup float64
 	// InitRows/OptRows are the engine work metrics of executing both.
 	InitRows, OptRows int64
+	// MaxQ is the worst q-error across derivable SE targets of the
+	// instrumented run's estimate feedback (1 = every estimate exact).
+	MaxQ float64
+	// TapPct is the share of execution wall time the instrumented run
+	// spent observing statistics (100*tap/(wall+tap)).
+	TapPct float64
 }
 
 // e2eWorkflows are suite entries small enough to execute and verify
@@ -59,6 +65,7 @@ func endToEndOne(id int, scale float64) (*E2ERow, error) {
 		db := w.Data(scale)
 		cfg := core.DefaultConfig()
 		cfg.Workers = Workers
+		cfg.CollectMetrics = true
 		cy, err := core.Run(w.Graph, w.Catalog, db, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
@@ -89,6 +96,15 @@ func endToEndOne(id int, scale float64) (*E2ERow, error) {
 			row.Speedup = 1
 		}
 		row.InitRows = cy.Observed.Rows
+		if cy.Feedback != nil {
+			row.MaxQ = cy.Feedback.MaxQ
+		}
+		if cy.Metrics != nil {
+			wall, tap := cy.Metrics.Totals()
+			if wall+tap > 0 {
+				row.TapPct = 100 * float64(tap) / float64(wall+tap)
+			}
+		}
 		opt, err := cy.RunOptimized()
 		if err != nil {
 			return nil, fmt.Errorf("%s: optimized run: %w", w.Name, err)

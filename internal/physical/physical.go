@@ -202,6 +202,10 @@ type Node struct {
 
 	// Taps are the statistic collectors on this node's output.
 	Taps []Tap
+
+	// Metrics holds the node's runtime counters after an instrumented
+	// run; the engines leave it zero unless metrics collection is on.
+	Metrics Metrics
 }
 
 // BlockPlan is the compiled physical plan of one optimizable block.

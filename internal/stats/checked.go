@@ -42,3 +42,22 @@ func AddInt64(a, b int64) (int64, error) {
 	}
 	return s, nil
 }
+
+// MaxExactInt64 is the largest magnitude an int64 can reach and still have
+// every integer up to it exactly representable as a float64 (2^53).
+const MaxExactInt64 = int64(1) << 53
+
+// ErrPrecision tags conversions that would silently round, so callers can
+// detect them with errors.Is.
+var ErrPrecision = fmt.Errorf("int64 exceeds exact float64 range")
+
+// Float64FromInt64 converts a cardinality to float64, erroring instead of
+// silently rounding when |v| exceeds 2^53 (float64's exact-integer range).
+// Cost models compare plans by small margins; feeding them a rounded
+// cardinality would make those comparisons quietly wrong.
+func Float64FromInt64(v int64) (float64, error) {
+	if v > MaxExactInt64 || v < -MaxExactInt64 {
+		return 0, fmt.Errorf("%w: %d", ErrPrecision, v)
+	}
+	return float64(v), nil
+}

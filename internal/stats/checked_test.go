@@ -68,6 +68,24 @@ func TestAddInt64(t *testing.T) {
 	}
 }
 
+func TestFloat64FromInt64(t *testing.T) {
+	ok := []int64{0, 1, -1, MaxExactInt64, -MaxExactInt64, MaxExactInt64 - 1}
+	for _, v := range ok {
+		got, err := Float64FromInt64(v)
+		if err != nil || got != float64(v) {
+			t.Errorf("Float64FromInt64(%d) = %v, %v; want exact conversion", v, got, err)
+		}
+	}
+	// 2^53 is the last exactly-representable integer; one past it (in
+	// either direction) must error instead of silently rounding.
+	bad := []int64{MaxExactInt64 + 1, -MaxExactInt64 - 1, math.MaxInt64, math.MinInt64}
+	for _, v := range bad {
+		if _, err := Float64FromInt64(v); !errors.Is(err, ErrPrecision) {
+			t.Errorf("Float64FromInt64(%d): want ErrPrecision, got %v", v, err)
+		}
+	}
+}
+
 func TestDotProductOverflowError(t *testing.T) {
 	a := workflow.Attr{Rel: "R", Col: "k"}
 	h1 := NewHistogram(a)

@@ -22,8 +22,12 @@ type Drift struct {
 	OnlyOld, OnlyNew int
 }
 
-// MeasureDrift compares two stores.
+// MeasureDrift compares two stores. Both stores are read-locked (in a
+// fixed order, so concurrent two-store operations cannot deadlock):
+// measuring drift against a store that is still being fed by an
+// instrumented run is safe.
 func MeasureDrift(old, new *Store) Drift {
+	defer lockPair(old, new, false)()
 	var d Drift
 	var sum float64
 	for k, ov := range old.m {
@@ -53,7 +57,14 @@ func MeasureDrift(old, new *Store) Drift {
 // valueDrift returns the relative change between two observations of the
 // same statistic.
 func valueDrift(ov, nv *Value) float64 {
-	if ov.Hist == nil || nv.Hist == nil {
+	if (ov.Hist == nil) != (nv.Hist == nil) {
+		// The representation itself changed between runs (scalar one run,
+		// histogram the other, e.g. differing instrumentation): comparing
+		// the zero Scalar against a real one would report spurious
+		// agreement, so count it as full drift.
+		return 1
+	}
+	if ov.Hist == nil {
 		return relChange(float64(ov.Scalar), float64(nv.Scalar))
 	}
 	// Histograms: L1 distance of the bucket vectors, normalized by the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
@@ -26,10 +27,53 @@ type Value struct {
 type Store struct {
 	mu sync.RWMutex
 	m  map[Key]*Value
+	// id is a process-unique ordering token: operations that must lock
+	// two stores (MeasureDrift, Merge) acquire the locks in ascending id
+	// order so concurrent two-store operations cannot deadlock.
+	id uint64
 }
 
+// storeIDs issues the per-store lock-ordering tokens.
+var storeIDs atomic.Uint64
+
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{m: make(map[Key]*Value)} }
+func NewStore() *Store {
+	return &Store{m: make(map[Key]*Value), id: storeIDs.Add(1)}
+}
+
+// lockPair acquires both stores' locks in ascending id order — a for
+// reading, b for writing when wr is set (a == b takes a single lock).
+// The returned function releases them.
+func lockPair(a, b *Store, wr bool) func() {
+	lock := func(s *Store, write bool) {
+		if write {
+			s.mu.Lock()
+		} else {
+			s.mu.RLock()
+		}
+	}
+	unlock := func(s *Store, write bool) {
+		if write {
+			s.mu.Unlock()
+		} else {
+			s.mu.RUnlock()
+		}
+	}
+	if a == b {
+		lock(a, wr)
+		return func() { unlock(a, wr) }
+	}
+	first, fw, second, sw := a, false, b, wr
+	if b.id < a.id {
+		first, fw, second, sw = b, wr, a, false
+	}
+	lock(first, fw)
+	lock(second, sw)
+	return func() {
+		unlock(second, sw)
+		unlock(first, fw)
+	}
+}
 
 // Len returns the number of stored statistics.
 func (st *Store) Len() int {
@@ -160,10 +204,7 @@ func (st *Store) Merge(other *Store) {
 	if st == other {
 		return
 	}
-	other.mu.RLock()
-	defer other.mu.RUnlock()
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	defer lockPair(other, st, true)()
 	for k, v := range other.m {
 		if _, ok := st.m[k]; !ok {
 			st.m[k] = v

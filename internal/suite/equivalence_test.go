@@ -9,6 +9,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
 	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
 )
 
@@ -34,7 +35,9 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			observe := res.ObservableStats()
 			db := w.Data(scale)
 
-			ref, err := engine.New(an, db, nil).RunObserved(res, observe)
+			refEng := engine.New(an, db, nil)
+			refEng.CollectMetrics = true
+			ref, err := refEng.RunObserved(res, observe)
 			if err != nil {
 				t.Fatalf("batch seq: %v", err)
 			}
@@ -44,15 +47,17 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			}{
 				{"batch w4", func() (*engine.Result, error) {
 					e := engine.New(an, db, nil)
-					e.Workers = 4
+					e.Workers, e.CollectMetrics = 4, true
 					return e.RunObserved(res, observe)
 				}},
 				{"stream w1", func() (*engine.Result, error) {
-					return engine.NewStream(an, db, nil).RunObserved(res, observe)
+					e := engine.NewStream(an, db, nil)
+					e.CollectMetrics = true
+					return e.RunObserved(res, observe)
 				}},
 				{"stream w4", func() (*engine.Result, error) {
 					e := engine.NewStream(an, db, nil)
-					e.Workers = 4
+					e.Workers, e.CollectMetrics = 4, true
 					return e.RunObserved(res, observe)
 				}},
 			}
@@ -92,6 +97,38 @@ func diffResults(t *testing.T, label string, ref, got *engine.Result) {
 		t.Errorf("%s: work metric %d, want %d", label, got.Rows, ref.Rows)
 	}
 	diffStores(t, label, ref.Observed, got.Observed)
+	diffMetrics(t, label, ref.Metrics, got.Metrics)
+}
+
+// diffMetrics compares the deterministic projection of two metrics
+// snapshots: node identity and row counts must be bit-identical across
+// engines and worker counts (timings and call counts are
+// execution-strategy-dependent and excluded from the contract).
+func diffMetrics(t *testing.T, label string, ref, got *physical.RunMetrics) {
+	t.Helper()
+	if (ref == nil) != (got == nil) {
+		t.Errorf("%s: one result has no metrics", label)
+		return
+	}
+	if ref == nil {
+		return
+	}
+	if len(got.Nodes) != len(ref.Nodes) {
+		t.Errorf("%s: metrics node count %d, want %d", label, len(got.Nodes), len(ref.Nodes))
+		return
+	}
+	for i, rn := range ref.Nodes {
+		gn := got.Nodes[i]
+		if gn.Block != rn.Block || gn.Node != rn.Node || gn.Op != rn.Op || gn.Label != rn.Label {
+			t.Errorf("%s: metrics node %d identity %v/%v %q, want %v/%v %q",
+				label, i, gn.Block, gn.Node, gn.Op, rn.Block, rn.Node, rn.Op)
+			continue
+		}
+		if gn.RowsIn != rn.RowsIn || gn.RowsOut != rn.RowsOut {
+			t.Errorf("%s: metrics node %d (%s %q) rows %d→%d, want %d→%d",
+				label, i, gn.Op, gn.Label, gn.RowsIn, gn.RowsOut, rn.RowsIn, rn.RowsOut)
+		}
+	}
 }
 
 // diffStores compares two observation stores value by value.
