@@ -1,12 +1,18 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test race short bench examples vet lint check
+.PHONY: build test race short bench examples vet lint check fuzz
 
 build:
 	$(GO) build ./...
 
-test:
+test: fuzz
 	$(GO) test ./...
+
+# fuzz smoke: run the CSV-reader fuzzer briefly beyond its checked-in seed
+# corpus. FUZZTIME=2m makes it a real session.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/data
 
 # The parallel engine paths are the main race surface; this is the gate
 # CI runs in addition to the plain test job.

@@ -81,7 +81,7 @@ func BenchmarkFigure10StatisticsIdentification(b *testing.B) {
 // and without union–division (the Figure 11 sweep) and reports the wf03
 // ratio as a sanity anchor.
 func BenchmarkFigure11MemoryOverhead(b *testing.B) {
-	an3, err := suite.Get(3).Analyze()
+	an3, err := suite.MustGet(3).Analyze()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func BenchmarkFigure11MemoryOverhead(b *testing.B) {
 func BenchmarkFigure12Executions(b *testing.B) {
 	var ress []*css.Result
 	for _, id := range []int{21, 26, 30} {
-		an, err := suite.Get(id).Analyze()
+		an, err := suite.MustGet(id).Analyze()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func BenchmarkFigure12Executions(b *testing.B) {
 // statistics, run instrumented, optimize — the end-to-end cost a deployment
 // pays per re-optimization.
 func BenchmarkE2ECycle(b *testing.B) {
-	w := suite.Get(5)
+	w := suite.MustGet(5)
 	db := w.Data(0.002)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -156,7 +156,7 @@ func BenchmarkE2ECycle(b *testing.B) {
 // BenchmarkAblationGreedyVsExact compares the two selection solvers on one
 // mid-size workflow (the DESIGN.md solver ablation).
 func BenchmarkAblationGreedyVsExact(b *testing.B) {
-	an, err := suite.Get(17).Analyze()
+	an, err := suite.MustGet(17).Analyze()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func BenchmarkAblationGreedyVsExact(b *testing.B) {
 // BenchmarkAblationUnionDivision isolates the generation-time overhead the
 // union–division rules add (the Figure 10 "does UD cost anything" check).
 func BenchmarkAblationUnionDivision(b *testing.B) {
-	an, err := suite.Get(9).Analyze()
+	an, err := suite.MustGet(9).Analyze()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func BenchmarkHistogramDotProduct(b *testing.B) {
 // BenchmarkEngineInstrumentedRun measures instrumented execution throughput
 // (the observation overhead the paper argues is acceptable).
 func BenchmarkEngineInstrumentedRun(b *testing.B) {
-	w := suite.Get(5)
+	w := suite.MustGet(5)
 	db := w.Data(0.002)
 	an, err := w.Analyze()
 	if err != nil {
@@ -286,7 +286,7 @@ func BenchmarkEngineInstrumentedRun(b *testing.B) {
 // the hot paths never call the clock, so "off" should be indistinguishable
 // from the seed; "on" prices the timing calls and counter updates.
 func BenchmarkMetricsOverhead(b *testing.B) {
-	w := suite.Get(5)
+	w := suite.MustGet(5)
 	db := w.Data(0.002)
 	an, err := w.Analyze()
 	if err != nil {
@@ -329,7 +329,7 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 // BenchmarkEngineMode compares batch and pipelined execution of the same
 // workflow (the streaming engine materializes only hash-join build sides).
 func BenchmarkEngineMode(b *testing.B) {
-	w := suite.Get(5)
+	w := suite.MustGet(5)
 	db := w.Data(0.002)
 	an, err := w.Analyze()
 	if err != nil {
@@ -371,7 +371,7 @@ var parallelWorkflows = []struct {
 func BenchmarkEngineWorkers(b *testing.B) {
 	for _, pw := range parallelWorkflows {
 		id := pw.id
-		w := suite.Get(id)
+		w := suite.MustGet(id)
 		an, err := w.Analyze()
 		if err != nil {
 			b.Fatal(err)
@@ -421,7 +421,7 @@ func analyzed(b *testing.B) []*workflow.Analysis {
 	b.Helper()
 	var out []*workflow.Analysis
 	for _, id := range figureWorkflows {
-		an, err := suite.Get(id).Analyze()
+		an, err := suite.MustGet(id).Analyze()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -28,17 +28,30 @@
 // The -metrics output on stdout is deterministic (row counts and q-errors
 // only); the wall-clock timing summary goes to stderr.
 //
+// Runs honor -timeout and SIGINT/SIGTERM: the engines stop promptly, and
+// whatever metrics the partial run gathered are still flushed (marked
+// partial) before exiting. -faults injects deterministic failures for
+// robustness testing (see docs/FAULTS.md), e.g.
+//
+//	etlopt run -wf 3 -faults seed=7,rate=1,transient=1   # retried transparently
+//	etlopt run -wf 3 -faults seed=7,rate=0.4,kinds=tap   # degraded observation
+//
 // Exit codes: 0 on success, 1 on any runtime error (bad input file,
 // failed run, exceeded -max-rows guard), 2 on usage errors (unknown
-// subcommand, missing arguments).
+// subcommand, missing arguments, bad -wf or -faults value), 3 when the
+// run was cancelled (SIGINT/SIGTERM) or hit the -timeout deadline.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"text/tabwriter"
 
 	"github.com/essential-stats/etlopt/internal/core"
@@ -47,6 +60,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/data"
 	"github.com/essential-stats/etlopt/internal/engine"
 	"github.com/essential-stats/etlopt/internal/estimate"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/payg"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/schedule"
@@ -75,9 +89,27 @@ func main() {
 	maxRows := fs.Int64("max-rows", 100_000_000, "abort a run whose intermediate results exceed this many rows (0 = unguarded)")
 	derive := fs.Bool("derive", false, "explain: also print the derivation tree of every SE cardinality")
 	metrics := fs.String("metrics", "", "run/explain: collect per-operator metrics and print them with the q-error report (table|json)")
+	timeout := fs.Duration("timeout", 0, "abort run/explain/schedule/report after this duration (0 = no deadline)")
+	faultSpec := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,rate=0.5,transient=1,kinds=tap|op (see docs/FAULTS.md)")
 	_ = fs.Parse(os.Args[2:])
 
-	var err error
+	inj, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlopt:", err)
+		os.Exit(2)
+	}
+
+	// Runs honor SIGINT/SIGTERM and -timeout through one context; engines
+	// poll it at operator and chunk boundaries, so cancellation is prompt
+	// and the partial results remain consistent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch cmd {
 	case "suite":
 		err = listSuite()
@@ -101,21 +133,29 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(*file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics)
+		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj)
 	case "explain":
-		err = explainCmd(*file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics)
+		err = explainCmd(ctx, *file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics, inj)
 	case "gendata":
 		err = genData(*wfID, *scale, *outDir)
 	case "schedule":
-		err = scheduleCmd(*wfID, *scale, *budget, *workers, *maxRows)
+		err = scheduleCmd(ctx, *wfID, *scale, *budget, *workers, *maxRows, inj)
 	case "report":
-		err = reportCmd(*wfID, *scale)
+		err = reportCmd(ctx, *wfID, *scale, inj)
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlopt:", err)
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Interrupted (SIGINT/SIGTERM) or past the -timeout deadline.
+			os.Exit(3)
+		case errors.As(err, new(*suite.UnknownWorkflowError)):
+			// Bad -wf value: a usage error, like a bad subcommand.
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -139,8 +179,11 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 			return nil, nil, nil, err
 		}
 		return doc.Workflow, data.InferCatalog(tables), engine.DB(tables), nil
-	case wfID >= 1 && wfID <= 30:
-		w := suite.Get(wfID)
+	case wfID != 0:
+		w, err := suite.Get(wfID)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		return w.Graph, w.Catalog, w.Data(scale), nil
 	default:
 		return nil, nil, nil, fmt.Errorf("run/explain need -wf <1..30>, or -f flow.json with -data dir/")
@@ -149,7 +192,7 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string) error {
+func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -158,11 +201,26 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 	cfg.Workers = workers
 	cfg.MaxRows = maxRows
 	cfg.CollectMetrics = metricsFmt != ""
-	cy, err := core.Run(g, cat, db, cfg)
+	cfg.Faults = inj
+	cy, err := core.RunCtx(ctx, g, cat, db, cfg)
 	if err != nil {
+		// A cancelled or failed run still returns the partial cycle; flush
+		// whatever metrics it gathered so the work isn't silently lost.
+		if metricsFmt != "" && cy != nil && cy.Metrics != nil {
+			fmt.Printf("partial metrics (run aborted: %v):\n", err)
+			if werr := cy.WriteMetrics(os.Stdout, metricsFmt); werr != nil {
+				return errors.Join(err, werr)
+			}
+		}
 		return err
 	}
 	fmt.Printf("workflow %s\n", g.Name)
+	if cy.Observed != nil && cy.Observed.Retries > 0 {
+		fmt.Printf("recovered from transient faults: %d block retry(s)\n", cy.Observed.Retries)
+	}
+	if cy.Degraded() {
+		fmt.Println(cy.Degradation)
+	}
 	fmt.Printf("observed %d statistics (memory %d units) in one instrumented run\n\n",
 		len(cy.Selection.Observe), cy.Selection.Memory)
 	for bi, blk := range cy.Analysis.Blocks {
@@ -209,7 +267,7 @@ func runCycle(file string, wfID int, dataDir string, scale float64, explain bool
 // section (per-operator row counts plus the q-error feedback report); with
 // -derive it runs the full cycle and prints the derivation tree of every
 // SE cardinality.
-func explainCmd(file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64, metricsFmt string) error {
+func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -239,7 +297,8 @@ func explainCmd(file string, wfID int, dataDir string, scale float64, derive boo
 		cfg.Workers = workers
 		cfg.MaxRows = maxRows
 		cfg.CollectMetrics = true
-		cy, err := core.Run(g, cat, db, cfg)
+		cfg.Faults = inj
+		cy, err := core.RunCtx(ctx, g, cat, db, cfg)
 		if err != nil {
 			return err
 		}
@@ -253,17 +312,19 @@ func explainCmd(file string, wfID int, dataDir string, scale float64, derive boo
 		return nil
 	}
 	fmt.Println()
-	return runCycle(file, wfID, dataDir, scale, true, workers, maxRows, "")
+	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj)
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown
 // report to stdout.
-func reportCmd(wfID int, scale float64) error {
-	if wfID < 1 || wfID > 30 {
-		return fmt.Errorf("report needs -wf <1..30>")
+func reportCmd(ctx context.Context, wfID int, scale float64, inj *faults.Injector) error {
+	w, err := suite.Get(wfID)
+	if err != nil {
+		return err
 	}
-	w := suite.Get(wfID)
-	cy, err := core.Run(w.Graph, w.Catalog, w.Data(scale), core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Faults = inj
+	cy, err := core.RunCtx(ctx, w.Graph, w.Catalog, w.Data(scale), cfg)
 	if err != nil {
 		return err
 	}
@@ -273,14 +334,14 @@ func reportCmd(wfID int, scale float64) error {
 // scheduleCmd builds and executes a Section 6.1 multi-run observation
 // schedule under a per-run memory budget, then derives every SE cardinality
 // from the merged observations.
-func scheduleCmd(wfID int, scale float64, budget int64, workers int, maxRows int64) error {
-	if wfID < 1 || wfID > 30 {
-		return fmt.Errorf("schedule needs -wf <1..30>")
+func scheduleCmd(ctx context.Context, wfID int, scale float64, budget int64, workers int, maxRows int64, inj *faults.Injector) error {
+	w, err := suite.Get(wfID)
+	if err != nil {
+		return err
 	}
 	if budget <= 0 {
 		return fmt.Errorf("schedule needs -budget <units>")
 	}
-	w := suite.Get(wfID)
 	an, err := workflow.Analyze(w.Graph, w.Catalog)
 	if err != nil {
 		return err
@@ -312,7 +373,8 @@ func scheduleCmd(wfID int, scale float64, budget int64, workers int, maxRows int
 	eng := engine.New(an, db, nil)
 	eng.Workers = workers
 	eng.MaxRows = maxRows
-	store, err := schedule.Execute(eng, res, plan)
+	eng.Faults = inj
+	store, err := schedule.ExecuteCtx(ctx, eng, res, plan)
 	if err != nil {
 		return err
 	}
@@ -334,8 +396,9 @@ func scheduleCmd(wfID int, scale float64, budget int64, workers int, maxRows int
 // genData exports a suite workflow's generated relations as CSV files, so
 // the flat-file path can be tried end to end.
 func genData(wfID int, scale float64, outDir string) error {
-	if wfID < 1 || wfID > 30 {
-		return fmt.Errorf("gendata needs -wf <1..30>")
+	w, err := suite.Get(wfID)
+	if err != nil {
+		return err
 	}
 	if outDir == "" {
 		return fmt.Errorf("gendata needs -out <dir>")
@@ -343,7 +406,6 @@ func genData(wfID int, scale float64, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	w := suite.Get(wfID)
 	db := w.Data(scale)
 	for rel, tbl := range db {
 		f, err := os.Create(filepath.Join(outDir, rel+".csv"))
@@ -379,8 +441,11 @@ func loadDoc(file string, wfID int) (*workflow.Document, error) {
 		}
 		defer fh.Close()
 		return workflow.Decode(fh)
-	case wfID >= 1 && wfID <= 30:
-		w := suite.Get(wfID)
+	case wfID != 0:
+		w, err := suite.Get(wfID)
+		if err != nil {
+			return nil, err
+		}
 		return &workflow.Document{Workflow: w.Graph, Catalog: w.Catalog}, nil
 	default:
 		return nil, fmt.Errorf("need -f <file> or -wf <1..30>")
@@ -397,10 +462,10 @@ func listSuite() error {
 }
 
 func export(wfID int) error {
-	if wfID < 1 || wfID > 30 {
-		return fmt.Errorf("export needs -wf <1..30>")
+	w, err := suite.Get(wfID)
+	if err != nil {
+		return err
 	}
-	w := suite.Get(wfID)
 	doc := &workflow.Document{Workflow: w.Graph, Catalog: w.Catalog}
 	return doc.Encode(os.Stdout)
 }

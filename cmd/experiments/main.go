@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/essential-stats/etlopt/internal/experiments"
+	"github.com/essential-stats/etlopt/internal/suite"
 )
 
 func main() {
@@ -33,53 +35,82 @@ func main() {
 	dataScale := flag.Float64("datascale", 1.0, "data scale for -exp=data (1.0 = the paper-sized relations)")
 	seq := flag.Bool("seq", false, "measure workflows sequentially (timing-grade Figure 10 numbers)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker count for -exp=e2e and -exp=work (<=1 = sequential)")
+	wfID := flag.Int("wf", 0, "restrict -exp=e2e to one suite workflow id (1..30)")
 	flag.Parse()
 	sequential = *seq
 	experiments.Workers = *workers
 
 	var err error
-	switch *exp {
+	switch {
+	case *wfID != 0:
+		err = runOne(*wfID, *scale)
+	default:
+		err = dispatch(*exp, *scale, *dataScale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		var unknown *suite.UnknownWorkflowError
+		if errors.As(err, &unknown) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// runOne prints the end-to-end row for a single suite workflow.
+func runOne(wfID int, scale float64) error {
+	row, err := experiments.EndToEndWorkflow(wfID, scale)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "wf\tSEs\texact\tinitCost\toptCost\tspeedup\tinitRows\toptRows\tmaxQ\ttap%")
+	fmt.Fprintf(w, "%d\t%d\t%d/%d\t%.0f\t%.0f\t%.2fx\t%d\t%d\t%.3g\t%.1f\n",
+		row.ID, row.SEs, row.ExactSEs, row.SEs, row.InitCost, row.OptCost, row.Speedup,
+		row.InitRows, row.OptRows, row.MaxQ, row.TapPct)
+	return w.Flush()
+}
+
+func dispatch(exp string, scale, dataScale float64) error {
+	switch exp {
 	case "data":
-		err = runData(*dataScale)
+		return runData(dataScale)
 	case "fig9", "fig10", "fig11", "fig12", "greedy":
-		err = runRows(*exp)
+		return runRows(exp)
 	case "e2e":
-		err = runE2E(*scale)
+		return runE2E(scale)
 	case "budget":
-		err = runBudget()
+		return runBudget()
 	case "free":
-		err = runFree()
+		return runFree()
 	case "error":
-		err = runError(*scale)
+		return runError(scale)
 	case "work":
-		err = runWork(*scale)
+		return runWork(scale)
 	case "scale":
-		err = runScale()
+		return runScale()
 	case "all":
 		for _, e := range []func() error{
-			func() error { return runData(*dataScale) },
+			func() error { return runData(dataScale) },
 			func() error { return runRows("fig9") },
 			func() error { return runRows("fig10") },
 			func() error { return runRows("fig11") },
 			func() error { return runRows("fig12") },
 			func() error { return runRows("greedy") },
-			func() error { return runE2E(*scale) },
+			func() error { return runE2E(scale) },
 			runBudget,
 			runFree,
-			func() error { return runError(*scale) },
-			func() error { return runWork(*scale) },
+			func() error { return runError(scale) },
+			func() error { return runWork(scale) },
 			runScale,
 		} {
-			if err = e(); err != nil {
-				break
+			if err := e(); err != nil {
+				return err
 			}
 		}
+		return nil
 	default:
-		err = fmt.Errorf("unknown experiment %q", *exp)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
 }
 

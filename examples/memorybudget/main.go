@@ -26,7 +26,7 @@ import (
 func main() {
 	// wf03 is the union–division showcase: its unconstrained optimum is a
 	// few hundred units, but pretend memory is scarcer still.
-	w := suite.Get(3)
+	w := suite.MustGet(3)
 	an, err := w.Analyze()
 	if err != nil {
 		log.Fatal(err)

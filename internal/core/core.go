@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/engine"
 	"github.com/essential-stats/etlopt/internal/estimate"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/optimizer"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/selector"
@@ -65,6 +67,17 @@ type Config struct {
 	// execution and builds the estimate-feedback (q-error) report after
 	// the instrumented run. Off by default: the hot paths stay timing-free.
 	CollectMetrics bool
+	// Faults injects deterministic failures into every execution of the
+	// cycle (nil, the default, injects nothing). Transient faults retry at
+	// block granularity; permanent tap faults degrade the observation and
+	// walk the cycle down the degradation ladder instead of aborting it.
+	Faults *faults.Injector
+	// RetryMax bounds per-block attempts on transient faults (0 = engine
+	// default of 3).
+	RetryMax int
+	// RetryBackoff is the base inter-attempt delay, doubling per retry,
+	// capped at 100ms (0 = engine default of 1ms).
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -94,6 +107,10 @@ type Cycle struct {
 	// against the estimates derived from the selected statistics (nil
 	// unless Config.CollectMetrics was set).
 	Feedback *estimate.Feedback
+	// Degradation reports how the cycle routed around permanently failed
+	// observations (nil on a clean run): the alternate covering CSS or
+	// pay-as-you-go rung used, and any blocks left on initial plans.
+	Degradation *Degradation
 	// Timings records the wall-clock duration of each phase.
 	Timings Timings
 
@@ -108,7 +125,7 @@ type Timings struct {
 
 // executor abstracts the two execution engines (batch and streaming).
 type executor interface {
-	RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*engine.Result, error)
+	RunPlansCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*engine.Result, error)
 }
 
 // newExecutor picks the engine per the configuration.
@@ -118,12 +135,18 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 		eng.Workers = cfg.Workers
 		eng.MaxRows = cfg.MaxRows
 		eng.CollectMetrics = cfg.CollectMetrics
+		eng.Faults = cfg.Faults
+		eng.RetryMax = cfg.RetryMax
+		eng.RetryBackoff = cfg.RetryBackoff
 		return eng
 	}
 	eng := engine.New(an, db, cfg.Registry)
 	eng.Workers = cfg.Workers
 	eng.MaxRows = cfg.MaxRows
 	eng.CollectMetrics = cfg.CollectMetrics
+	eng.Faults = cfg.Faults
+	eng.RetryMax = cfg.RetryMax
+	eng.RetryBackoff = cfg.RetryBackoff
 	return eng
 }
 
@@ -131,11 +154,23 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 // database: the initial plan runs once, instrumented with the selected
 // statistics, and the returned cycle carries the optimized per-block plans.
 func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*Cycle, error) {
+	return RunCtx(context.Background(), g, cat, db, cfg)
+}
+
+// RunCtx is Run under a context: cancellation (or deadline expiry) stops
+// the cycle's executions promptly. On error the partial cycle — whatever
+// phases completed, including the partial instrumented run and its metrics
+// — rides alongside, so callers can flush what the cycle did produce.
+//
+// Observation failures that are permanent but survivable (failed taps,
+// mis-declared statistics) do not error: the cycle completes via the
+// degradation ladder and reports how in Cycle.Degradation.
+func RunCtx(ctx context.Context, g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*Cycle, error) {
 	cy := &Cycle{cfg: cfg, db: db}
 	start := time.Now()
 	an, err := workflow.Analyze(g, cat)
 	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
+		return cy, fmt.Errorf("core: analyze: %w", err)
 	}
 	cy.Analysis = an
 	cy.Timings.Analyze = time.Since(start)
@@ -143,7 +178,7 @@ func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*C
 	start = time.Now()
 	res, err := css.Generate(an, cfg.CSS)
 	if err != nil {
-		return nil, fmt.Errorf("core: generate CSS: %w", err)
+		return cy, fmt.Errorf("core: generate CSS: %w", err)
 	}
 	cy.CSS = res
 	cy.Timings.GenerateCSS = time.Since(start)
@@ -154,33 +189,51 @@ func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*C
 	coster.FreeSourceStats = cfg.FreeSourceStats
 	coster.CPUWeight = cfg.CPUWeight
 	coster.Sizes = cfg.Sizes
-	sel, err := selector.Select(res, coster, selector.Options{Method: cfg.Method})
+	u, err := selector.NewUniverse(res, coster)
 	if err != nil {
-		return nil, fmt.Errorf("core: select statistics: %w", err)
+		return cy, fmt.Errorf("core: select statistics: %w", err)
+	}
+	sel, err := selector.SelectUniverse(u, selector.Options{Method: cfg.Method})
+	if err != nil {
+		return cy, fmt.Errorf("core: select statistics: %w", err)
 	}
 	cy.Selection = sel
 	cy.Timings.Select = time.Since(start)
 
 	start = time.Now()
 	eng := newExecutor(an, db, cfg)
-	run, err := eng.RunPlans(nil, res, sel.Observe)
-	if err != nil {
-		return nil, fmt.Errorf("core: instrumented run: %w", err)
-	}
+	run, err := eng.RunPlansCtx(ctx, nil, res, sel.Observe)
 	cy.Observed = run
+	if run != nil {
+		cy.Metrics = run.Metrics
+	}
+	if err != nil {
+		return cy, fmt.Errorf("core: instrumented run: %w", err)
+	}
 	cy.Timings.ObserveRun = time.Since(start)
+
+	if len(run.Degraded) > 0 {
+		deg, err := degrade(ctx, cy, eng, u, res, run.Observed, run.Degraded)
+		if err != nil {
+			return cy, fmt.Errorf("core: degraded observation: %w", err)
+		}
+		cy.Degradation = deg
+	}
 
 	start = time.Now()
 	cy.Estimator = estimate.New(res, run.Observed)
-	plans, err := optimizer.Optimize(res, cy.Estimator, cfg.CostModel)
+	plans, err := optimizer.OptimizeOpts(res, cy.Estimator, cfg.CostModel,
+		optimizer.Options{FallbackInitial: cy.Degradation != nil})
 	if err != nil {
-		return nil, fmt.Errorf("core: optimize: %w", err)
+		return cy, fmt.Errorf("core: optimize: %w", err)
+	}
+	if cy.Degradation != nil {
+		cy.Degradation.FallbackBlocks = plans.Fallbacks
 	}
 	cy.Plans = plans
 	cy.Timings.Optimize = time.Since(start)
 
 	if run.Metrics != nil {
-		cy.Metrics = run.Metrics
 		cy.Feedback = estimate.BuildFeedback(res, cy.Estimator, run.Metrics.Actuals())
 	}
 	return cy, nil
@@ -191,8 +244,13 @@ func Run(g *workflow.Graph, cat *workflow.Catalog, db engine.DB, cfg Config) (*C
 // this run in turn; here it returns the executed result so callers can
 // compare work metrics against the initial run.
 func (cy *Cycle) RunOptimized() (*engine.Result, error) {
+	return cy.RunOptimizedCtx(context.Background())
+}
+
+// RunOptimizedCtx is RunOptimized under a context.
+func (cy *Cycle) RunOptimizedCtx(ctx context.Context) (*engine.Result, error) {
 	eng := newExecutor(cy.Analysis, cy.db, cy.cfg)
-	out, err := eng.RunPlans(cy.Plans.Trees(), nil, nil)
+	out, err := eng.RunPlansCtx(ctx, cy.Plans.Trees(), nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: optimized run: %w", err)
 	}

@@ -28,7 +28,7 @@ func TestMetricsOffByDefault(t *testing.T) {
 // bit-identical across engines, worker counts and repeated runs, in both
 // formats: it carries only row counts and q-errors, never wall times.
 func TestMetricsReportDeterminism(t *testing.T) {
-	w := suite.Get(7) // block chain: exercises chain taps and parallel paths
+	w := suite.MustGet(7) // block chain: exercises chain taps and parallel paths
 	db := w.Data(0.002)
 
 	render := func(streaming bool, workers int) (string, string) {

@@ -1,0 +1,84 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the flat-file reader with arbitrary bytes. The reader
+// is the framework's only parser of external input (the paper's
+// no-statistics worst case loads plain CSV files), so it must reject
+// malformed input with an error — never a panic — and every table it does
+// accept must be internally consistent and survive a write/re-read round
+// trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("k,val\n1,2\n3,4\n"))
+	f.Add([]byte("k\n"))                           // header only
+	f.Add([]byte("k,k\n1,2\n"))                    // duplicate column
+	f.Add([]byte("k, \n1,2\n"))                    // blank column name
+	f.Add([]byte("k,val\n1\n"))                    // ragged row
+	f.Add([]byte("k,val\n1,x\n"))                  // non-integer field
+	f.Add([]byte("k,val\n1,\"2\n"))                // unterminated quote
+	f.Add([]byte("\"a,b\",c\n\"1\",  2 \n"))       // quoted comma, padded int
+	f.Add([]byte("k,val\r\n1,2\r\n"))              // CRLF
+	f.Add([]byte("k,val\n9223372036854775808,1\n")) // int64 overflow
+	f.Add([]byte(""))                              // empty input
+	f.Add([]byte("\xff\xfe,\x00\n1,2\n"))          // junk bytes
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tbl, err := readCSV(bytes.NewReader(in), "fuzz")
+		if err != nil {
+			return // rejected cleanly — the property under test
+		}
+		if tbl == nil {
+			t.Fatal("nil table with nil error")
+		}
+		seen := make(map[string]bool, len(tbl.Attrs))
+		for _, a := range tbl.Attrs {
+			name := a.Col
+			if name == "" || name != strings.TrimSpace(name) {
+				t.Fatalf("accepted unnormalized column name %q", name)
+			}
+			if seen[name] {
+				t.Fatalf("accepted duplicate column name %q", name)
+			}
+			seen[name] = true
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(tbl.Attrs) {
+				t.Fatalf("row %d has %d fields, table has %d columns", i, len(row), len(tbl.Attrs))
+			}
+		}
+		// Catalog inference must accept anything the reader accepts.
+		InferCatalog(map[string]*Table{"fuzz": tbl})
+
+		// Round trip: writing the accepted table and re-reading it must
+		// reproduce it exactly (the writer quotes whatever the reader let
+		// through).
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tbl); err != nil {
+			t.Fatalf("write accepted table: %v", err)
+		}
+		back, err := readCSV(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-read written table: %v\ninput: %q", err, buf.Bytes())
+		}
+		if len(back.Attrs) != len(tbl.Attrs) || len(back.Rows) != len(tbl.Rows) {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				len(tbl.Rows), len(tbl.Attrs), len(back.Rows), len(back.Attrs))
+		}
+		for i, a := range tbl.Attrs {
+			if back.Attrs[i].Col != a.Col {
+				t.Fatalf("round trip changed column %d: %q -> %q", i, a.Col, back.Attrs[i].Col)
+			}
+		}
+		for i, row := range tbl.Rows {
+			for j, v := range row {
+				if back.Rows[i][j] != v {
+					t.Fatalf("round trip changed row %d column %d: %d -> %d", i, j, v, back.Rows[i][j])
+				}
+			}
+		}
+	})
+}

@@ -15,11 +15,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -56,6 +58,15 @@ type Engine struct {
 	// (physical.Node.Metrics) during the run and attaches the snapshot to
 	// Result.Metrics. Off by default: the hot paths skip all timing work.
 	CollectMetrics bool
+	// Faults injects deterministic failures at operator, source, tap and
+	// budget sites (nil, the default, injects nothing and costs nothing).
+	Faults *faults.Injector
+	// RetryMax bounds per-block attempts when a transient fault aborts one
+	// (0 = the default of 3: the first try plus two retries).
+	RetryMax int
+	// RetryBackoff is the base delay between attempts, doubling per retry,
+	// capped at 100ms (0 = the default of 1ms).
+	RetryBackoff time.Duration
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -84,6 +95,11 @@ type Result struct {
 	// Metrics is the per-operator metrics snapshot when the engine ran
 	// with CollectMetrics (nil otherwise).
 	Metrics *physical.RunMetrics
+	// Degraded lists statistics whose observation failed permanently (the
+	// run itself completed); empty on a clean run. Ordered canonically.
+	Degraded []FailedStat
+	// Retries counts block attempts repeated after transient faults.
+	Retries int64
 }
 
 // Run executes the workflow with each block using its initial join tree.
@@ -103,7 +119,15 @@ func (e *Engine) RunObserved(res *css.Result, observe []stats.Stat) (*Result, er
 // the initial plan are skipped; use RunPlansObserving for re-ordered plans
 // that expose different sub-expressions (the pay-as-you-go baseline).
 func (e *Engine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
-	return e.runPlans(plans, res, observe, false)
+	return e.runPlans(context.Background(), nil, plans, res, observe, false)
+}
+
+// RunPlansCtx is RunPlans under a context: cancellation (or deadline
+// expiry) stops the run promptly. On error the partial result — completed
+// metrics and block outputs — is returned alongside it, so callers can
+// flush what the run did finish.
+func (e *Engine) RunPlansCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, nil, plans, res, observe, false)
 }
 
 // RunPlansObserving is RunPlans without the initial-plan observability
@@ -111,10 +135,23 @@ func (e *Engine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 // collected. Targets the plans do not produce are silently absent from the
 // store.
 func (e *Engine) RunPlansObserving(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
-	return e.runPlans(plans, res, observe, true)
+	return e.runPlans(context.Background(), nil, plans, res, observe, true)
 }
 
-func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
+// RunPlansObservingCtx is RunPlansObserving under a context.
+func (e *Engine) RunPlansObservingCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, nil, plans, res, observe, true)
+}
+
+// Resume continues a run from a checkpoint (a *BlockFailure's Checkpoint
+// field): completed blocks are restored, only the failed block's downstream
+// cone re-executes, and already-observed statistics are kept (the store is
+// write-once, so re-surfaced taps are no-ops).
+func (e *Engine) Resume(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, cp, plans, res, observe, false)
+}
+
+func (e *Engine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
 	plan, err := physical.Compile(e.An, e.DB, physical.Options{
 		Plans: plans, Res: res, Observe: observe, AnyPoint: anyPoint, Reg: e.Reg,
 	})
@@ -126,22 +163,31 @@ func (e *Engine) runPlans(plans map[int]*workflow.JoinTree, res *css.Result, obs
 		Sinks:        make(map[string]*data.Table),
 		Materialized: make(map[string]*data.Table),
 	}
+	seedFrom(out, cp)
 	var col *collector
 	if res != nil {
 		col = newCollector()
+		if cp != nil && cp.Observed != nil {
+			col.store = cp.Observed
+		}
 		out.Observed = col.store
 	}
-	err = runBlocksDAG(plan, e.Workers, newRowBudget(e.MaxRows), out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
+	err = runBlocksDAG(plan, e.Workers, env, out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
 		return runBatchBlock(bp, col, sink, e.CollectMetrics)
 	})
-	if err != nil {
-		return nil, err
-	}
-	if err := routeSinks(e.An, out); err != nil {
-		return nil, err
-	}
+	out.Retries = env.retries.Load()
+	out.Degraded = col.failedStats()
 	if e.CollectMetrics {
 		out.Metrics = plan.MetricsSnapshot()
+	}
+	if err != nil {
+		// The partial result rides along: completed block outputs, the
+		// metrics of finished operators, the statistics observed so far.
+		return out, err
+	}
+	if err := routeSinks(e.An, out); err != nil {
+		return out, err
 	}
 	return out, nil
 }
@@ -171,6 +217,12 @@ func runBatchBlock(bp *physical.BlockPlan, col *collector, out *blockSink, metri
 // exclusive (inputs are already materialized), and tap observation is timed
 // separately so observation overhead never inflates operator time.
 func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, col *collector, out *blockSink, met *physical.Metrics) (*data.Table, error) {
+	if err := out.ctxErr(); err != nil {
+		return nil, err
+	}
+	if err := out.opFault(n); err != nil {
+		return nil, err
+	}
 	var start time.Time
 	if met != nil {
 		start = time.Now()
@@ -265,20 +317,24 @@ func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 	if err := out.count(tbl.Card()); err != nil {
 		return nil, err
 	}
+	taps, err := out.liveTaps(col, n.Taps)
+	if err != nil {
+		return nil, err
+	}
 	if met != nil {
 		met.WallNanos += time.Since(start).Nanoseconds()
 		met.Calls++
 		met.RowsOut += tbl.Card()
-		if len(n.Taps) > 0 {
+		if len(taps) > 0 {
 			tapStart := time.Now()
-			for _, t := range n.Taps {
+			for _, t := range taps {
 				col.collect(t, tbl)
 			}
 			met.TapNanos += time.Since(tapStart).Nanoseconds()
 		}
 		return tbl, nil
 	}
-	for _, t := range n.Taps {
+	for _, t := range taps {
 		col.collect(t, tbl)
 	}
 	return tbl, nil
@@ -316,6 +372,9 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 				return nil, err
 			}
 			pending = 0
+			if err := out.ctxErr(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := out.count(pending); err != nil {
@@ -327,6 +386,10 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 			rightMiss.Rows = append(rightMiss.Rows, rrow)
 		}
 	}
+	taps, err := out.liveTaps(col, n.Taps)
+	if err != nil {
+		return nil, err
+	}
 	var tapStart time.Time
 	if met != nil {
 		// Miss collection above is part of the join's own work (reject
@@ -337,14 +400,18 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 		met.RowsOut += joined.Card()
 		tapStart = time.Now()
 	}
-	for _, t := range n.Taps {
+	for _, t := range taps {
 		col.collect(t, joined)
 	}
 	if n.LeftReject != nil {
-		collectReject(bp, n.LeftReject, leftMiss, tables, col)
+		if err := collectReject(bp, n.LeftReject, leftMiss, tables, col, out); err != nil {
+			return nil, err
+		}
 	}
 	if n.RightReject != nil {
-		collectReject(bp, n.RightReject, rightMiss, tables, col)
+		if err := collectReject(bp, n.RightReject, rightMiss, tables, col, out); err != nil {
+			return nil, err
+		}
 	}
 	if met != nil {
 		met.TapNanos += time.Since(tapStart).Nanoseconds()
@@ -358,15 +425,24 @@ func evalJoin(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 // collectReject feeds one side's reject statistics: singletons over the
 // miss rows directly, two-input variants through their auxiliary joins with
 // the partner's cooked input.
-func collectReject(bp *physical.BlockPlan, rt *physical.RejectTaps, misses *data.Table, tables []*data.Table, col *collector) {
-	for _, t := range rt.Singles {
+func collectReject(bp *physical.BlockPlan, rt *physical.RejectTaps, misses *data.Table, tables []*data.Table, col *collector, out *blockSink) error {
+	singles, err := out.liveTaps(col, rt.Singles)
+	if err != nil {
+		return err
+	}
+	for _, t := range singles {
 		col.collect(t, misses)
 	}
-	if len(rt.Aux) == 0 {
-		return
+	aux, err := out.liveAux(col, rt.Aux)
+	if err != nil {
+		return err
 	}
-	st := &auxState{aux: rt.Aux, misses: misses}
+	if len(aux) == 0 {
+		return nil
+	}
+	st := &auxState{aux: aux, misses: misses}
 	st.run(col, chainEnds(bp, tables))
+	return nil
 }
 
 // chainEnds returns each input's cooked table (the chain-end node outputs).

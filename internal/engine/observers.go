@@ -9,7 +9,9 @@ import (
 )
 
 // rowObserver is a per-tuple statistic handler; finish records the
-// completed statistic into the store at end of stream.
+// completed statistic into the store at end of stream. A finish that the
+// store rejects marks the statistic degraded on the collector rather than
+// failing the pipeline — by then the data work is already done.
 type rowObserver interface {
 	observe(data.Row)
 	finish()
@@ -17,43 +19,54 @@ type rowObserver interface {
 
 // cardObserver counts tuples.
 type cardObserver struct {
-	store *stats.Store
-	stat  stats.Stat
-	n     int64
+	col  *collector
+	stat stats.Stat
+	n    int64
 }
 
 func (c *cardObserver) observe(data.Row) { c.n++ }
 func (c *cardObserver) finish() {
-	c.store.PutScalarOnce(c.stat, c.n)
+	if err := c.col.store.PutScalarOnce(c.stat, c.n); err != nil {
+		c.col.markFailed(c.stat, err)
+	}
 }
 
 // histObserver builds an exact frequency histogram.
 type histObserver struct {
-	store *stats.Store
-	stat  stats.Stat
-	cols  []int
-	h     *stats.Histogram
-	vals  []int64
+	col  *collector
+	stat stats.Stat
+	cols []int
+	h    *stats.Histogram
+	vals []int64
+	err  error
 }
 
 func (h *histObserver) observe(r data.Row) {
 	for i, c := range h.cols {
 		h.vals[i] = r[c]
 	}
-	h.h.Inc(h.vals, 1)
+	if err := h.h.Inc(h.vals, 1); err != nil && h.err == nil {
+		h.err = err
+	}
 }
 func (h *histObserver) finish() {
-	h.store.PutHistOnce(h.stat, h.h)
+	if h.err != nil {
+		h.col.markFailed(h.stat, h.err)
+		return
+	}
+	if err := h.col.store.PutHistOnce(h.stat, h.h); err != nil {
+		h.col.markFailed(h.stat, err)
+	}
 }
 
 // distinctObserver counts distinct combinations.
 type distinctObserver struct {
-	store *stats.Store
-	stat  stats.Stat
-	cols  []int
-	seen  map[string]bool
-	vals  []int64
-	kbuf  []byte
+	col  *collector
+	stat stats.Stat
+	cols []int
+	seen map[string]bool
+	vals []int64
+	kbuf []byte
 }
 
 func (d *distinctObserver) observe(r data.Row) {
@@ -66,7 +79,9 @@ func (d *distinctObserver) observe(r data.Row) {
 	}
 }
 func (d *distinctObserver) finish() {
-	d.store.PutScalarOnce(d.stat, int64(len(d.seen)))
+	if err := d.col.store.PutScalarOnce(d.stat, int64(len(d.seen))); err != nil {
+		d.col.markFailed(d.stat, err)
+	}
 }
 
 // mergeObserver folds another shard of the same statistic into this one.
@@ -88,6 +103,9 @@ func (h *histObserver) mergeShard(o rowObserver) error {
 	s, ok := o.(*histObserver)
 	if !ok {
 		return fmt.Errorf("merge shard: hist vs %T", o)
+	}
+	if s.err != nil && h.err == nil {
+		h.err = s.err
 	}
 	return h.h.Merge(s.h)
 }
@@ -148,15 +166,15 @@ func observersFor(col *collector, taps []physical.Tap) []rowObserver {
 	for _, t := range taps {
 		switch t.Stat.Kind {
 		case stats.Card:
-			out = append(out, &cardObserver{store: col.store, stat: t.Stat})
+			out = append(out, &cardObserver{col: col, stat: t.Stat})
 		case stats.Hist:
 			out = append(out, &histObserver{
-				store: col.store, stat: t.Stat, cols: t.Cols,
+				col: col, stat: t.Stat, cols: t.Cols,
 				h: stats.NewHistogram(t.Stat.Attrs...), vals: make([]int64, len(t.Cols)),
 			})
 		case stats.Distinct:
 			out = append(out, &distinctObserver{
-				store: col.store, stat: t.Stat, cols: t.Cols,
+				col: col, stat: t.Stat, cols: t.Cols,
 				seen: make(map[string]bool), vals: make([]int64, len(t.Cols)),
 			})
 		}

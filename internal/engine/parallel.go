@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
@@ -27,9 +29,21 @@ import (
 // rowBudget is the shared intermediate-cardinality guard: every counted row
 // of the run charges it, across blocks and workers. A nil budget (MaxRows
 // <= 0) never trips.
+//
+// Block retry builds a child budget per attempt: the child tracks what the
+// attempt charged (so a failed attempt can refund it) and forwards every
+// charge to the run's root budget, where the limit lives. The injected
+// budget fault, when armed, rides on the child so it fires exactly once per
+// attempt in whichever engine counts the first row — the same semantics at
+// every worker count.
 type rowBudget struct {
-	limit int64
-	used  atomic.Int64
+	limit  int64
+	used   atomic.Int64
+	parent *rowBudget
+	// inject, when non-nil, is returned by the first add (simulated budget
+	// exhaustion from the fault injector).
+	inject     error
+	injectOnce atomic.Bool
 }
 
 func newRowBudget(limit int64) *rowBudget {
@@ -39,25 +53,65 @@ func newRowBudget(limit int64) *rowBudget {
 	return &rowBudget{limit: limit}
 }
 
-// add charges n rows and fails once the limit is crossed.
+// child derives a per-attempt budget. With neither a parent limit nor an
+// injected fault there is nothing to track, so nil (the free fast path)
+// comes back.
+func (b *rowBudget) child(inject error) *rowBudget {
+	if b == nil && inject == nil {
+		return nil
+	}
+	return &rowBudget{parent: b, inject: inject}
+}
+
+// add charges n rows and fails once the limit is crossed (or the injected
+// exhaustion fires).
 func (b *rowBudget) add(n int64) error {
 	if b == nil {
 		return nil
 	}
-	if b.used.Add(n) > b.limit {
+	if b.inject != nil && b.injectOnce.CompareAndSwap(false, true) {
+		return b.inject
+	}
+	used := b.used.Add(n)
+	if b.parent != nil {
+		return b.parent.add(n)
+	}
+	if b.limit > 0 && used > b.limit {
 		return fmt.Errorf("intermediate-cardinality guard: run exceeded MaxRows=%d intermediate rows (join blowup from data skew or a bad join order; raise MaxRows or set 0 to disable)", b.limit)
 	}
 	return nil
 }
 
+// release refunds this child's accumulated charge from every ancestor, so
+// a retried attempt starts from the budget state the failed attempt found.
+func (b *rowBudget) release() {
+	if b == nil || b.parent == nil {
+		return
+	}
+	n := b.used.Load()
+	for p := b.parent; p != nil; p = p.parent {
+		p.used.Add(-n)
+	}
+}
+
 // blockSink collects one block's side effects during execution. upstream
 // holds the boundary outputs of the blocks this block reads from (complete
 // before the block is scheduled), so chains never read the shared Result.
+//
+// The sink also carries the attempt's fault-tolerance state: the run
+// context (polled at operator boundaries), the fault injector and the
+// attempt number the injector's decisions key on. All nil/zero for plain
+// runs — the interpreters' fast paths stay branch-cheap.
 type blockSink struct {
 	upstream     map[int]*data.Table
 	materialized map[string]*data.Table
 	rows         int64
 	budget       *rowBudget
+
+	ctx     context.Context
+	flt     *faults.Injector
+	attempt int
+	block   int
 }
 
 func newBlockSink(budget *rowBudget) *blockSink {
@@ -94,23 +148,37 @@ func blockDeps(plan *physical.Plan) map[int][]int {
 // dependency DAG, with at most `workers` blocks in flight. Block outputs,
 // materialized tables and row counters land in out. When several blocks are
 // ready the lowest block index starts first, and on failure the error of
-// the lowest failing block index is returned, so error reporting is
-// deterministic regardless of goroutine timing.
-func runBlocksDAG(plan *physical.Plan, workers int, budget *rowBudget, out *Result, run blockRunner) error {
+// the lowest failing block index is returned (as a *BlockFailure carrying
+// the checkpoint of what did complete), so error reporting is deterministic
+// regardless of goroutine timing.
+//
+// Blocks whose output is already present in out (a checkpoint seeded by
+// Resume) are skipped: only the missing blocks — the failed block and its
+// downstream cone — execute.
+func runBlocksDAG(plan *physical.Plan, workers int, env *runEnv, out *Result, run blockRunner) error {
 	deps := blockDeps(plan)
+	upstreamOf := func(bp *physical.BlockPlan) map[int]*data.Table {
+		up := make(map[int]*data.Table, len(deps[bp.Block.Index]))
+		for _, d := range deps[bp.Block.Index] {
+			up[d] = out.BlockOut[d]
+		}
+		return up
+	}
 
 	if workers <= 1 || len(plan.Blocks) <= 1 {
 		// Sequential: plan.Blocks is topologically ordered, so every
 		// dependency is already in out.BlockOut when its reader runs.
 		for _, bp := range plan.Blocks {
-			sink := newBlockSink(budget)
-			sink.upstream = make(map[int]*data.Table, len(deps[bp.Block.Index]))
-			for _, d := range deps[bp.Block.Index] {
-				sink.upstream[d] = out.BlockOut[d]
+			if _, ok := out.BlockOut[bp.Block.Index]; ok {
+				continue // checkpointed
 			}
-			tbl, err := run(bp, sink)
+			tbl, sink, err := env.runBlock(bp, upstreamOf(bp), run)
 			if err != nil {
-				return fmt.Errorf("block %d: %w", bp.Block.Index, err)
+				return &BlockFailure{
+					Block:      bp.Block.Index,
+					Checkpoint: checkpointOf(out, []int{bp.Block.Index}),
+					Err:        err,
+				}
 			}
 			out.BlockOut[bp.Block.Index] = tbl
 			for k, v := range sink.materialized {
@@ -132,6 +200,13 @@ func runBlocksDAG(plan *physical.Plan, workers int, budget *rowBudget, out *Resu
 		errs    = make(map[int]error)
 		left    = len(plan.Blocks)
 	)
+	for _, bp := range plan.Blocks {
+		if _, ok := out.BlockOut[bp.Block.Index]; ok {
+			started[bp.Block.Index] = true
+			done[bp.Block.Index] = true
+			left--
+		}
+	}
 	// nextReady picks the lowest-index block whose dependencies completed.
 	nextReady := func() *physical.BlockPlan {
 		for _, bp := range plan.Blocks {
@@ -168,13 +243,9 @@ func runBlocksDAG(plan *physical.Plan, workers int, budget *rowBudget, out *Resu
 				continue
 			}
 			started[bp.Block.Index] = true
-			sink := newBlockSink(budget)
-			sink.upstream = make(map[int]*data.Table, len(deps[bp.Block.Index]))
-			for _, d := range deps[bp.Block.Index] {
-				sink.upstream[d] = out.BlockOut[d]
-			}
+			upstream := upstreamOf(bp)
 			mu.Unlock()
-			tbl, err := run(bp, sink)
+			tbl, sink, err := env.runBlock(bp, upstream, run)
 			mu.Lock()
 			if err != nil {
 				errs[bp.Block.Index] = err
@@ -201,7 +272,11 @@ func runBlocksDAG(plan *physical.Plan, workers int, budget *rowBudget, out *Resu
 			idxs = append(idxs, i)
 		}
 		sort.Ints(idxs)
-		return fmt.Errorf("block %d: %w", idxs[0], errs[idxs[0]])
+		return &BlockFailure{
+			Block:      idxs[0],
+			Checkpoint: checkpointOf(out, idxs),
+			Err:        errs[idxs[0]],
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -287,11 +288,27 @@ type tapIter struct {
 	rows      *int64
 	budget    *rowBudget
 	at        string
+	// ctx, when non-nil, is polled every budgetChunk rows so a cancelled
+	// run stops promptly without a per-row atomic load.
+	ctx  context.Context
+	tick int64
 	// met, when non-nil, accumulates the node's metrics: upstream pull
 	// time into WallNanos (pipelines interleave, so a streaming node's
 	// wall is cumulative along its pipeline), observer time into TapNanos,
 	// emitted rows into RowsOut. Nil keeps the hot path timing-free.
 	met *physical.Metrics
+}
+
+// pollCtx checks for cancellation every budgetChunk passing rows.
+func (t *tapIter) pollCtx() error {
+	if t.ctx == nil {
+		return nil
+	}
+	t.tick++
+	if t.tick%budgetChunk != 0 {
+		return nil
+	}
+	return t.ctx.Err()
 }
 
 func (t *tapIter) Open() error {
@@ -314,6 +331,9 @@ func (t *tapIter) Next() (data.Row, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
+	if err := t.pollCtx(); err != nil {
+		return nil, false, err
+	}
 	for _, o := range t.observers {
 		o.observe(r)
 	}
@@ -332,6 +352,9 @@ func (t *tapIter) nextMetered() (data.Row, bool, error) {
 	r, ok, err := t.src.Next()
 	t.met.WallNanos += time.Since(start).Nanoseconds()
 	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := t.pollCtx(); err != nil {
 		return nil, false, err
 	}
 	t.met.RowsOut++

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -38,6 +40,17 @@ type StreamEngine struct {
 	// (physical.Node.Metrics) during the run and attaches the snapshot to
 	// Result.Metrics. Off by default: the hot paths skip all timing work.
 	CollectMetrics bool
+	// Faults injects deterministic failures at operator, source, tap and
+	// budget sites (nil, the default, injects nothing and costs nothing).
+	// Sites are engine-independent, so the same injector produces the same
+	// fault pattern here and in the batch Engine.
+	Faults *faults.Injector
+	// RetryMax bounds per-block attempts when a transient fault aborts one
+	// (0 = the default of 3).
+	RetryMax int
+	// RetryBackoff is the base delay between attempts, doubling per retry,
+	// capped at 100ms (0 = the default of 1ms).
+	RetryBackoff time.Duration
 }
 
 // NewStream returns a streaming engine.
@@ -59,6 +72,22 @@ func (e *StreamEngine) RunObserved(res *css.Result, observe []stats.Stat) (*Resu
 
 // RunPlans mirrors Engine.RunPlans in streaming mode.
 func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(context.Background(), nil, plans, res, observe)
+}
+
+// RunPlansCtx is RunPlans under a context: cancellation stops the run
+// promptly; on error the partial result rides alongside.
+func (e *StreamEngine) RunPlansCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, nil, plans, res, observe)
+}
+
+// Resume continues a run from a checkpoint, re-executing only the missing
+// blocks (see Engine.Resume — the checkpoint format is engine-independent).
+func (e *StreamEngine) Resume(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, cp, plans, res, observe)
+}
+
+func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
 	plan, err := physical.Compile(e.An, e.DB, physical.Options{
 		Plans: plans, Res: res, Observe: observe, Reg: e.Reg,
 	})
@@ -70,22 +99,29 @@ func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Resul
 		Sinks:        make(map[string]*data.Table),
 		Materialized: make(map[string]*data.Table),
 	}
+	seedFrom(out, cp)
 	var col *collector
 	if res != nil {
 		col = newCollector()
+		if cp != nil && cp.Observed != nil {
+			col.store = cp.Observed
+		}
 		out.Observed = col.store
 	}
-	err = runBlocksDAG(plan, e.Workers, newRowBudget(e.MaxRows), out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
+	err = runBlocksDAG(plan, e.Workers, env, out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
 		return e.runStreamBlock(bp, col, sink)
 	})
-	if err != nil {
-		return nil, err
-	}
-	if err := routeSinks(e.An, out); err != nil {
-		return nil, err
-	}
+	out.Retries = env.retries.Load()
+	out.Degraded = col.failedStats()
 	if e.CollectMetrics {
 		out.Metrics = plan.MetricsSnapshot()
+	}
+	if err != nil {
+		return out, err
+	}
+	if err := routeSinks(e.An, out); err != nil {
+		return out, err
 	}
 	return out, nil
 }
@@ -148,12 +184,21 @@ func (e *StreamEngine) runStreamBlock(bp *physical.BlockPlan, col *collector, ou
 		result = tbl
 	}
 	for _, n := range bp.TopNodes {
+		if err := out.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := out.opFault(n); err != nil {
+			return nil, err
+		}
 		if n.Kind == physical.OpMaterialize {
 			out.materialized[n.Rel] = result
 			continue
 		}
 		st := opIter(n, &stream{it: &scanIter{tbl: result}, attrs: result.Attrs})
-		st = tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
+		st, err := tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
+		if err != nil {
+			return nil, err
+		}
 		tbl, err := drain(st.it, result.Rel, st.attrs)
 		if err != nil {
 			return nil, fmt.Errorf("top op %s: %w", n.Label, err)
@@ -166,6 +211,13 @@ func (e *StreamEngine) runStreamBlock(bp *physical.BlockPlan, col *collector, ou
 // runStreamChain streams one input chain into a materialized table, tapping
 // every chain point per tuple.
 func (e *StreamEngine) runStreamChain(bp *physical.BlockPlan, chain []*physical.Node, col *collector, out *blockSink) (*data.Table, error) {
+	// Fault sites are checked up front for the whole chain — same sites,
+	// same order as the batch interpreter's node loop.
+	for _, n := range chain {
+		if err := out.opFault(n); err != nil {
+			return nil, err
+		}
+	}
 	scan := chain[0]
 	base := scan.Src
 	if scan.FromBlock >= 0 {
@@ -179,10 +231,16 @@ func (e *StreamEngine) runStreamChain(bp *physical.BlockPlan, chain []*physical.
 		return e.runChainParallel(bp, chain, base, col, out)
 	}
 	st := &stream{it: &scanIter{tbl: base}, attrs: scan.Attrs}
-	st = tapFor(scan, st, col, out, metOf(scan, e.CollectMetrics))
+	st, err := tapFor(scan, st, col, out, metOf(scan, e.CollectMetrics))
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range chain[1:] {
 		st = opIter(n, st)
-		st = tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
+		st, err = tapFor(n, st, col, out, metOf(n, e.CollectMetrics))
+		if err != nil {
+			return nil, err
+		}
 	}
 	return drain(st.it, bp.Block.Inputs[scan.ChainInput].Name, st.attrs)
 }
@@ -210,16 +268,22 @@ func opIter(n *physical.Node, src *stream) *stream {
 // tapFor wraps a node's output with its compiled taps, the block's work
 // counter and the run's row budget — the streaming counterpart of the batch
 // engine's per-node count-and-collect. met (nil when metrics are off) is
-// the node's metrics accumulator.
-func tapFor(n *physical.Node, src *stream, col *collector, out *blockSink, met *physical.Metrics) *stream {
+// the node's metrics accumulator. Taps the fault injector fails permanently
+// are dropped (degraded); a transient tap fault aborts the attempt.
+func tapFor(n *physical.Node, src *stream, col *collector, out *blockSink, met *physical.Metrics) (*stream, error) {
+	obs, err := out.observersFor(col, n.Taps)
+	if err != nil {
+		return nil, err
+	}
 	return &stream{it: &tapIter{
 		src:       src.it,
-		observers: observersFor(col, n.Taps),
+		observers: obs,
 		rows:      &out.rows,
 		budget:    out.budget,
+		ctx:       out.ctx,
 		at:        n.Label,
 		met:       met,
-	}, attrs: src.attrs}
+	}, attrs: src.attrs}, nil
 }
 
 // buildStream assembles the streaming pipeline for a join subtree: the
@@ -231,6 +295,9 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 		// A chain-end leaf: already cooked, tapped and counted.
 		tbl := inputs[n.ChainInput]
 		return &stream{it: &scanIter{tbl: tbl}, attrs: tbl.Attrs}, nil, nil
+	}
+	if err := out.opFault(n); err != nil {
+		return nil, nil, err
 	}
 	left, aux, err := e.buildStream(n.Left, inputs, col, out)
 	if err != nil {
@@ -257,7 +324,10 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 	var leftSink *auxState
 	var leftObs []rowObserver
 	if n.LeftReject != nil {
-		leftSink, leftObs = rejectState(n.LeftReject, n.Left.Attrs, col)
+		leftSink, leftObs, err = rejectState(n.LeftReject, n.Left.Attrs, col, out)
+		if err != nil {
+			return nil, nil, err
+		}
 		if leftSink != nil {
 			leftSink.met = met
 			aux = append(aux, leftSink)
@@ -282,7 +352,10 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 		join.leftMissFinish = leftObs
 	}
 	if n.RightReject != nil {
-		sink, obs := rejectState(n.RightReject, n.Right.Attrs, col)
+		sink, obs, err := rejectState(n.RightReject, n.Right.Attrs, col, out)
+		if err != nil {
+			return nil, nil, err
+		}
 		if sink != nil {
 			sink.met = met
 			aux = append(aux, sink)
@@ -296,7 +369,11 @@ func (e *StreamEngine) buildStream(n *physical.Node, inputs []*data.Table, col *
 		join.rightMissFinish = obs
 	}
 	// Tap the join output: SE handlers per tuple, work counter, row budget.
-	return tapFor(n, &stream{it: join, attrs: n.Attrs}, col, out, met), aux, nil
+	st, err := tapFor(n, &stream{it: join, attrs: n.Attrs}, col, out, met)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, aux, nil
 }
 
 // observeMisses feeds one miss row to the reject observers, timing the
@@ -317,12 +394,20 @@ func observeMisses(obs []rowObserver, r data.Row, met *physical.Metrics) {
 
 // rejectState prepares one join side's reject instrumentation: per-row
 // observers for the singleton statistics and, when two-input variants were
-// compiled, a miss sink feeding the post-stream auxiliary joins.
-func rejectState(rt *physical.RejectTaps, missAttrs []workflow.Attr, col *collector) (*auxState, []rowObserver) {
-	obs := observersFor(col, rt.Singles)
-	var sink *auxState
-	if len(rt.Aux) > 0 {
-		sink = &auxState{aux: rt.Aux, misses: &data.Table{Rel: "miss", Attrs: missAttrs}}
+// compiled, a miss sink feeding the post-stream auxiliary joins. Both lists
+// pass through the fault injector first.
+func rejectState(rt *physical.RejectTaps, missAttrs []workflow.Attr, col *collector, out *blockSink) (*auxState, []rowObserver, error) {
+	obs, err := out.observersFor(col, rt.Singles)
+	if err != nil {
+		return nil, nil, err
 	}
-	return sink, obs
+	aux, err := out.liveAux(col, rt.Aux)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink *auxState
+	if len(aux) > 0 {
+		sink = &auxState{aux: aux, misses: &data.Table{Rel: "miss", Attrs: missAttrs}}
+	}
+	return sink, obs, nil
 }

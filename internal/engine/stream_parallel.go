@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -46,10 +47,26 @@ type shardTapIter struct {
 	budget    *rowBudget
 	at        string
 	pend      int64
+	// ctx, when non-nil, is polled once per budget chunk so cancellation
+	// reaches every worker promptly.
+	ctx  context.Context
+	tick int64
 	// met is this worker's private metrics shard for the node (merged by
 	// the coordinating goroutine after the pipeline drains, like the
 	// observer shards); nil keeps the hot path timing-free.
 	met *physical.Metrics
+}
+
+// pollCtx checks for cancellation every budgetChunk passing rows.
+func (t *shardTapIter) pollCtx() error {
+	if t.ctx == nil {
+		return nil
+	}
+	t.tick++
+	if t.tick%budgetChunk != 0 {
+		return nil
+	}
+	return t.ctx.Err()
 }
 
 func (t *shardTapIter) Open() error {
@@ -64,6 +81,9 @@ func (t *shardTapIter) Next() (data.Row, bool, error) {
 	}
 	r, ok, err := t.src.Next()
 	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := t.pollCtx(); err != nil {
 		return nil, false, err
 	}
 	for _, o := range t.observers {
@@ -90,6 +110,9 @@ func (t *shardTapIter) nextMetered() (data.Row, bool, error) {
 	r, ok, err := t.src.Next()
 	t.met.WallNanos += time.Since(start).Nanoseconds()
 	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := t.pollCtx(); err != nil {
 		return nil, false, err
 	}
 	t.met.RowsOut++
@@ -146,6 +169,18 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 	parts := partitionChunks(base.Rows, w)
 	name := bp.Block.Inputs[chain[0].ChainInput].Name
 
+	// Fault-filter every node's taps once, before the fan-out, so the
+	// injector's decision is made exactly once per site per attempt no
+	// matter the worker count.
+	liveTaps := make([][]physical.Tap, len(chain))
+	for i, n := range chain {
+		lt, err := out.liveTaps(col, n.Taps)
+		if err != nil {
+			return nil, err
+		}
+		liveTaps[i] = lt
+	}
+
 	type chainShard struct {
 		rows int64
 		obs  [][]rowObserver // per chain node, in depth order
@@ -164,22 +199,22 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 			defer wg.Done()
 			chunk := &data.Table{Rel: base.Rel, Attrs: base.Attrs, Rows: part}
 			st := &stream{it: &scanIter{tbl: chunk}, attrs: chain[0].Attrs}
-			tap := func(n *physical.Node) {
-				obs := observersFor(col, n.Taps)
+			tap := func(depth int, n *physical.Node) {
+				obs := observersFor(col, liveTaps[depth])
 				shard.obs = append(shard.obs, obs)
 				ti := &shardTapIter{
 					src: st.it, observers: obs, rows: &shard.rows,
-					budget: out.budget, at: n.Label,
+					budget: out.budget, ctx: out.ctx, at: n.Label,
 				}
 				if e.CollectMetrics {
 					ti.met = &shard.mets[len(shard.obs)-1]
 				}
 				st = &stream{it: ti, attrs: st.attrs}
 			}
-			tap(chain[0])
-			for _, n := range chain[1:] {
+			tap(0, chain[0])
+			for di, n := range chain[1:] {
 				st = opIter(n, st)
-				tap(n)
+				tap(di+1, n)
 			}
 			tbl, err := drain(st.it, name, st.attrs)
 			if err != nil {
@@ -222,13 +257,18 @@ func (e *StreamEngine) runChainParallel(bp *physical.BlockPlan, chain []*physica
 
 // spineStage is one hash join along the streamed spine of a join DAG: the
 // compiled node plus the materialized, indexed build side and the shared
-// miss sinks the merge phase fills.
+// miss sinks the merge phase fills. The tap lists are fault-filtered once
+// at stage build, so every worker sees the same surviving taps and the
+// injector decides each site exactly once per attempt.
 type spineStage struct {
-	jn       *physical.Node
-	right    *data.Table
-	index    map[int64][]data.Row
-	leftAux  *auxState
-	rightAux *auxState
+	jn           *physical.Node
+	right        *data.Table
+	index        map[int64][]data.Row
+	taps         []physical.Tap
+	leftSingles  []physical.Tap
+	rightSingles []physical.Tap
+	leftAux      *auxState
+	rightAux     *auxState
 }
 
 // stageState is one worker's private view of one stage.
@@ -263,6 +303,12 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 	var stages []*spineStage
 	var auxes []*auxState
 	for _, jn := range joins {
+		if err := out.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := out.opFault(jn); err != nil {
+			return nil, err
+		}
 		var right *data.Table
 		if jn.Right.Kind == physical.OpHashJoin {
 			var err error
@@ -278,13 +324,37 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 		for _, r := range right.Rows {
 			st.index[r[jn.RightCol]] = append(st.index[r[jn.RightCol]], r)
 		}
-		if jn.LeftReject != nil && len(jn.LeftReject.Aux) > 0 {
-			st.leftAux = &auxState{aux: jn.LeftReject.Aux, misses: &data.Table{Rel: "miss", Attrs: jn.Left.Attrs}, met: metOf(jn, e.CollectMetrics)}
-			auxes = append(auxes, st.leftAux)
+		// Fault-filter the stage's taps once, here, so every worker shares
+		// one injector decision per site.
+		var err error
+		if st.taps, err = out.liveTaps(col, jn.Taps); err != nil {
+			return nil, err
 		}
-		if jn.RightReject != nil && len(jn.RightReject.Aux) > 0 {
-			st.rightAux = &auxState{aux: jn.RightReject.Aux, misses: &data.Table{Rel: "miss", Attrs: right.Attrs}, met: metOf(jn, e.CollectMetrics)}
-			auxes = append(auxes, st.rightAux)
+		if jn.LeftReject != nil {
+			if st.leftSingles, err = out.liveTaps(col, jn.LeftReject.Singles); err != nil {
+				return nil, err
+			}
+			aux, err := out.liveAux(col, jn.LeftReject.Aux)
+			if err != nil {
+				return nil, err
+			}
+			if len(aux) > 0 {
+				st.leftAux = &auxState{aux: aux, misses: &data.Table{Rel: "miss", Attrs: jn.Left.Attrs}, met: metOf(jn, e.CollectMetrics)}
+				auxes = append(auxes, st.leftAux)
+			}
+		}
+		if jn.RightReject != nil {
+			if st.rightSingles, err = out.liveTaps(col, jn.RightReject.Singles); err != nil {
+				return nil, err
+			}
+			aux, err := out.liveAux(col, jn.RightReject.Aux)
+			if err != nil {
+				return nil, err
+			}
+			if len(aux) > 0 {
+				st.rightAux = &auxState{aux: aux, misses: &data.Table{Rel: "miss", Attrs: right.Attrs}, met: metOf(jn, e.CollectMetrics)}
+				auxes = append(auxes, st.rightAux)
+			}
 		}
 		stages = append(stages, st)
 	}
@@ -312,9 +382,9 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 			for si, st := range stages {
 				ss := &shard.stages[si]
 				ss.matched = make(map[int64]bool)
-				ss.seObs = observersFor(col, st.jn.Taps)
+				ss.seObs = observersFor(col, st.taps)
 				if st.jn.LeftReject != nil {
-					ss.leftObs = observersFor(col, st.jn.LeftReject.Singles)
+					ss.leftObs = observersFor(col, st.leftSingles)
 				}
 				if metrics {
 					ss.met.Calls = 1
@@ -386,7 +456,16 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 			if metrics {
 				cascStart = time.Now()
 			}
+			var tick int64
 			for _, r := range part {
+				if out.ctx != nil {
+					if tick++; tick%budgetChunk == 0 {
+						if err := out.ctx.Err(); err != nil {
+							shard.err = err
+							return
+						}
+					}
+				}
 				if err := emit(r, 0); err != nil {
 					shard.err = err
 					return
@@ -471,7 +550,7 @@ func (e *StreamEngine) runSpine(root *physical.Node, inputs []*data.Table, col *
 					matched[k] = true
 				}
 			}
-			obs := observersFor(col, jn.RightReject.Singles)
+			obs := observersFor(col, st.rightSingles)
 			for _, r := range st.right.Rows {
 				if matched[r[jn.RightCol]] {
 					continue

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/essential-stats/etlopt/internal/data"
@@ -13,11 +15,57 @@ import (
 // columns — was decided by the physical-plan compiler; the collector only
 // folds record-sets into scalars and histograms. A nil *collector is valid
 // and collects nothing (uninstrumented runs).
+//
+// Statistics whose observation fails permanently (an injected permanent tap
+// fault, or a store/histogram rejection) are recorded in failed instead of
+// aborting the run: the block completes without them and the caller sees
+// them as Result.Degraded.
 type collector struct {
 	store *stats.Store
+
+	mu     sync.Mutex
+	failed map[stats.Key]FailedStat
 }
 
 func newCollector() *collector { return &collector{store: stats.NewStore()} }
+
+// markFailed records a statistic as permanently unobservable this run.
+// The first error per statistic wins (later duplicates are the same fault
+// surfacing at another execution point).
+func (c *collector) markFailed(s stats.Stat, err error) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed == nil {
+		c.failed = make(map[stats.Key]FailedStat)
+	}
+	if _, ok := c.failed[s.Key()]; !ok {
+		c.failed[s.Key()] = FailedStat{Stat: s, Err: err}
+	}
+}
+
+// failedStats returns the degraded statistics in deterministic (canonical
+// key) order.
+func (c *collector) failedStats() []FailedStat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.failed) == 0 {
+		return nil
+	}
+	out := make([]FailedStat, 0, len(c.failed))
+	for _, f := range c.failed {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return stats.KeyLess(out[i].Stat.Key(), out[j].Stat.Key())
+	})
+	return out
+}
 
 // collect updates one tap's statistic from a whole record-set (the batch
 // engine's table-at-a-time path). The store is write-once per statistic, so
@@ -28,7 +76,9 @@ func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
 	}
 	switch tap.Stat.Kind {
 	case stats.Card:
-		c.store.PutScalarOnce(tap.Stat, tbl.Card())
+		if err := c.store.PutScalarOnce(tap.Stat, tbl.Card()); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
 	case stats.Distinct:
 		seen := make(map[string]bool)
 		var kbuf []byte
@@ -42,7 +92,9 @@ func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
 				seen[string(kbuf)] = true
 			}
 		}
-		c.store.PutScalarOnce(tap.Stat, int64(len(seen)))
+		if err := c.store.PutScalarOnce(tap.Stat, int64(len(seen))); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
 	case stats.Hist:
 		h := stats.NewHistogram(tap.Stat.Attrs...)
 		vals := make([]int64, len(tap.Cols))
@@ -50,9 +102,14 @@ func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
 			for i, col := range tap.Cols {
 				vals[i] = r[col]
 			}
-			h.Inc(vals, 1)
+			if err := h.Inc(vals, 1); err != nil {
+				c.markFailed(tap.Stat, err)
+				return
+			}
 		}
-		c.store.PutHistOnce(tap.Stat, h)
+		if err := c.store.PutHistOnce(tap.Stat, h); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
 	}
 }
 

@@ -40,7 +40,7 @@ func ErrorSweep(ids []int, scale float64, bucketCounts []int) ([]*ErrorRow, erro
 	}
 	var cases []edgeCase
 	for _, id := range ids {
-		w := suite.Get(id)
+		w := suite.MustGet(id)
 		an, err := w.Analyze()
 		if err != nil {
 			return nil, err

@@ -134,7 +134,7 @@ func RunWorkflow(w *suite.Workflow) (*WorkflowRow, error) {
 
 // RunWorkflow3 measures the union–division showcase workflow (a shorthand
 // for tests and docs).
-func RunWorkflow3() (*WorkflowRow, error) { return RunWorkflow(suite.Get(3)) }
+func RunWorkflow3() (*WorkflowRow, error) { return RunWorkflow(suite.MustGet(3)) }
 
 // RunAllSeq measures every suite workflow sequentially — use this variant
 // when the per-workflow timings (Figure 10) matter, since parallel workers

@@ -152,7 +152,7 @@ func TestGoldenFigureValues(t *testing.T) {
 		30: {37, 1271, 2916, 6, 6, 14, 10},
 	}
 	for id, g := range want {
-		row, err := RunWorkflow(suite.Get(id))
+		row, err := RunWorkflow(suite.MustGet(id))
 		if err != nil {
 			t.Fatalf("wf%02d: %v", id, err)
 		}

@@ -58,10 +58,19 @@ func EndToEnd(scale float64) ([]*E2ERow, error) {
 	return out, nil
 }
 
+// EndToEndWorkflow runs the end-to-end measurement for a single suite
+// workflow; an id outside the suite returns *suite.UnknownWorkflowError.
+func EndToEndWorkflow(id int, scale float64) (*E2ERow, error) {
+	if _, err := suite.Get(id); err != nil {
+		return nil, err
+	}
+	return endToEndOne(id, scale)
+}
+
 // endToEndOne runs the cycle and exactness verification for one workflow.
 func endToEndOne(id int, scale float64) (*E2ERow, error) {
 	{
-		w := suite.Get(id)
+		w := suite.MustGet(id)
 		db := w.Data(scale)
 		cfg := core.DefaultConfig()
 		cfg.Workers = Workers
@@ -257,7 +266,7 @@ type BudgetRow struct {
 // run suffices), half of it, and two hard limits that force the trivial-CSS
 // mix across several re-ordered executions.
 func BudgetSweep(id int) ([]*BudgetRow, error) {
-	w := suite.Get(id)
+	w := suite.MustGet(id)
 	an, err := w.Analyze()
 	if err != nil {
 		return nil, err
@@ -309,7 +318,7 @@ type FreeRow struct {
 func FreeSourceAblation() ([]*FreeRow, error) {
 	var out []*FreeRow
 	for _, id := range []int{3, 5, 11, 16, 23} {
-		w := suite.Get(id)
+		w := suite.MustGet(id)
 		an, err := w.Analyze()
 		if err != nil {
 			return nil, err
@@ -371,7 +380,7 @@ type WorkRow struct {
 func WorkComparison(ids []int, scale float64) ([]*WorkRow, error) {
 	var out []*WorkRow
 	for _, id := range ids {
-		w := suite.Get(id)
+		w := suite.MustGet(id)
 		an, err := w.Analyze()
 		if err != nil {
 			return nil, err

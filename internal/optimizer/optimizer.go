@@ -51,6 +51,12 @@ type Result struct {
 	Plans map[int]*Plan
 	// TotalCost and TotalInitialCost aggregate across blocks.
 	TotalCost, TotalInitialCost float64
+	// Fallbacks lists the blocks (ascending) left on their initial plans
+	// because their cardinalities could not be derived — the degraded-run
+	// outcome when observation failures leave SEs uncovered and
+	// Options.FallbackInitial is set. Their cost contribution is zero on
+	// both sides (unknown, not free).
+	Fallbacks []int
 }
 
 // Trees returns the per-block join trees in the shape engine.RunPlans
@@ -70,6 +76,11 @@ type Options struct {
 	// ETL engines prefer, since only single-relation build sides are
 	// materialized.
 	LeftDeepOnly bool
+	// FallbackInitial keeps a block on its user-designed initial plan
+	// instead of failing the whole optimization when its cardinalities
+	// cannot be derived (statistics lost to observation failures). Fallback
+	// blocks are reported in Result.Fallbacks.
+	FallbackInitial bool
 }
 
 // Optimize chooses the cheapest join order for every block by dynamic
@@ -87,7 +98,11 @@ func OptimizeOpts(res *css.Result, cards CardSource, model CostModel, opt Option
 		blk := res.Analysis.Blocks[bi]
 		p, err := optimizeBlock(bi, blk, sp, cards, model, opt)
 		if err != nil {
-			return nil, fmt.Errorf("block %d: %w", bi, err)
+			if !opt.FallbackInitial {
+				return nil, fmt.Errorf("block %d: %w", bi, err)
+			}
+			p = &Plan{Block: bi, Tree: blk.Initial}
+			out.Fallbacks = append(out.Fallbacks, bi)
 		}
 		out.Plans[bi] = p
 		out.TotalCost += p.Cost

@@ -1,6 +1,7 @@
 package payg
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/essential-stats/etlopt/internal/css"
@@ -29,6 +30,12 @@ type ExecuteResult struct {
 // any plan exposed — the baseline's replacement for the framework's single
 // instrumented run.
 func Execute(eng *engine.Engine, res *css.Result, rep *Report) (*ExecuteResult, error) {
+	return ExecuteCtx(context.Background(), eng, res, rep)
+}
+
+// ExecuteCtx is Execute under a context: cancellation stops the plan
+// sequence between (and, through the engine, within) executions.
+func ExecuteCtx(ctx context.Context, eng *engine.Engine, res *css.Result, rep *Report) (*ExecuteResult, error) {
 	// Observation wish-list: the cardinality of every SE of every block.
 	var observe []stats.Stat
 	for bi, sp := range res.Spaces {
@@ -53,7 +60,7 @@ func Execute(eng *engine.Engine, res *css.Result, rep *Report) (*ExecuteResult, 
 			}
 			plans[br.Block] = br.Plans[idx]
 		}
-		run, err := eng.RunPlansObserving(plans, res, observe)
+		run, err := eng.RunPlansObservingCtx(ctx, plans, res, observe)
 		if err != nil {
 			return nil, fmt.Errorf("payg: execution %d: %w", r+1, err)
 		}

@@ -15,7 +15,7 @@ import (
 // with every observable statistic.
 func compileSuite(t *testing.T, id int) (*physical.Plan, *css.Result) {
 	t.Helper()
-	w := suite.Get(id)
+	w := suite.MustGet(id)
 	an, err := w.Analyze()
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)

@@ -10,6 +10,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -254,6 +255,13 @@ func render(t *workflow.JoinTree) string {
 // merge in run order, so the merged result is identical to a sequential
 // execution regardless of completion order.
 func Execute(eng *engine.Engine, res *css.Result, plan *Plan) (*stats.Store, error) {
+	return ExecuteCtx(context.Background(), eng, res, plan)
+}
+
+// ExecuteCtx is Execute under a context: cancellation (or deadline expiry)
+// stops every in-flight run promptly — concurrent runs all poll the same
+// context — and the first run's cancellation error is returned.
+func ExecuteCtx(ctx context.Context, eng *engine.Engine, res *css.Result, plan *Plan) (*stats.Store, error) {
 	merged := stats.NewStore()
 	workers := eng.Workers
 	if workers > len(plan.Runs) {
@@ -270,7 +278,7 @@ func Execute(eng *engine.Engine, res *css.Result, plan *Plan) (*stats.Store, err
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i], errs[i] = eng.RunPlansObserving(run.Trees, res, run.Observe)
+				results[i], errs[i] = eng.RunPlansObservingCtx(ctx, run.Trees, res, run.Observe)
 			}(i, run)
 		}
 		wg.Wait()
@@ -284,7 +292,7 @@ func Execute(eng *engine.Engine, res *css.Result, plan *Plan) (*stats.Store, err
 		}
 	} else {
 		for i, run := range plan.Runs {
-			result, err := eng.RunPlansObserving(run.Trees, res, run.Observe)
+			result, err := eng.RunPlansObservingCtx(ctx, run.Trees, res, run.Observe)
 			if err != nil {
 				return nil, fmt.Errorf("schedule: run %d: %w", i+1, err)
 			}

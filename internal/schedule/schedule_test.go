@@ -16,7 +16,7 @@ import (
 // buildUniverse prepares the selection universe for a suite workflow.
 func buildUniverse(t *testing.T, id int) (*selector.Universe, *css.Result, *workflow.Analysis, engine.DB) {
 	t.Helper()
-	w := suite.Get(id)
+	w := suite.MustGet(id)
 	an, err := w.Analyze()
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)

@@ -45,20 +45,33 @@ func decodeVals(key string) []int64 {
 // Arity returns the number of attributes.
 func (h *Histogram) Arity() int { return len(h.Attrs) }
 
+// ArityError reports a value tuple whose length does not match the
+// histogram's attribute arity — a mis-declared statistic, surfaced as a
+// typed error so the observation layer can degrade instead of crash.
+type ArityError struct {
+	// Want is the histogram's arity, Got the offered tuple length.
+	Want, Got int
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("histogram arity %d, got %d values", e.Want, e.Got)
+}
+
 // Add increments the bucket for the value tuple by one.
-func (h *Histogram) Add(vals ...int64) { h.Inc(vals, 1) }
+func (h *Histogram) Add(vals ...int64) error { return h.Inc(vals, 1) }
 
 // Inc increments the bucket for the value tuple by delta. Buckets that
 // reach zero are removed.
-func (h *Histogram) Inc(vals []int64, delta int64) {
+func (h *Histogram) Inc(vals []int64, delta int64) error {
 	if len(vals) != len(h.Attrs) {
-		panic(fmt.Sprintf("histogram arity %d, got %d values", len(h.Attrs), len(vals)))
+		return &ArityError{Want: len(h.Attrs), Got: len(vals)}
 	}
 	k := encodeVals(vals)
 	h.m[k] += delta
 	if h.m[k] == 0 {
 		delete(h.m, k)
 	}
+	return nil
 }
 
 // Freq returns the frequency of the value tuple.
@@ -157,13 +170,20 @@ func (h *Histogram) Marginal(attrs ...workflow.Attr) (*Histogram, error) {
 		return nil, err
 	}
 	out := NewHistogram(attrs...)
+	var rerr error
 	h.Each(func(vals []int64, freq int64) {
+		if rerr != nil {
+			return
+		}
 		sub := make([]int64, len(pos))
 		for i, p := range pos {
 			sub[i] = vals[p]
 		}
-		out.Inc(sub, freq)
+		rerr = out.Inc(sub, freq)
 	})
+	if rerr != nil {
+		return nil, rerr
+	}
 	return out, nil
 }
 
@@ -252,7 +272,9 @@ func Join(h1, h2 *Histogram, join workflow.Attr, out []workflow.Attr) (*Histogra
 			if err != nil {
 				return nil, fmt.Errorf("join: bucket %v: %w", vals, err)
 			}
-			res.Inc(vals, f)
+			if err := res.Inc(vals, f); err != nil {
+				return nil, fmt.Errorf("join: %w", err)
+			}
 		}
 	}
 	return res, nil
@@ -330,7 +352,7 @@ func DivideProject(num, den *Histogram) (*Histogram, error) {
 			rerr = fmt.Errorf("divide-project: bucket %v: %d not divisible by %d", vals, f, d)
 			return
 		}
-		out.Inc(vals, f/d)
+		rerr = out.Inc(vals, f/d)
 	})
 	if rerr != nil {
 		return nil, rerr

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -34,13 +35,15 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
-func TestHistogramArityPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Add with wrong arity should panic")
-		}
-	}()
-	NewHistogram(aA).Add(1, 2)
+func TestHistogramArityError(t *testing.T) {
+	err := NewHistogram(aA).Add(1, 2)
+	if err == nil {
+		t.Fatal("Add with wrong arity should error")
+	}
+	var ae *ArityError
+	if !errors.As(err, &ae) || ae.Want != 1 || ae.Got != 2 {
+		t.Fatalf("want *ArityError{1,2}, got %v", err)
+	}
 }
 
 func TestHistogramAttrsCanonicalOrder(t *testing.T) {

@@ -70,9 +70,12 @@ func ReadStore(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("stats: value %d: %w", i, err)
 		}
 		if v.Hist != nil {
-			st.PutHist(v.Stat, v.Hist)
+			err = st.PutHist(v.Stat, v.Hist)
 		} else {
-			st.PutScalar(v.Stat, v.Scalar)
+			err = st.PutScalar(v.Stat, v.Scalar)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stats: value %d: %w", i, err)
 		}
 	}
 	return st, nil
@@ -210,7 +213,9 @@ func readValue(r io.Reader) (*Value, error) {
 		if err := binary.Read(r, binary.LittleEndian, &freq); err != nil {
 			return nil, err
 		}
-		h.Inc(vals, freq)
+		if err := h.Inc(vals, freq); err != nil {
+			return nil, err
+		}
 	}
 	return &Value{Stat: s, Hist: h}, nil
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/essential-stats/etlopt/internal/expr"
@@ -125,23 +126,24 @@ func TestStoreValuesDeterministic(t *testing.T) {
 	}
 }
 
-func TestStorePutPanics(t *testing.T) {
+func TestStorePutKindErrors(t *testing.T) {
 	st := NewStore()
 	a := workflow.Attr{Rel: "T", Col: "a"}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("PutScalar(hist stat) should panic")
-			}
-		}()
-		st.PutScalar(NewHist(SE(expr.NewSet(0)), a), 1)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("PutHist(card stat) should panic")
-			}
-		}()
-		st.PutHist(NewCard(SE(expr.NewSet(0))), NewHistogram(a))
-	}()
+	var ke *KindError
+	if err := st.PutScalar(NewHist(SE(expr.NewSet(0)), a), 1); !errors.As(err, &ke) || ke.Op != "PutScalar" {
+		t.Errorf("PutScalar(hist stat) = %v, want *KindError", err)
+	}
+	if err := st.PutHist(NewCard(SE(expr.NewSet(0))), NewHistogram(a)); !errors.As(err, &ke) || ke.Op != "PutHist" {
+		t.Errorf("PutHist(card stat) = %v, want *KindError", err)
+	}
+	if err := st.PutScalarOnce(NewHist(SE(expr.NewSet(0)), a), 1); !errors.As(err, &ke) || ke.Op != "PutScalarOnce" {
+		t.Errorf("PutScalarOnce(hist stat) = %v, want *KindError", err)
+	}
+	if err := st.PutHistOnce(NewCard(SE(expr.NewSet(0))), NewHistogram(a)); !errors.As(err, &ke) || ke.Op != "PutHistOnce" {
+		t.Errorf("PutHistOnce(card stat) = %v, want *KindError", err)
+	}
+	// A rejected put must leave the store untouched.
+	if st.Len() != 0 {
+		t.Errorf("store holds %d values after rejected puts", st.Len())
+	}
 }

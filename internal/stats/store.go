@@ -90,50 +90,73 @@ func (st *Store) Has(s Stat) bool {
 	return ok
 }
 
+// KindError reports a put whose value shape does not match the statistic's
+// kind (a scalar for a histogram statistic or vice versa). It is a typed
+// error so the observation layer can mark the statistic degraded and keep
+// the run alive instead of crashing it.
+type KindError struct {
+	// Stat is the mis-declared statistic.
+	Stat Stat
+	// Op names the rejected operation ("PutScalar", "PutHistOnce", ...).
+	Op string
+}
+
+func (e *KindError) Error() string {
+	shape := "scalar"
+	if e.Stat.Kind == Hist {
+		shape = "histogram"
+	}
+	return fmt.Sprintf("stats: %s on %s statistic %v", e.Op, shape, e.Stat.Key())
+}
+
 // PutScalar records a cardinality or distinct-count observation.
-func (st *Store) PutScalar(s Stat, v int64) {
+func (st *Store) PutScalar(s Stat, v int64) error {
 	if s.Kind == Hist {
-		panic("PutScalar on histogram statistic")
+		return &KindError{Stat: s, Op: "PutScalar"}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.m[s.Key()] = &Value{Stat: s, Scalar: v}
+	return nil
 }
 
 // PutHist records a histogram observation.
-func (st *Store) PutHist(s Stat, h *Histogram) {
+func (st *Store) PutHist(s Stat, h *Histogram) error {
 	if s.Kind != Hist {
-		panic("PutHist on scalar statistic")
+		return &KindError{Stat: s, Op: "PutHist"}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.m[s.Key()] = &Value{Stat: s, Hist: h}
+	return nil
 }
 
 // PutScalarOnce records the scalar unless the statistic is already present,
 // atomically (the check-then-put the collectors rely on).
-func (st *Store) PutScalarOnce(s Stat, v int64) {
+func (st *Store) PutScalarOnce(s Stat, v int64) error {
 	if s.Kind == Hist {
-		panic("PutScalarOnce on histogram statistic")
+		return &KindError{Stat: s, Op: "PutScalarOnce"}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, ok := st.m[s.Key()]; !ok {
 		st.m[s.Key()] = &Value{Stat: s, Scalar: v}
 	}
+	return nil
 }
 
 // PutHistOnce records the histogram unless the statistic is already
 // present, atomically.
-func (st *Store) PutHistOnce(s Stat, h *Histogram) {
+func (st *Store) PutHistOnce(s Stat, h *Histogram) error {
 	if s.Kind != Hist {
-		panic("PutHistOnce on scalar statistic")
+		return &KindError{Stat: s, Op: "PutHistOnce"}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, ok := st.m[s.Key()]; !ok {
 		st.m[s.Key()] = &Value{Stat: s, Hist: h}
 	}
+	return nil
 }
 
 // Scalar returns the scalar value of a cardinality or distinct statistic.
@@ -175,6 +198,10 @@ func (st *Store) Values() []*Value {
 	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Stat.Key(), out[j].Stat.Key()) })
 	return out
 }
+
+// KeyLess orders statistic keys canonically (the order Values uses), so
+// callers can sort their own statistic lists deterministically.
+func KeyLess(a, b Key) bool { return keyLess(a, b) }
 
 func keyLess(a, b Key) bool {
 	if a.Kind != b.Kind {

@@ -205,7 +205,7 @@ func rowKeys(tbl *data.Table) []string {
 // estimate. Both engines must abort promptly with the guard's error instead
 // of materializing the blowup.
 func TestMaxRowsGuard(t *testing.T) {
-	w := Get(24)
+	w := MustGet(24)
 	an, err := w.Analyze()
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)

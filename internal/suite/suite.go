@@ -74,21 +74,48 @@ func (w *Workflow) Data(scale float64) engine.DB {
 func All() []*Workflow {
 	out := make([]*Workflow, 0, 30)
 	for id := 1; id <= 30; id++ {
-		out = append(out, Get(id))
+		out = append(out, MustGet(id))
 	}
 	return out
 }
 
-// Get builds workflow id (1..30).
-func Get(id int) *Workflow {
+// MinID and MaxID bound the valid workflow ids.
+const (
+	MinID = 1
+	MaxID = 30
+)
+
+// UnknownWorkflowError reports a workflow id outside the suite.
+type UnknownWorkflowError struct {
+	// ID is the requested id.
+	ID int
+}
+
+func (e *UnknownWorkflowError) Error() string {
+	return fmt.Sprintf("suite: no workflow %d (valid ids %d..%d)", e.ID, MinID, MaxID)
+}
+
+// Get builds workflow id (1..30); an id outside the suite returns an
+// *UnknownWorkflowError.
+func Get(id int) (*Workflow, error) {
 	b, ok := builders[id-1]
 	if !ok {
-		panic(fmt.Sprintf("suite: no workflow %d", id))
+		return nil, &UnknownWorkflowError{ID: id}
 	}
 	w := b(id)
 	w.ID = id
 	w.Name = fmt.Sprintf("wf%02d", id)
 	w.Seed = int64(id) * 7919
+	return w, nil
+}
+
+// MustGet is Get for callers with statically valid ids (tests, benchmarks,
+// the experiment loops); it panics on an unknown id.
+func MustGet(id int) *Workflow {
+	w, err := Get(id)
+	if err != nil {
+		panic(err)
+	}
 	return w
 }
 

@@ -1,6 +1,8 @@
 package suite
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"github.com/essential-stats/etlopt/internal/costmodel"
@@ -61,8 +63,8 @@ func TestAllWorkflowsGenerateAndSelect(t *testing.T) {
 }
 
 func TestWorkflowDeterminism(t *testing.T) {
-	a := Get(21)
-	b := Get(21)
+	a := MustGet(21)
+	b := MustGet(21)
 	if len(a.Graph.Nodes) != len(b.Graph.Nodes) {
 		t.Fatal("nondeterministic graph construction")
 	}
@@ -85,7 +87,7 @@ func TestWorkflowDeterminism(t *testing.T) {
 
 func TestAnecdoteShapes(t *testing.T) {
 	// wf21 is the widest join in the suite (8 inputs in one block).
-	an21, err := Get(21).Analyze()
+	an21, err := MustGet(21).Analyze()
 	if err != nil {
 		t.Fatalf("Analyze(21): %v", err)
 	}
@@ -99,7 +101,7 @@ func TestAnecdoteShapes(t *testing.T) {
 		t.Fatalf("wf21 widest block = %d inputs, want 8", max21)
 	}
 	// wf30 has a 6-input block.
-	an30, err := Get(30).Analyze()
+	an30, err := MustGet(30).Analyze()
 	if err != nil {
 		t.Fatalf("Analyze(30): %v", err)
 	}
@@ -113,7 +115,7 @@ func TestAnecdoteShapes(t *testing.T) {
 		t.Fatalf("wf30 widest block = %d inputs, want 6", max30)
 	}
 	// wf08 (Figure 3) has three blocks.
-	an8, err := Get(8).Analyze()
+	an8, err := MustGet(8).Analyze()
 	if err != nil {
 		t.Fatalf("Analyze(8): %v", err)
 	}
@@ -122,7 +124,7 @@ func TestAnecdoteShapes(t *testing.T) {
 	}
 	// wf01 and wf02 are linear: exactly one plan each.
 	for _, id := range []int{1, 2} {
-		an, err := Get(id).Analyze()
+		an, err := MustGet(id).Analyze()
 		if err != nil {
 			t.Fatalf("Analyze(%d): %v", id, err)
 		}
@@ -134,13 +136,26 @@ func TestAnecdoteShapes(t *testing.T) {
 	}
 }
 
-func TestGetPanicsOutOfRange(t *testing.T) {
+func TestGetOutOfRange(t *testing.T) {
+	for _, id := range []int{0, -1, 31, 100} {
+		w, err := Get(id)
+		if w != nil || err == nil {
+			t.Fatalf("Get(%d) = %v, %v; want nil, error", id, w, err)
+		}
+		var ue *UnknownWorkflowError
+		if !errors.As(err, &ue) || ue.ID != id {
+			t.Fatalf("Get(%d) error = %v; want *UnknownWorkflowError", id, err)
+		}
+		if !strings.Contains(err.Error(), "1..30") {
+			t.Fatalf("Get(%d) error %q does not name the valid range", id, err)
+		}
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Get(31) should panic")
+			t.Fatal("MustGet(31) should panic")
 		}
 	}()
-	Get(31)
+	MustGet(31)
 }
 
 func TestSuiteJSONRoundTrip(t *testing.T) {
