@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test race short bench examples vet lint check fuzz
+.PHONY: build test race short bench examples vet lint check fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,17 @@ build:
 test: fuzz
 	$(GO) test ./...
 
-# fuzz smoke: run the CSV-reader fuzzer briefly beyond its checked-in seed
-# corpus. FUZZTIME=2m makes it a real session.
+# fuzz smoke: run each hostile-input fuzzer briefly beyond its checked-in
+# seed corpus (go test accepts one -fuzz target per invocation, hence two
+# runs). FUZZTIME=2m makes it a real session.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/data
+	$(GO) test -run='^$$' -fuzz='^FuzzReadStore$$' -fuzztime=$(FUZZTIME) ./internal/stats
+
+# serve-smoke drives the statistics daemon end to end: run -save-stats,
+# observe upload, optimize solve + cache hit, metrics, SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The parallel engine paths are the main race surface; this is the gate
 # CI runs in addition to the plain test job.

@@ -20,6 +20,8 @@
 //	etlopt gendata -wf 3 -out dir/    # export a suite workflow's data as CSVs
 //	etlopt schedule -wf 3 -budget 64  # Section 6.1 multi-run observation schedule
 //	etlopt report  -wf 3 > cycle.md   # markdown report of one full cycle
+//	etlopt run     -wf 3 -save-stats wf03.stats   # …and persist the observed statistics
+//	etlopt serve   -catalog dir -addr :8080       # statistics-serving daemon (docs/ARCHITECTURE.md)
 //
 // A workflow document is the JSON form of workflow.Document: the operator
 // DAG plus the catalog of relations, domains and (optionally) functional
@@ -65,6 +67,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/schedule"
 	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/serve"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/suite"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -91,6 +94,11 @@ func main() {
 	metrics := fs.String("metrics", "", "run/explain: collect per-operator metrics and print them with the q-error report (table|json)")
 	timeout := fs.Duration("timeout", 0, "abort run/explain/schedule/report after this duration (0 = no deadline)")
 	faultSpec := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,rate=0.5,transient=1,kinds=tap|op (see docs/FAULTS.md)")
+	saveStats := fs.String("save-stats", "", "run: write the observed statistics to this file (the /v1/observe upload format)")
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	catalogDir := fs.String("catalog", "", "serve: statistics catalog directory")
+	drift := fs.Float64("drift", serve.DefaultDriftThreshold, "serve: max relative drift before cached solutions invalidate")
+	cache := fs.Bool("cache", true, "serve: cache solved responses (off still deduplicates concurrent solves)")
 	_ = fs.Parse(os.Args[2:])
 
 	inj, err := faults.Parse(*faultSpec)
@@ -133,7 +141,9 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj)
+		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats)
+	case "serve":
+		err = serveCmd(ctx, *addr, *catalogDir, *drift, *cache)
 	case "explain":
 		err = explainCmd(ctx, *file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics, inj)
 	case "gendata":
@@ -161,7 +171,24 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report> [-f flow.json | -wf N] [flags]")
+	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report|serve> [-f flow.json | -wf N] [flags]")
+}
+
+// serveCmd runs the statistics-serving daemon until SIGINT/SIGTERM, then
+// drains and exits cleanly (exit code 0 — stopping a daemon is not an
+// error).
+func serveCmd(ctx context.Context, addr, catalogDir string, drift float64, cache bool) error {
+	if catalogDir == "" {
+		return fmt.Errorf("serve needs -catalog <dir>")
+	}
+	cat, err := serve.OpenCatalog(catalogDir)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(cat, nil, serve.Options{DriftThreshold: drift, DisableCache: !cache})
+	fmt.Fprintf(os.Stderr, "etlopt serve: listening on %s, catalog %s (%d workflow(s) with statistics)\n",
+		addr, catalogDir, len(cat.Workflows()))
+	return srv.ListenAndServe(ctx, addr)
 }
 
 // loadWorkflow resolves the graph, catalog and database for run/explain —
@@ -192,7 +219,7 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector) error {
+func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -213,6 +240,21 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 			}
 		}
 		return err
+	}
+	if saveStats != "" {
+		f, err := os.Create(saveStats)
+		if err != nil {
+			return err
+		}
+		if err := cy.SaveStats(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved %d observed statistics to %s\n",
+			cy.Observed.Observed.Len(), saveStats)
 	}
 	fmt.Printf("workflow %s\n", g.Name)
 	if cy.Observed != nil && cy.Observed.Retries > 0 {
@@ -312,7 +354,7 @@ func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scal
 		return nil
 	}
 	fmt.Println()
-	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj)
+	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "")
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown

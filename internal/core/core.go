@@ -11,6 +11,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/essential-stats/etlopt/internal/costmodel"
@@ -78,6 +80,12 @@ type Config struct {
 	// RetryBackoff is the base inter-attempt delay, doubling per retry,
 	// capped at 100ms (0 = engine default of 1ms).
 	RetryBackoff time.Duration
+	// AllowPartialStats lets OptimizeFromSaved proceed when the saved
+	// store cannot derive every SE cardinality (a partial save from a
+	// degraded or cancelled run): blocks whose cardinalities are
+	// underivable keep their initial plans (reported in Result.Fallbacks)
+	// instead of the whole optimization failing with a MissingStatsError.
+	AllowPartialStats bool
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -278,10 +286,47 @@ func (cy *Cycle) SaveStats(w io.Writer) error {
 	return err
 }
 
+// MissingStatsError reports a saved statistics store that cannot support a
+// full optimization: for the named statistics (required SE cardinalities)
+// no derivation path exists from what the store holds — the signature of a
+// partial save from a degraded or cancelled run, or of a store saved under
+// different CSS options. Config.AllowPartialStats turns the error into a
+// fallback: affected blocks keep their initial plans.
+type MissingStatsError struct {
+	// Missing lists the underivable required statistics in canonical key
+	// order.
+	Missing []stats.Stat
+	// Blocks lists the affected block indexes, ascending.
+	Blocks []int
+	// Labels renders Missing in the paper's notation (|T1⋈T2| …), aligned
+	// with Missing, so the error message can name the statistics without
+	// re-deriving the analysis.
+	Labels []string
+}
+
+func (e *MissingStatsError) Error() string {
+	const show = 5
+	labels := e.Labels
+	suffix := ""
+	if len(labels) > show {
+		labels = labels[:show]
+		suffix = fmt.Sprintf(" and %d more", len(e.Labels)-show)
+	}
+	return fmt.Sprintf("core: saved statistics cannot derive %d required statistic(s) across block(s) %v: %s%s (partial save? set AllowPartialStats to optimize the derivable subset)",
+		len(e.Missing), e.Blocks, strings.Join(labels, ", "), suffix)
+}
+
 // OptimizeFromSaved rebuilds the optimization outcome from previously saved
 // statistics, without executing the workflow: analyze, regenerate the CSS
 // result, load the store, and cost-optimize. It returns the estimator and
 // plans a fresh process needs to run the optimized plan.
+//
+// A store that cannot derive every required SE cardinality fails with a
+// typed *MissingStatsError naming the underivable statistics — silent
+// estimation from incomplete statistics is exactly the failure mode the
+// paper's framework exists to rule out. Config.AllowPartialStats instead
+// optimizes the derivable subset, leaving affected blocks on their initial
+// plans (optimizer.Result.Fallbacks).
 func OptimizeFromSaved(g *workflow.Graph, cat *workflow.Catalog, r io.Reader, cfg Config) (*estimate.Estimator, *optimizer.Result, error) {
 	an, err := workflow.Analyze(g, cat)
 	if err != nil {
@@ -295,12 +340,52 @@ func OptimizeFromSaved(g *workflow.Graph, cat *workflow.Catalog, r io.Reader, cf
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: load statistics: %w", err)
 	}
+	return OptimizeFromStore(res, store, cfg)
+}
+
+// OptimizeFromStore is OptimizeFromSaved past the loading phase: callers
+// holding an already-generated CSS result and an already-validated store
+// (the serving daemon's catalog) enter here, so both paths produce
+// identical plans and estimates by construction.
+func OptimizeFromStore(res *css.Result, store *stats.Store, cfg Config) (*estimate.Estimator, *optimizer.Result, error) {
 	est := estimate.New(res, store)
-	plans, err := optimizer.Optimize(res, est, cfg.CostModel)
+	if miss := missingRequired(res, est); miss != nil && !cfg.AllowPartialStats {
+		return nil, nil, miss
+	}
+	plans, err := optimizer.OptimizeOpts(res, est, cfg.CostModel,
+		optimizer.Options{FallbackInitial: cfg.AllowPartialStats})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: optimize: %w", err)
 	}
 	return est, plans, nil
+}
+
+// missingRequired probes every required statistic (the cardinality of
+// every SE of every block) against the estimator and reports the
+// underivable ones, or nil when the store covers everything.
+func missingRequired(res *css.Result, est *estimate.Estimator) *MissingStatsError {
+	var miss []stats.Stat
+	for _, s := range res.Required {
+		if _, err := est.Value(s); err != nil {
+			miss = append(miss, s)
+		}
+	}
+	if len(miss) == 0 {
+		return nil
+	}
+	sort.Slice(miss, func(i, j int) bool { return stats.KeyLess(miss[i].Key(), miss[j].Key()) })
+	e := &MissingStatsError{Missing: miss}
+	blocks := map[int]bool{}
+	for _, s := range miss {
+		b := s.Target.Block
+		e.Labels = append(e.Labels, s.Label(res.Analysis.Blocks[b]))
+		if !blocks[b] {
+			blocks[b] = true
+			e.Blocks = append(e.Blocks, b)
+		}
+	}
+	sort.Ints(e.Blocks)
+	return e
 }
 
 // DriftFrom measures how far this cycle's observations moved relative to a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -199,6 +200,103 @@ func TestSaveAndOptimizeFromSaved(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("reloaded estimate %d != original %d", b, a)
+	}
+}
+
+// TestOptimizeFromSavedPartialStore: a store missing required statistics
+// (the shape of a partial save from a degraded or cancelled run) must not
+// silently feed incomplete statistics to the estimator: the default mode
+// fails with a typed MissingStatsError naming them, and AllowPartialStats
+// proceeds with the affected blocks on their initial plans.
+func TestOptimizeFromSavedPartialStore(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	cy, err := Run(g, cat, db, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := cy.SaveStats(&buf); err != nil {
+		t.Fatalf("SaveStats: %v", err)
+	}
+	full, err := stats.ReadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	// Drop every histogram: join cardinalities lose their derivation paths
+	// while any directly-observed scalars survive.
+	partial := stats.NewStore()
+	kept := 0
+	for _, v := range full.Values() {
+		if v.Hist != nil {
+			continue
+		}
+		if err := partial.PutScalar(v.Stat, v.Scalar); err != nil {
+			t.Fatal(err)
+		}
+		kept++
+	}
+	if kept == full.Len() {
+		t.Fatal("test store had no histograms to drop")
+	}
+	var pbuf bytes.Buffer
+	if _, err := partial.WriteTo(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default mode: typed error naming the missing statistics.
+	_, _, err = OptimizeFromSaved(g, cat, bytes.NewReader(pbuf.Bytes()), DefaultConfig())
+	var miss *MissingStatsError
+	if !errors.As(err, &miss) {
+		t.Fatalf("want *MissingStatsError, got %v", err)
+	}
+	if len(miss.Missing) == 0 || len(miss.Blocks) == 0 || len(miss.Labels) != len(miss.Missing) {
+		t.Fatalf("error not fully populated: %+v", miss)
+	}
+	for _, s := range miss.Missing {
+		if s.Kind != stats.Card {
+			t.Fatalf("missing statistic %v is not a required cardinality", s.Key())
+		}
+	}
+	if msg := miss.Error(); !strings.Contains(msg, "AllowPartialStats") || !strings.Contains(msg, "|") {
+		t.Fatalf("message does not name statistics or the fallback: %q", msg)
+	}
+
+	// Fallback mode: the cycle completes with affected blocks on their
+	// initial plans.
+	cfg := DefaultConfig()
+	cfg.AllowPartialStats = true
+	_, plans, err := OptimizeFromSaved(g, cat, bytes.NewReader(pbuf.Bytes()), cfg)
+	if err != nil {
+		t.Fatalf("AllowPartialStats mode: %v", err)
+	}
+	if len(plans.Fallbacks) == 0 {
+		t.Fatal("no fallback blocks despite missing statistics")
+	}
+	for _, b := range plans.Fallbacks {
+		blk := cy.Analysis.Blocks[b]
+		p, ok := plans.Plans[b]
+		if !ok || p.Tree.Render(blk) != blk.Initial.Render(blk) {
+			t.Fatalf("fallback block %d not on its initial plan", b)
+		}
+	}
+	if len(plans.Plans) != len(cy.Analysis.Blocks) {
+		t.Fatalf("partial optimization returned %d plans for %d blocks", len(plans.Plans), len(cy.Analysis.Blocks))
+	}
+
+	// A complete store must keep working identically in both modes.
+	for _, allow := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.AllowPartialStats = allow
+		_, p2, err := OptimizeFromSaved(g, cat, bytes.NewReader(buf.Bytes()), cfg)
+		if err != nil {
+			t.Fatalf("complete store, allow=%v: %v", allow, err)
+		}
+		if len(p2.Fallbacks) != 0 {
+			t.Fatalf("complete store, allow=%v: unexpected fallbacks %v", allow, p2.Fallbacks)
+		}
+		if p2.TotalCost != cy.Plans.TotalCost {
+			t.Fatalf("complete store, allow=%v: cost %v != %v", allow, p2.TotalCost, cy.Plans.TotalCost)
+		}
 	}
 }
 

@@ -1,0 +1,709 @@
+// Package serve hosts the paper's design-once/execute-repeatedly loop in a
+// long-running daemon. ETL runs are scheduled processes: the process that
+// observed this run's statistics is gone by the time the next run is
+// planned. The daemon is the piece that persists across runs — it keeps a
+// workflow catalog (the built-in suite, or any injected set), a versioned
+// on-disk statistics catalog fed by POST /v1/observe uploads, and serves
+// plan and estimate queries from those statistics without ever executing a
+// workflow itself.
+//
+// Solutions are cached and duplicate-suppressed: concurrent identical
+// requests solve once (singleflight), and a cached solution is served until
+// an uploaded store drifts past the configured threshold — the paper's
+// "re-optimize at some user defined interval" made data-driven, as a cache
+// invalidation rule. Responses are byte-identical whether they came from
+// the cache or a fresh solve; the X-Cache header is the only difference.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/essential-stats/etlopt/internal/core"
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/estimate"
+	"github.com/essential-stats/etlopt/internal/optimizer"
+	"github.com/essential-stats/etlopt/internal/schedule"
+	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/suite"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// maxUploadBytes bounds /v1/observe request bodies; the hardened
+// stats.ReadStore already caps what it will allocate, this caps what the
+// daemon will even buffer.
+const maxUploadBytes = 64 << 20
+
+// DefaultDriftThreshold invalidates cached solutions when any statistic
+// moved more than 25% relative — a plan justified by statistics that far
+// off is due for re-selection.
+const DefaultDriftThreshold = 0.25
+
+// Options tune the daemon.
+type Options struct {
+	// DriftThreshold is the max relative drift an upload may carry before
+	// the workflow's cached solutions are invalidated (<= 0 selects
+	// DefaultDriftThreshold).
+	DriftThreshold float64
+	// DisableCache turns the solution cache off: every request solves
+	// (still singleflighted). Responses stay byte-identical either way.
+	DisableCache bool
+	// Config seeds the optimization configuration used for every request
+	// (CSS options, cost model default). The zero value means
+	// core.DefaultConfig.
+	Config *core.Config
+}
+
+// Document is one servable workflow: the graph plus its relation catalog.
+type Document struct {
+	Graph   *workflow.Graph
+	Catalog *workflow.Catalog
+}
+
+// Server hosts the workflow catalog and the statistics catalog behind an
+// HTTP API.
+type Server struct {
+	catalog *Catalog
+	opts    Options
+	cfg     core.Config
+
+	workflows map[string]*Document
+
+	// flight deduplicates concurrent identical solves; cache holds the
+	// solved response bytes per workflow until drift invalidates them.
+	flight group
+	mu     sync.Mutex
+	cache  map[string]map[string][]byte // workflow → request key → response
+	built  map[string]*css.Result       // workflow → generated CSS result
+
+	metrics *metrics
+}
+
+// New builds a server over a statistics catalog and a workflow set; a nil
+// workflow map serves the built-in 30-workflow suite.
+func New(cat *Catalog, workflows map[string]*Document, opts Options) *Server {
+	if workflows == nil {
+		workflows = make(map[string]*Document, 30)
+		for _, w := range suite.All() {
+			workflows[w.Name] = &Document{Graph: w.Graph, Catalog: w.Catalog}
+		}
+	}
+	if opts.DriftThreshold <= 0 {
+		opts.DriftThreshold = DefaultDriftThreshold
+	}
+	cfg := core.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	return &Server{
+		catalog:   cat,
+		opts:      opts,
+		cfg:       cfg,
+		workflows: workflows,
+		cache:     make(map[string]map[string][]byte),
+		built:     make(map[string]*css.Result),
+		metrics:   newMetrics(),
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/workflows", s.handleWorkflows)
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	return mux
+}
+
+// ListenAndServe runs the daemon until the context is cancelled, then
+// drains in-flight requests and returns nil on a clean shutdown — SIGTERM
+// is how the daemon is meant to stop, not an error.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}
+
+// cssFor returns the workflow's generated CSS result, building it once per
+// workflow (singleflighted: concurrent first requests generate once).
+func (s *Server) cssFor(name string) (*css.Result, error) {
+	s.mu.Lock()
+	res, ok := s.built[name]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	doc := s.workflows[name]
+	v, err, _ := s.flight.Do("css|"+name, func() (any, error) {
+		an, err := workflow.Analyze(doc.Graph, doc.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		res, err := css.Generate(an, s.cfg.CSS)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.built[name] = res
+		s.mu.Unlock()
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*css.Result), nil
+}
+
+// solved runs the solver for (workflow, key) at most once across concurrent
+// requests and returns the response bytes, consulting the cache unless
+// disabled. The bool reports a cache hit.
+func (s *Server) solved(workflow, key string, solve func() ([]byte, error)) ([]byte, bool, error) {
+	if !s.opts.DisableCache {
+		s.mu.Lock()
+		body, ok := s.cache[workflow][key]
+		s.mu.Unlock()
+		if ok {
+			s.metrics.cache(true)
+			return body, true, nil
+		}
+		s.metrics.cache(false)
+	}
+	v, err, shared := s.flight.Do(workflow+"|"+key, func() (any, error) {
+		body, err := solve()
+		if err != nil {
+			return nil, err
+		}
+		if !s.opts.DisableCache {
+			s.mu.Lock()
+			if s.cache[workflow] == nil {
+				s.cache[workflow] = make(map[string][]byte)
+			}
+			s.cache[workflow][key] = body
+			s.mu.Unlock()
+		}
+		return body, nil
+	})
+	s.metrics.solve(shared)
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]byte), false, nil
+}
+
+// invalidate drops a workflow's cached solutions, returning how many were
+// dropped.
+func (s *Server) invalidate(workflow string) int64 {
+	s.mu.Lock()
+	n := int64(len(s.cache[workflow]))
+	delete(s.cache, workflow)
+	s.mu.Unlock()
+	s.metrics.invalidate(n)
+	return n
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.render(w)
+}
+
+// workflowInfo is one row of GET /v1/workflows.
+type workflowInfo struct {
+	Workflow   string `json:"workflow"`
+	Blocks     int    `json:"blocks"`
+	HasStats   bool   `json:"hasStats"`
+	Generation int    `json:"generation,omitempty"`
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("workflows")
+	names := make([]string, 0, len(s.workflows))
+	for n := range s.workflows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]workflowInfo, 0, len(names))
+	for _, n := range names {
+		info := workflowInfo{Workflow: n}
+		if res, err := s.cssFor(n); err == nil {
+			info.Blocks = len(res.Analysis.Blocks)
+		}
+		if e, ok := s.catalog.Get(n); ok {
+			info.HasStats = true
+			info.Generation = e.Generation
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// observeResponse reports a persisted upload.
+type observeResponse struct {
+	Workflow    string     `json:"workflow"`
+	Generation  int        `json:"generation"`
+	Count       int        `json:"count"`
+	MemoryUnits int64      `json:"memoryUnits"`
+	Drift       driftJSON  `json:"drift"`
+	Reoptimize  bool       `json:"reoptimize"`
+	Invalidated int64      `json:"invalidated"`
+	QErrorMax   float64    `json:"qErrorMax,omitempty"`
+}
+
+type driftJSON struct {
+	MaxRel  float64 `json:"maxRel"`
+	MeanRel float64 `json:"meanRel"`
+	Shared  int     `json:"shared"`
+	OnlyOld int     `json:"onlyOld"`
+	OnlyNew int     `json:"onlyNew"`
+}
+
+// handleObserve ingests a statistics upload: the body is the canonical
+// binary stream SaveStats/WriteTo produce (and `etlopt run -save-stats`
+// writes). The hardened ReadStore validates it end to end before anything
+// touches disk; a valid stream becomes the workflow's next generation, and
+// drift past the threshold invalidates the workflow's cached solutions.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("observe")
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	name := r.URL.Query().Get("workflow")
+	if _, ok := s.workflows[name]; !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", name))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	store, err := stats.ReadStore(bytes.NewReader(body))
+	if err != nil {
+		// Corrupt uploads are client errors and must name the byte offset
+		// (FormatError does), so a broken exporter can be debugged from the
+		// response alone.
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	var prev *stats.Store
+	if e, ok := s.catalog.Get(name); ok {
+		prev = e.Store
+	}
+	entry, drift, hadPrev, err := s.catalog.Put(name, store)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := observeResponse{
+		Workflow:    name,
+		Generation:  entry.Generation,
+		Count:       entry.Count,
+		MemoryUnits: entry.MemoryUnits,
+		Drift: driftJSON{
+			MaxRel: drift.MaxRel, MeanRel: drift.MeanRel,
+			Shared: drift.Shared, OnlyOld: drift.OnlyOld, OnlyNew: drift.OnlyNew,
+		},
+	}
+	// First generation, or drift past threshold: whatever was solved before
+	// no longer stands.
+	if !hadPrev || drift.Exceeds(s.opts.DriftThreshold) {
+		resp.Reoptimize = true
+		resp.Invalidated = s.invalidate(name)
+	}
+	s.metrics.observe(name, entry.Generation, drift.MaxRel)
+	if hadPrev {
+		if res, err := s.cssFor(name); err == nil {
+			if q, ok := maxQError(res, prev, store); ok {
+				resp.QErrorMax = q
+				s.metrics.qerror(name, q)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxQError compares the previous generation's derived required
+// cardinalities against the new one's — LEO-style feedback: how wrong were
+// the estimates the current plans were built on, taking the fresh
+// observations as truth. ok is false when no required statistic was
+// derivable from both generations.
+func maxQError(res *css.Result, prev, cur *stats.Store) (float64, bool) {
+	estPrev := estimate.New(res, prev)
+	estCur := estimate.New(res, cur)
+	q, ok := 0.0, false
+	for _, st := range res.Required {
+		pv, err1 := estPrev.Value(st)
+		cv, err2 := estCur.Value(st)
+		if err1 != nil || err2 != nil || pv.Hist != nil || cv.Hist != nil {
+			continue
+		}
+		e, a := float64(pv.Scalar), float64(cv.Scalar)
+		if e <= 0 || a <= 0 {
+			continue
+		}
+		r := e / a
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > q {
+			q = r
+		}
+		ok = true
+	}
+	return q, ok
+}
+
+// optimizeRequest asks for cost-based plans from the cataloged statistics.
+type optimizeRequest struct {
+	Workflow string `json:"workflow"`
+	// CostModel is "cout" (default) or "hashjoin".
+	CostModel string `json:"costModel,omitempty"`
+	// AllowPartial optimizes the derivable subset of a partial store,
+	// leaving affected blocks on their initial plans (core.Config.
+	// AllowPartialStats).
+	AllowPartial bool `json:"allowPartial,omitempty"`
+}
+
+// optimizeResponse mirrors what `etlopt run` prints per block, as data.
+type optimizeResponse struct {
+	Workflow         string      `json:"workflow"`
+	Generation       int         `json:"generation"`
+	CostModel        string      `json:"costModel"`
+	TotalCost        float64     `json:"totalCost"`
+	TotalInitialCost float64     `json:"totalInitialCost"`
+	Improvement      float64     `json:"improvement"`
+	Fallbacks        []int       `json:"fallbacks,omitempty"`
+	Blocks           []planJSON  `json:"blocks"`
+}
+
+type planJSON struct {
+	Block       int     `json:"block"`
+	Designed    string  `json:"designed,omitempty"`
+	Optimized   string  `json:"optimized,omitempty"`
+	Cost        float64 `json:"cost"`
+	InitialCost float64 `json:"initialCost"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("optimize")
+	var req optimizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if _, ok := s.workflows[req.Workflow]; !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", req.Workflow))
+		return
+	}
+	model := optimizer.Cout
+	switch req.CostModel {
+	case "", "cout":
+		req.CostModel = "cout"
+	case "hashjoin":
+		model = optimizer.HashJoin
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown cost model %q", req.CostModel))
+		return
+	}
+	entry, ok := s.catalog.Get(req.Workflow)
+	s.metrics.catalog(ok)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("no statistics for workflow %q: POST a store to /v1/observe first", req.Workflow))
+		return
+	}
+
+	// The key deliberately omits the generation: an upload below the drift
+	// threshold keeps serving the solution it did not meaningfully change
+	// (the response's generation field names the generation it was solved
+	// from); a drifted upload empties the workflow's cache instead.
+	key := fmt.Sprintf("optimize|%s|partial=%v", req.CostModel, req.AllowPartial)
+	body, hit, err := s.solved(req.Workflow, key, func() ([]byte, error) {
+		res, err := s.cssFor(req.Workflow)
+		if err != nil {
+			return nil, err
+		}
+		cfg := s.cfg
+		cfg.CostModel = model
+		cfg.AllowPartialStats = req.AllowPartial
+		_, plans, err := core.OptimizeFromStore(res, entry.Store, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resp := optimizeResponse{
+			Workflow:         req.Workflow,
+			Generation:       entry.Generation,
+			CostModel:        req.CostModel,
+			TotalCost:        plans.TotalCost,
+			TotalInitialCost: plans.TotalInitialCost,
+			Improvement:      improvement(plans),
+			Fallbacks:        plans.Fallbacks,
+		}
+		for bi := range res.Analysis.Blocks {
+			blk := res.Analysis.Blocks[bi]
+			p, ok := plans.Plans[bi]
+			if !ok {
+				continue
+			}
+			pj := planJSON{Block: bi, Cost: p.Cost, InitialCost: p.InitialCost}
+			if blk.Initial != nil {
+				pj.Designed = blk.Initial.Render(blk)
+			}
+			if p.Tree != nil {
+				pj.Optimized = p.Tree.Render(blk)
+			}
+			resp.Blocks = append(resp.Blocks, pj)
+		}
+		sort.Slice(resp.Blocks, func(i, j int) bool { return resp.Blocks[i].Block < resp.Blocks[j].Block })
+		return marshalJSON(resp)
+	})
+	if err != nil {
+		var miss *core.MissingStatsError
+		if errors.As(err, &miss) {
+			// The cataloged store cannot support a full optimization: a
+			// conflict between what is stored and what was asked, not a
+			// server fault.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":   miss.Error(),
+				"missing": miss.Labels,
+				"blocks":  miss.Blocks,
+			})
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeCached(w, body, hit)
+}
+
+func improvement(plans *optimizer.Result) float64 {
+	if plans.TotalCost == 0 {
+		return 1
+	}
+	return plans.TotalInitialCost / plans.TotalCost
+}
+
+// estimateRequest asks for the essential-statistics selection (the design
+// step) and, when statistics are cataloged, the derived SE cardinalities.
+type estimateRequest struct {
+	Workflow string `json:"workflow"`
+	// Method is the selection solver: "exact" (default), "greedy" or "lp".
+	Method string `json:"method,omitempty"`
+	// Budget > 0 additionally plans the Section 6.1 multi-run observation
+	// schedule under a per-run memory budget.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+type estimateResponse struct {
+	Workflow  string        `json:"workflow"`
+	Method    string        `json:"method"`
+	Selection selectionJSON `json:"selection"`
+	// ScheduledRuns is the number of budgeted observation runs (0 without a
+	// budget).
+	ScheduledRuns int `json:"scheduledRuns,omitempty"`
+	// Generation is the statistics generation the cardinalities derive from
+	// (0 when the catalog has none).
+	Generation    int        `json:"generation,omitempty"`
+	Coverage      *coverage  `json:"coverage,omitempty"`
+	Cardinalities []cardJSON `json:"cardinalities,omitempty"`
+}
+
+type selectionJSON struct {
+	Cost    float64  `json:"cost"`
+	Memory  int64    `json:"memory"`
+	Optimal bool     `json:"optimal"`
+	Observe []string `json:"observe"`
+}
+
+type coverage struct {
+	Derivable int `json:"derivable"`
+	Total     int `json:"total"`
+}
+
+type cardJSON struct {
+	Block int    `json:"block"`
+	SE    string `json:"se"`
+	Card  int64  `json:"card"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("estimate")
+	var req estimateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if _, ok := s.workflows[req.Workflow]; !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", req.Workflow))
+		return
+	}
+	var method selector.Method
+	switch req.Method {
+	case "", "exact":
+		req.Method, method = "exact", selector.MethodExact
+	case "greedy":
+		method = selector.MethodGreedy
+	case "lp":
+		method = selector.MethodLP
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", req.Method))
+		return
+	}
+	if req.Budget < 0 {
+		httpError(w, http.StatusBadRequest, "budget must be >= 0")
+		return
+	}
+
+	gen := 0
+	entry, hasStats := s.catalog.Get(req.Workflow)
+	s.metrics.catalog(hasStats)
+	if hasStats {
+		gen = entry.Generation
+	}
+	key := fmt.Sprintf("estimate|%s|b%d", req.Method, req.Budget)
+	body, hit, err := s.solved(req.Workflow, key, func() ([]byte, error) {
+		res, err := s.cssFor(req.Workflow)
+		if err != nil {
+			return nil, err
+		}
+		coster := costmodel.NewMemoryCoster(res, res.Analysis.Cat)
+		u, err := selector.NewUniverse(res, coster)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := selector.SelectUniverse(u, selector.Options{Method: method})
+		if err != nil {
+			return nil, err
+		}
+		resp := estimateResponse{
+			Workflow: req.Workflow,
+			Method:   req.Method,
+			Selection: selectionJSON{
+				Cost:    sel.Cost,
+				Memory:  sel.Memory,
+				Optimal: sel.Optimal,
+				Observe: make([]string, 0, len(sel.Observe)),
+			},
+			Generation: gen,
+		}
+		for _, st := range sel.Observe {
+			blk := res.Analysis.Blocks[st.Target.Block]
+			resp.Selection.Observe = append(resp.Selection.Observe,
+				fmt.Sprintf("block %d: %s", st.Target.Block, st.Label(blk)))
+		}
+		if req.Budget > 0 {
+			plan, err := schedule.Build(u, req.Budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.ScheduledRuns = len(plan.Runs)
+		}
+		if hasStats {
+			derivable, total := estimate.Coverage(res, entry.Store)
+			resp.Coverage = &coverage{Derivable: derivable, Total: total}
+			est := estimate.New(res, entry.Store)
+			for bi, sp := range res.Spaces {
+				blk := res.Analysis.Blocks[bi]
+				for _, se := range sp.SEs {
+					card, err := est.CardOf(bi, se)
+					if err != nil {
+						continue // underivable: counted by Coverage
+					}
+					resp.Cardinalities = append(resp.Cardinalities,
+						cardJSON{Block: bi, SE: se.Label(blk), Card: card})
+				}
+			}
+		}
+		return marshalJSON(resp)
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeCached(w, body, hit)
+}
+
+// --- plumbing ---
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// marshalJSON renders a response deterministically (struct field order plus
+// explicitly sorted slices), so cached and freshly solved responses are
+// byte-identical.
+func marshalJSON(v any) ([]byte, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalJSON(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

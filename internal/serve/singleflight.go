@@ -1,0 +1,48 @@
+package serve
+
+import "sync"
+
+// group is a minimal duplicate-suppression primitive (the well-known
+// singleflight pattern, hand-rolled because the repository deliberately has
+// no dependencies): concurrent Do calls with the same key run fn once and
+// all receive its result. Solving a block's join order or a statistics
+// selection is pure CPU over immutable inputs, so N identical concurrent
+// requests must cost one solve, not N.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn under key, suppressing duplicates: callers that arrive while
+// an identical call is in flight wait for it and share its result. The
+// third return reports whether this caller shared another call's result
+// (true) or executed fn itself (false).
+func (g *group) Do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -18,25 +18,53 @@ type BucketSpec struct {
 	N      int
 }
 
+// maxInt is the largest value of the platform's int (the bucket count's
+// type), so 32-bit targets clamp correctly too.
+const maxInt = int64(^uint(0) >> 1)
+
 // NewBucketSpec builds an equi-width spec; it clamps N to at least 1 and at
-// most the domain size (more buckets than values adds nothing).
+// most the domain size (more buckets than values adds nothing). The domain
+// size hi-lo+1 is computed with checked arithmetic: extreme domains (e.g.
+// Lo = math.MinInt64) overflow int64 — and would truncate through int on
+// 32-bit targets — which used to clamp N to a garbage (possibly negative)
+// width; such domains are simply larger than any bucket count, so no
+// clamping applies.
 func NewBucketSpec(lo, hi int64, n int) BucketSpec {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	size := hi - lo + 1
-	if int64(n) > size {
-		n = int(size)
-	}
 	if n < 1 {
 		n = 1
+	}
+	if size, ok := domainSize(lo, hi); ok && int64(n) > size {
+		n = int(size)
 	}
 	return BucketSpec{Lo: lo, Hi: hi, N: n}
 }
 
+// domainSize returns hi-lo+1 when it fits both int64 and the platform int;
+// ok is false for domains too large to matter for clamping.
+func domainSize(lo, hi int64) (int64, bool) {
+	d, err := SubInt64(hi, lo)
+	if err != nil {
+		return 0, false
+	}
+	size, err := AddInt64(d, 1)
+	if err != nil || size > maxInt {
+		return 0, false
+	}
+	return size, true
+}
+
+// span returns hi-lo as an exact unsigned difference (hi >= lo after the
+// constructor's swap), which cannot overflow the way int64 subtraction can.
+func (b BucketSpec) span() uint64 {
+	return uint64(b.Hi) - uint64(b.Lo)
+}
+
 // Width returns the (fractional) width of each bucket.
 func (b BucketSpec) Width() float64 {
-	return float64(b.Hi-b.Lo+1) / float64(b.N)
+	return (float64(b.span()) + 1) / float64(b.N)
 }
 
 // Bucket maps a value to its bucket index (values outside the range clamp
@@ -48,7 +76,8 @@ func (b BucketSpec) Bucket(v int64) int {
 	if v > b.Hi {
 		return b.N - 1
 	}
-	idx := int(float64(v-b.Lo) / b.Width())
+	off := uint64(v) - uint64(b.Lo)
+	idx := int(float64(off) / b.Width())
 	if idx >= b.N {
 		idx = b.N - 1
 	}

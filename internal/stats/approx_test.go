@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,6 +32,100 @@ func TestBucketSpec(t *testing.T) {
 	sw := NewBucketSpec(10, 1, 3)
 	if sw.Lo != 1 || sw.Hi != 10 {
 		t.Fatalf("swapped bounds not normalized: %+v", sw)
+	}
+}
+
+// TestBucketSpecExtremeDomains: hi-lo+1 overflows int64 for extreme
+// domains; the spec must keep the requested bucket count, a positive
+// finite width, and well-ordered bucketing rather than clamping N through
+// a wrapped (negative) size.
+func TestBucketSpecExtremeDomains(t *testing.T) {
+	specs := []BucketSpec{
+		NewBucketSpec(math.MinInt64, math.MaxInt64, 10), // full int64 domain
+		NewBucketSpec(math.MinInt64, 0, 7),              // hi-lo+1 = MinInt64 (wraps)
+		NewBucketSpec(math.MinInt64, -2, 5),
+		NewBucketSpec(-1, math.MaxInt64, 4),
+		NewBucketSpec(0, math.MaxInt64, 16), // size = MaxInt64+1 (wraps)
+	}
+	wantN := []int{10, 7, 5, 4, 16}
+	for i, spec := range specs {
+		if spec.N != wantN[i] {
+			t.Fatalf("spec %d: N = %d, want %d (overflowed clamp?)", i, spec.N, wantN[i])
+		}
+		w := spec.Width()
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Fatalf("spec %d: width = %v", i, w)
+		}
+		if got := spec.Bucket(spec.Lo); got != 0 {
+			t.Fatalf("spec %d: Bucket(Lo) = %d, want 0", i, got)
+		}
+		if got := spec.Bucket(spec.Hi); got != spec.N-1 {
+			t.Fatalf("spec %d: Bucket(Hi) = %d, want %d", i, got, spec.N-1)
+		}
+		// Bucketing is monotone and in range across the domain.
+		probes := []int64{spec.Lo, spec.Lo + 1, spec.Lo/2 + spec.Hi/2, spec.Hi - 1, spec.Hi}
+		prev := 0
+		for _, v := range probes {
+			idx := spec.Bucket(v)
+			if idx < 0 || idx >= spec.N {
+				t.Fatalf("spec %d: Bucket(%d) = %d out of [0,%d)", i, v, idx, spec.N)
+			}
+			if idx < prev {
+				t.Fatalf("spec %d: bucketing not monotone at %d: %d < %d", i, v, idx, prev)
+			}
+			prev = idx
+		}
+	}
+
+	// Degenerate single-value domains at the extremes collapse to one
+	// bucket.
+	for _, v := range []int64{math.MinInt64, math.MaxInt64, 0} {
+		s := NewBucketSpec(v, v, 42)
+		if s.N != 1 {
+			t.Fatalf("single-value domain at %d: N = %d, want 1", v, s.N)
+		}
+		if s.Bucket(v) != 0 {
+			t.Fatalf("single-value domain at %d: Bucket = %d", v, s.Bucket(v))
+		}
+	}
+
+	// Non-positive requested counts still clamp up to 1.
+	if s := NewBucketSpec(math.MinInt64, math.MaxInt64, -3); s.N != 1 {
+		t.Fatalf("negative N on extreme domain: N = %d, want 1", s.N)
+	}
+}
+
+func TestSubInt64(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int64
+		err  bool
+	}{
+		{5, 3, 2, false},
+		{3, 5, -2, false},
+		{math.MaxInt64, math.MaxInt64, 0, false},
+		{math.MinInt64, math.MinInt64, 0, false},
+		{math.MaxInt64, math.MinInt64, 0, true},
+		{math.MinInt64, math.MaxInt64, 0, true},
+		{math.MinInt64, 1, 0, true},
+		{0, math.MinInt64, 0, true},
+		{-2, math.MaxInt64, 0, true},
+		{math.MaxInt64, -1, 0, true},
+		{math.MaxInt64 - 1, -1, math.MaxInt64, false},
+	}
+	for _, c := range cases {
+		got, err := SubInt64(c.a, c.b)
+		if c.err {
+			if err == nil {
+				t.Errorf("SubInt64(%d, %d): want overflow, got %d", c.a, c.b, got)
+			} else if !errors.Is(err, ErrOverflow) {
+				t.Errorf("SubInt64(%d, %d): error not tagged ErrOverflow: %v", c.a, c.b, err)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("SubInt64(%d, %d) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
 	}
 }
 

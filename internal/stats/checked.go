@@ -43,6 +43,16 @@ func AddInt64(a, b int64) (int64, error) {
 	return s, nil
 }
 
+// SubInt64 returns a-b, or an error when the difference does not fit in
+// int64 (e.g. MaxInt64 - MinInt64).
+func SubInt64(a, b int64) (int64, error) {
+	d := a - b
+	if (b > 0 && d > a) || (b < 0 && d < a) {
+		return 0, fmt.Errorf("%w: %d - %d", ErrOverflow, a, b)
+	}
+	return d, nil
+}
+
 // MaxExactInt64 is the largest magnitude an int64 can reach and still have
 // every integer up to it exactly representable as a float64 (2^53).
 const MaxExactInt64 = int64(1) << 53

@@ -3,6 +3,7 @@ package stats
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -20,7 +21,47 @@ import (
 const (
 	persistMagic   = "ETLSTAT"
 	persistVersion = 1
+
+	// persistHeaderLen is magic + version + count.
+	persistHeaderLen = len(persistMagic) + 4 + 4
+	// minValueLen is the smallest encoding of one value: kind, five target
+	// fields, attribute count, shape flag, scalar.
+	minValueLen = 1 + 5*8 + 2 + 1 + 8
+	// minAttrLen is the smallest encoding of one attribute (two empty
+	// strings).
+	minAttrLen = 2 + 2
+	// bucketLen is the encoding of one histogram bucket of the given arity.
+	// (arity value int64s plus the frequency).
+	//
+	// maxStatCount and maxHistBuckets bound the declared element counts
+	// when the stream size is unknown (a pure io.Reader): a hostile header
+	// cannot commit the reader to unbounded work up front, it can only make
+	// it parse until the actual bytes run out. When the size is known
+	// (files, byte buffers) the tighter bytes-remaining check below applies
+	// instead.
+	maxStatCount   = 1 << 24
+	maxHistBuckets = 1 << 30
 )
+
+// ErrCorrupt tags statistics streams rejected as structurally invalid —
+// bad magic, truncation, counts that exceed the stream, values out of
+// range, non-canonical encodings. Detect it with errors.Is.
+var ErrCorrupt = errors.New("corrupt statistics stream")
+
+// FormatError reports where and why a statistics stream was rejected. It
+// wraps ErrCorrupt.
+type FormatError struct {
+	// Offset is the byte offset at which the problem was detected.
+	Offset int64
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("stats: corrupt statistics stream at byte %d: %s", e.Offset, e.Msg)
+}
+
+func (e *FormatError) Unwrap() error { return ErrCorrupt }
 
 // WriteTo serializes the store. It implements io.WriterTo: the returned
 // count is the number of bytes actually written to w, so the counter sits
@@ -44,31 +85,56 @@ func (st *Store) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadStore deserializes a store written by WriteTo.
+//
+// The reader defends against corrupt or hostile streams: every declared
+// count (statistics, attributes, histogram buckets) is validated against
+// the remaining stream size when the size is knowable (files, byte
+// buffers) and against hard caps when it is not; allocations grow with
+// bytes actually consumed, never with declared counts alone; and the
+// stream must be in the exact canonical form WriteTo produces (sorted
+// attributes, sorted non-zero buckets, no duplicate statistics, no
+// trailing bytes). Structural rejections are typed: errors.Is(err,
+// ErrCorrupt) holds and the *FormatError carries the byte offset.
 func ReadStore(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
+	sr := &statReader{br: bufio.NewReader(r), size: streamSize(r)}
 	magic := make([]byte, len(persistMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("stats: read header: %w", err)
+	if _, err := io.ReadFull(sr, magic); err != nil {
+		return nil, sr.readErr("header", err)
 	}
 	if string(magic) != persistMagic {
-		return nil, fmt.Errorf("stats: bad magic %q", magic)
+		return nil, sr.corrupt("bad magic %q", magic)
 	}
 	var version, count uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("stats: read version: %w", err)
+	if err := binary.Read(sr, binary.LittleEndian, &version); err != nil {
+		return nil, sr.readErr("version", err)
 	}
 	if version != persistVersion {
-		return nil, fmt.Errorf("stats: unsupported version %d", version)
+		return nil, sr.corrupt("unsupported version %d", version)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("stats: read count: %w", err)
+	if err := binary.Read(sr, binary.LittleEndian, &count); err != nil {
+		return nil, sr.readErr("count", err)
+	}
+	if count > maxStatCount {
+		return nil, sr.corrupt("statistic count %d exceeds limit %d", count, maxStatCount)
+	}
+	if err := sr.checkRemaining(int64(count), minValueLen, "statistic"); err != nil {
+		return nil, err
 	}
 	st := NewStore()
+	var prev Key
 	for i := uint32(0); i < count; i++ {
-		v, err := readValue(br)
+		v, err := readValue(sr)
 		if err != nil {
 			return nil, fmt.Errorf("stats: value %d: %w", i, err)
 		}
+		// The writer emits values in strictly ascending canonical key
+		// order; this both rejects duplicates and keeps acceptance
+		// equivalent to "WriteTo could have produced this".
+		k := v.Stat.Key()
+		if i > 0 && !keyLess(prev, k) {
+			return nil, sr.corrupt("value %d: statistics not in canonical order (%v then %v)", i, prev, k)
+		}
+		prev = k
 		if v.Hist != nil {
 			err = st.PutHist(v.Stat, v.Hist)
 		} else {
@@ -78,7 +144,78 @@ func ReadStore(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("stats: value %d: %w", i, err)
 		}
 	}
+	if _, err := sr.br.ReadByte(); err != io.EOF {
+		return nil, sr.corrupt("trailing data after %d value(s)", count)
+	}
 	return st, nil
+}
+
+// statReader tracks the byte offset of the parse and the total stream size
+// when it is knowable, so declared counts can be validated before they
+// drive any allocation or long parse.
+type statReader struct {
+	br   *bufio.Reader
+	off  int64
+	size int64 // total bytes in the stream, or -1 when unknowable
+}
+
+func (r *statReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.off += int64(n)
+	return n, err
+}
+
+// corrupt builds a typed FormatError at the current offset.
+func (r *statReader) corrupt(format string, args ...any) error {
+	return &FormatError{Offset: r.off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// readErr converts a low-level read failure: EOF mid-structure is a
+// truncation (corrupt stream), anything else is a real I/O error and
+// passes through wrapped.
+func (r *statReader) readErr(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return r.corrupt("truncated %s", what)
+	}
+	return fmt.Errorf("stats: read %s at byte %d: %w", what, r.off, err)
+}
+
+// checkRemaining rejects a declared element count whose minimal encoding
+// cannot fit in the bytes the stream still has (only when the total size
+// is knowable).
+func (r *statReader) checkRemaining(n, minLen int64, what string) error {
+	if r.size < 0 {
+		return nil
+	}
+	if need := n * minLen; need > r.size-r.off {
+		return r.corrupt("%s count %d needs at least %d more byte(s), stream has %d",
+			what, n, need, r.size-r.off)
+	}
+	return nil
+}
+
+// streamSize reports the total number of bytes the reader will deliver
+// when that is knowable without consuming it: -1 otherwise.
+func streamSize(r io.Reader) int64 {
+	type lenner interface{ Len() int }
+	switch v := r.(type) {
+	case lenner: // bytes.Reader, bytes.Buffer, strings.Reader
+		return int64(v.Len())
+	case io.Seeker: // *os.File and friends
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
 }
 
 type countWriter struct {
@@ -151,23 +288,49 @@ func writeValue(w io.Writer, v *Value) error {
 	return werr
 }
 
-func readValue(r io.Reader) (*Value, error) {
+// intFieldRange is the valid range of the target's int fields. Statistic
+// keys narrow them to int16 (Key), so anything wider would silently alias
+// distinct statistics; nothing the writer produces comes close.
+const (
+	minTargetField = -1
+	maxTargetField = 1<<15 - 1
+)
+
+func readValue(r *statReader) (*Value, error) {
 	var kind uint8
 	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
-		return nil, err
+		return nil, r.readErr("kind", err)
+	}
+	if Kind(kind) > Hist {
+		return nil, r.corrupt("unknown statistic kind %d", kind)
 	}
 	var block, set, depth, rejIn, rejEdge int64
-	for _, p := range []*int64{&block, &set, &depth, &rejIn, &rejEdge} {
-		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return nil, err
+	for _, f := range []struct {
+		p    *int64
+		name string
+	}{{&block, "block"}, {&set, "set"}, {&depth, "depth"}, {&rejIn, "reject input"}, {&rejEdge, "reject edge"}} {
+		if err := binary.Read(r, binary.LittleEndian, f.p); err != nil {
+			return nil, r.readErr("target "+f.name, err)
 		}
+		if f.name != "set" && (*f.p < minTargetField || *f.p > maxTargetField) {
+			return nil, r.corrupt("target %s %d out of range", f.name, *f.p)
+		}
+	}
+	if block < 0 {
+		return nil, r.corrupt("negative block %d", block)
 	}
 	var nAttrs uint16
 	if err := binary.Read(r, binary.LittleEndian, &nAttrs); err != nil {
+		return nil, r.readErr("attribute count", err)
+	}
+	if err := r.checkRemaining(int64(nAttrs), minAttrLen, "attribute"); err != nil {
 		return nil, err
 	}
-	attrs := make([]workflow.Attr, nAttrs)
-	for i := range attrs {
+	// Grow with bytes consumed, not with the declared count: a lying count
+	// on a size-unknown stream fails at EOF having allocated almost
+	// nothing.
+	attrs := make([]workflow.Attr, 0, min(int(nAttrs), 16))
+	for i := 0; i < int(nAttrs); i++ {
 		rel, err := readString(r)
 		if err != nil {
 			return nil, err
@@ -176,7 +339,13 @@ func readValue(r io.Reader) (*Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		attrs[i] = workflow.Attr{Rel: rel, Col: col}
+		a := workflow.Attr{Rel: rel, Col: col}
+		// The writer emits canonical (sorted, de-duplicated) attribute
+		// lists; anything else is not a stream WriteTo produced.
+		if i > 0 && !attrs[i-1].Less(a) {
+			return nil, r.corrupt("attributes not in canonical order (%v then %v)", attrs[i-1], a)
+		}
+		attrs = append(attrs, a)
 	}
 	target := Target{
 		Block:       int(block),
@@ -185,36 +354,60 @@ func readValue(r io.Reader) (*Value, error) {
 		RejectInput: int(rejIn),
 		RejectEdge:  int(rejEdge),
 	}
-	s := Stat{Kind: Kind(kind), Target: target, Attrs: canonAttrs(attrs)}
+	s := Stat{Kind: Kind(kind), Target: target, Attrs: attrs}
 	var hasHist uint8
 	if err := binary.Read(r, binary.LittleEndian, &hasHist); err != nil {
-		return nil, err
+		return nil, r.readErr("shape flag", err)
+	}
+	if hasHist > 1 {
+		return nil, r.corrupt("shape flag %d (want 0 or 1)", hasHist)
+	}
+	if (s.Kind == Hist) != (hasHist == 1) {
+		return nil, r.corrupt("shape flag %d contradicts statistic kind %v", hasHist, s.Kind)
 	}
 	if hasHist == 0 {
 		var scalar int64
 		if err := binary.Read(r, binary.LittleEndian, &scalar); err != nil {
-			return nil, err
+			return nil, r.readErr("scalar", err)
 		}
 		return &Value{Stat: s, Scalar: scalar}, nil
 	}
 	var buckets uint32
 	if err := binary.Read(r, binary.LittleEndian, &buckets); err != nil {
+		return nil, r.readErr("bucket count", err)
+	}
+	if buckets > maxHistBuckets {
+		return nil, r.corrupt("bucket count %d exceeds limit %d", buckets, maxHistBuckets)
+	}
+	bucketLen := int64(len(s.Attrs)+1) * 8
+	if err := r.checkRemaining(int64(buckets), bucketLen, "bucket"); err != nil {
 		return nil, err
 	}
 	h := NewHistogram(s.Attrs...)
 	vals := make([]int64, len(s.Attrs))
+	var prevKey string
 	for b := uint32(0); b < buckets; b++ {
 		for i := range vals {
 			if err := binary.Read(r, binary.LittleEndian, &vals[i]); err != nil {
-				return nil, err
+				return nil, r.readErr("bucket value", err)
 			}
 		}
 		var freq int64
 		if err := binary.Read(r, binary.LittleEndian, &freq); err != nil {
-			return nil, err
+			return nil, r.readErr("bucket frequency", err)
 		}
+		if freq == 0 {
+			return nil, r.corrupt("zero-frequency bucket %v", vals)
+		}
+		// The writer emits buckets in strictly ascending value order;
+		// out-of-order or duplicate buckets are not a WriteTo stream.
+		k := encodeVals(vals)
+		if b > 0 && k <= prevKey {
+			return nil, r.corrupt("buckets not in canonical order at %v", vals)
+		}
+		prevKey = k
 		if err := h.Inc(vals, freq); err != nil {
-			return nil, err
+			return nil, r.corrupt("bucket %v: %v", vals, err)
 		}
 	}
 	return &Value{Stat: s, Hist: h}, nil
@@ -231,14 +424,17 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
-func readString(r io.Reader) (string, error) {
+func readString(r *statReader) (string, error) {
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", r.readErr("string length", err)
+	}
+	if err := r.checkRemaining(int64(n), 1, "string byte"); err != nil {
 		return "", err
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+		return "", r.readErr("string", err)
 	}
 	return string(buf), nil
 }

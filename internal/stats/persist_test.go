@@ -2,8 +2,10 @@ package stats
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"testing/quick"
 
 	"github.com/essential-stats/etlopt/internal/expr"
@@ -99,6 +101,141 @@ func TestPersistErrors(t *testing.T) {
 	truncated := buf.Bytes()[:buf.Len()/2]
 	if _, err := ReadStore(bytes.NewReader(truncated)); err == nil {
 		t.Fatal("truncated input: want error")
+	}
+}
+
+// validStream serializes the sample store.
+func validStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := sampleStore().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// wantCorrupt asserts the stream is rejected with a typed FormatError.
+func wantCorrupt(t *testing.T, in []byte, what string) *FormatError {
+	t.Helper()
+	_, err := ReadStore(bytes.NewReader(in))
+	if err == nil {
+		t.Fatalf("%s: want error, got nil", what)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s: error not tagged ErrCorrupt: %v", what, err)
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("%s: error is not a *FormatError: %v", what, err)
+	}
+	return fe
+}
+
+func TestReadStoreRejectsCorruptStreams(t *testing.T) {
+	valid := validStream(t)
+
+	// Typed truncation errors at every prefix length.
+	for cut := 0; cut < len(valid); cut++ {
+		fe := wantCorrupt(t, valid[:cut], "truncation")
+		if fe.Offset > int64(cut) {
+			t.Fatalf("cut %d: offset %d past available bytes", cut, fe.Offset)
+		}
+	}
+
+	// Trailing data after the declared values.
+	wantCorrupt(t, append(append([]byte{}, valid...), 0), "trailing byte")
+
+	// A count header larger than the stream can possibly hold is rejected
+	// immediately (seekable/sized input), at the header, before any value
+	// parsing.
+	hostile := append([]byte{}, valid...)
+	hostile[11], hostile[12], hostile[13], hostile[14] = 0xff, 0xff, 0x00, 0x00 // count = 65535
+	fe := wantCorrupt(t, hostile, "oversized count")
+	if fe.Offset != 15 {
+		t.Fatalf("oversized count detected at byte %d, want 15 (end of header)", fe.Offset)
+	}
+	if !strings.Contains(fe.Msg, "count 65535") {
+		t.Fatalf("oversized count message %q does not name the count", fe.Msg)
+	}
+
+	// Counts beyond the absolute cap fail even when the size is unknown.
+	capped := append([]byte("ETLSTAT\x01\x00\x00\x00"), 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadStore(iotest.OneByteReader(bytes.NewReader(capped))); err == nil {
+		t.Fatal("capped count on size-unknown stream: want error")
+	}
+
+	// Unknown statistic kind.
+	bad := append([]byte{}, valid...)
+	bad[15] = 0x7f
+	wantCorrupt(t, bad, "unknown kind")
+
+	// Duplicate / out-of-order values: duplicate the first value bytes in
+	// a two-value stream.
+	st := NewStore()
+	st.PutScalar(NewCard(SE(expr.NewSet(0))), 1)
+	var one bytes.Buffer
+	if _, err := st.WriteTo(&one); err != nil {
+		t.Fatal(err)
+	}
+	val := one.Bytes()[15:] // the single value's encoding
+	dup := append([]byte("ETLSTAT\x01\x00\x00\x00\x02\x00\x00\x00"), val...)
+	dup = append(dup, val...)
+	wantCorrupt(t, dup, "duplicate statistic")
+}
+
+func TestReadStoreRejectsNonCanonicalForm(t *testing.T) {
+	// Zero-frequency bucket: hand-craft a single-histogram stream and zero
+	// the frequency of its only bucket.
+	a := workflow.Attr{Rel: "T", Col: "a"}
+	st := NewStore()
+	h := NewHistogram(a)
+	h.Inc([]int64{5}, 3)
+	st.PutHist(NewHist(SE(expr.NewSet(0)), a), h)
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The frequency is the last 8 bytes.
+	zeroed := append([]byte{}, b...)
+	copy(zeroed[len(zeroed)-8:], make([]byte, 8))
+	wantCorrupt(t, zeroed, "zero-frequency bucket")
+
+	// Shape flag contradicting the kind: flip the histogram statistic's
+	// shape flag (the byte before the bucket count, i.e. 13 bytes from the
+	// end: flag + count + one bucket value + freq).
+	flipped := append([]byte{}, b...)
+	flipped[len(flipped)-21] = 0
+	wantCorrupt(t, flipped, "shape flag contradiction")
+}
+
+// TestReadStoreCanonical: the reader accepts exactly the canonical
+// encoding, so read-then-write reproduces the input bytes.
+func TestReadStoreCanonical(t *testing.T) {
+	valid := validStream(t)
+	st, err := ReadStore(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := st.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), valid) {
+		t.Fatal("read-then-write changed the stream")
+	}
+}
+
+// TestReadStoreSizeUnknown: the same valid stream parses through a reader
+// that exposes neither Len nor Seek.
+func TestReadStoreSizeUnknown(t *testing.T) {
+	valid := validStream(t)
+	st, err := ReadStore(iotest.OneByteReader(bytes.NewReader(valid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != sampleStore().Len() {
+		t.Fatalf("size-unknown parse lost values: %d", st.Len())
 	}
 }
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Serve-daemon smoke test: build the CLI, produce a statistics store with
+# an instrumented run, start the daemon, drive the observe → optimize round
+# trip over HTTP, and check that SIGTERM drains and exits 0. CI runs this
+# as its own job; `make serve-smoke` runs it locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+addr="127.0.0.1:${SMOKE_PORT:-18099}"
+trap 'rm -rf "$work"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$work/etlopt" ./cmd/etlopt
+
+echo "== observed statistics via run -save-stats"
+"$work/etlopt" run -wf 3 -scale 0.002 -save-stats "$work/wf03.stats" >/dev/null
+
+echo "== start daemon"
+"$work/etlopt" serve -catalog "$work/catalog" -addr "$addr" &
+pid=$!
+for i in $(seq 1 50); do
+    if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q ok
+
+echo "== observe upload"
+curl -sf --data-binary "@$work/wf03.stats" \
+    "http://$addr/v1/observe?workflow=wf03" | grep -q '"generation": 1'
+
+echo "== optimize (solve, then cache hit)"
+curl -sf -X POST -d '{"workflow":"wf03"}' "http://$addr/v1/optimize" \
+    > "$work/opt1.json"
+grep -q '"totalCost"' "$work/opt1.json"
+curl -sf -D "$work/headers" -X POST -d '{"workflow":"wf03"}' \
+    "http://$addr/v1/optimize" > "$work/opt2.json"
+grep -qi '^x-cache: hit' "$work/headers"
+cmp "$work/opt1.json" "$work/opt2.json"
+
+echo "== estimate"
+curl -sf -X POST -d '{"workflow":"wf03"}' "http://$addr/v1/estimate" \
+    | grep -q '"observe"'
+
+echo "== metrics"
+# One optimize solve + one estimate solve, and exactly one cache hit from
+# the repeated optimize.
+curl -sf "http://$addr/metrics" > "$work/metrics"
+grep -q 'etlopt_serve_solves_total 2' "$work/metrics"
+grep -q 'etlopt_serve_cache_hits_total 1' "$work/metrics"
+grep -q 'etlopt_serve_catalog_generation{workflow="wf03"} 1' "$work/metrics"
+
+echo "== graceful SIGTERM drain"
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc on SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "serve smoke OK"
