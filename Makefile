@@ -1,7 +1,13 @@
 GO ?= go
 FUZZTIME ?= 5s
+# Benchmark pinning: single-iteration numbers are noise, so bench always
+# runs a fixed iteration count per benchmark and repeats the whole set.
+# Override BENCHTIME/BENCHCOUNT for longer local sessions.
+BENCHTIME ?= 3x
+BENCHCOUNT ?= 2
+BENCHOUT ?= BENCH_pr6.json
 
-.PHONY: build test race short bench examples vet lint check fuzz serve-smoke
+.PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,18 +28,29 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # The parallel engine paths are the main race surface; this is the gate
-# CI runs in addition to the plain test job.
+# CI runs in addition to the plain test job. The suite's cross-engine
+# matrix (8 configurations × 30 workflows, twice) outgrows go test's
+# default 10m package budget under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 short:
 	$(GO) test -short ./...
 
-# bench runs every benchmark once with allocation stats and records the
-# machine-readable results (ns/op, B/op, allocs/op per benchmark) in
-# BENCH_pr3.json via cmd/benchjson; the text output still streams through.
+# bench runs every benchmark with allocation stats at a pinned iteration
+# count ($(BENCHTIME)) and repetition count ($(BENCHCOUNT)), then records
+# the machine-readable results (ns/op, B/op, allocs/op per benchmark) in
+# $(BENCHOUT) via cmd/benchjson; the text output still streams through.
+# benchjson rejects single-iteration lines and folds the -count repetitions
+# into one entry per benchmark (best ns/bytes/allocs, iterations summed).
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run=^$$ . | $(GO) run ./cmd/benchjson -min-iters 2 -out $(BENCHOUT)
+
+# bench-regress compares the committed benchmark records: allocs/op in
+# $(BENCHOUT) must not regress against the BENCH_pr3.json baseline in any
+# metrics-off configuration.
+bench-regress:
+	./scripts/bench_regress.sh BENCH_pr3.json $(BENCHOUT)
 
 # examples smoke-runs every runnable example program; each must exit 0.
 examples:

@@ -1,0 +1,127 @@
+// Command benchdiff compares two benchjson records (BENCH_<pr>.json) and
+// fails when allocations regress. It is the CI gate behind
+// scripts/bench_regress.sh: the engine benchmarks that run with metrics
+// collection off measure the bare interpreter, so any growth in their
+// allocs/op is a real regression, not instrumentation drift.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -base BENCH_pr3.json -head BENCH_pr6.json
+//
+// Only benchmarks matching -match (default: the metrics-off engine
+// configurations) and present in both records are compared. A head value
+// above base * (1 + -tolerance) is a regression; the tool prints every
+// compared benchmark with its ratio and exits 1 if any regressed.
+// Benchmark names are compared with any -<GOMAXPROCS> suffix stripped so
+// records taken on machines with different core counts still line up.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// defaultMatch selects the metrics-off engine configurations: the e2e
+// cycle, the plain (uninstrumented) engine run, the metrics=off arms of the
+// overhead benchmark, and the engine mode/worker sweeps, all of which run
+// without per-node accounting.
+const defaultMatch = `^(BenchmarkE2ECycle$|BenchmarkEngineInstrumentedRun/plain$|BenchmarkMetricsOverhead/.*/metrics=off$|BenchmarkEngineMode/|BenchmarkEngineWorkers/)`
+
+type record struct {
+	Benchmarks []struct {
+		Name        string `json:"name"`
+		AllocsPerOp *int64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string) (map[string]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]int64, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		if b.AllocsPerOp == nil {
+			continue
+		}
+		out[gomaxprocsSuffix.ReplaceAllString(b.Name, "")] = *b.AllocsPerOp
+	}
+	return out, nil
+}
+
+func main() {
+	base := flag.String("base", "", "baseline benchjson record (required)")
+	head := flag.String("head", "", "candidate benchjson record (required)")
+	match := flag.String("match", defaultMatch, "regexp of benchmark names to compare")
+	tol := flag.Float64("tolerance", 0.02, "allowed fractional allocs/op increase before failing")
+	flag.Parse()
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -base BENCH_old.json -head BENCH_new.json")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseAllocs, err := load(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	headAllocs, err := load(*head)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	var compared, regressed int
+	for _, b := range sortedKeys(baseAllocs) {
+		if !re.MatchString(b) {
+			continue
+		}
+		h, ok := headAllocs[b]
+		if !ok {
+			fmt.Printf("MISSING  %-55s base=%d (absent from head record)\n", b, baseAllocs[b])
+			regressed++
+			continue
+		}
+		compared++
+		ratio := float64(h) / float64(baseAllocs[b])
+		status := "ok"
+		if float64(h) > float64(baseAllocs[b])*(1+*tol) {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-9s%-55s base=%-9d head=%-9d ratio=%.3f\n", status, b, baseAllocs[b], h, ratio)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks in %s match %q\n", *base, *match)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metrics-off benchmark(s) regressed in allocs/op\n", regressed)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metrics-off benchmarks within %.0f%% of baseline allocs/op\n", compared, *tol*100)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

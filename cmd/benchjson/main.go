@@ -5,11 +5,24 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | go run ./cmd/benchjson -out BENCH_pr3.json
+//	go test -bench=. -benchmem -benchtime=3x -count=2 -run='^$' ./... | go run ./cmd/benchjson -min-iters 2 -out BENCH_pr6.json
 //
 // Each parsed line becomes {"name", "iterations", "ns_per_op", and, when
 // -benchmem was set, "bytes_per_op", "allocs_per_op"}. Lines that are not
 // benchmark results are passed through and ignored.
+//
+// Two guards keep the committed numbers honest:
+//
+//   - Lines whose iteration count is below -min-iters are rejected: a
+//     single-iteration measurement is dominated by warmup and scheduling
+//     noise, and a record built from them is not comparable across runs.
+//     The offending lines are listed on stderr and the tool exits nonzero
+//     without writing -out.
+//
+//   - Repetitions of the same benchmark (from `go test -count=N`) fold
+//     into one entry: iterations are summed, and ns/op, B/op and allocs/op
+//     keep the minimum across repetitions — the run least disturbed by the
+//     machine is the closest to the benchmark's true cost.
 package main
 
 import (
@@ -24,7 +37,7 @@ import (
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkMetricsOverhead/batch/metrics=off-8   1   1234567 ns/op   4096 B/op   12 allocs/op
+//	BenchmarkMetricsOverhead/batch/metrics=off-8   3   1234567 ns/op   4096 B/op   12 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // Result is one benchmark measurement.
@@ -36,15 +49,41 @@ type Result struct {
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 }
 
+// fold merges a repetition of the same benchmark into r: iterations
+// accumulate, per-op costs keep their minimum.
+func (r *Result) fold(o Result) {
+	r.Iterations += o.Iterations
+	if o.NsPerOp < r.NsPerOp {
+		r.NsPerOp = o.NsPerOp
+	}
+	r.BytesPerOp = minPtr(r.BytesPerOp, o.BytesPerOp)
+	r.AllocsPerOp = minPtr(r.AllocsPerOp, o.AllocsPerOp)
+}
+
+func minPtr(a, b *int64) *int64 {
+	if a == nil {
+		return b
+	}
+	if b != nil && *b < *a {
+		return b
+	}
+	return a
+}
+
 func main() {
 	out := flag.String("out", "", "path of the JSON file to write (required)")
+	minIters := flag.Int64("min-iters", 2, "reject benchmark lines with fewer iterations than this")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: go test -bench=. ... | benchjson -out BENCH.json")
 		os.Exit(2)
 	}
 
-	var results []Result
+	var (
+		results []Result // first-seen order
+		index   = map[string]int{}
+		tooFew  []string
+	)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -55,6 +94,10 @@ func main() {
 			continue
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		if iters < *minIters {
+			tooFew = append(tooFew, line)
+			continue
+		}
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
 		if m[4] != "" {
@@ -65,10 +108,22 @@ func main() {
 			a, _ := strconv.ParseInt(m[5], 10, 64)
 			r.AllocsPerOp = &a
 		}
-		results = append(results, r)
+		if i, ok := index[r.Name]; ok {
+			results[i].fold(r)
+		} else {
+			index[r.Name] = len(results)
+			results = append(results, r)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(tooFew) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark line(s) ran fewer than %d iterations; pin -benchtime (e.g. -benchtime=3x):\n", len(tooFew), *minIters)
+		for _, l := range tooFew {
+			fmt.Fprintf(os.Stderr, "  %s\n", l)
+		}
 		os.Exit(1)
 	}
 	if len(results) == 0 {

@@ -67,6 +67,12 @@ type Engine struct {
 	// RetryBackoff is the base delay between attempts, doubling per retry,
 	// capped at 100ms (0 = the default of 1ms).
 	RetryBackoff time.Duration
+	// RowMode selects the legacy row-at-a-time interpreter instead of the
+	// default columnar one. The row interpreter is the reference
+	// implementation: the equivalence suite diffs the columnar executor's
+	// sinks, materialized tables, observed statistics, work metric and
+	// deterministic metrics against it on every workflow.
+	RowMode bool
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -173,9 +179,15 @@ func (e *Engine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*wo
 		out.Observed = col.store
 	}
 	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
-	err = runBlocksDAG(plan, e.Workers, env, out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
-		return runBatchBlock(bp, col, sink, e.CollectMetrics)
-	})
+	runner := func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+		return runVecBlock(bp, col, sink, e.CollectMetrics)
+	}
+	if e.RowMode {
+		runner = func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+			return runBatchBlock(bp, col, sink, e.CollectMetrics)
+		}
+	}
+	err = runBlocksDAG(plan, e.Workers, env, out, runner)
 	out.Retries = env.retries.Load()
 	out.Degraded = col.failedStats()
 	if e.CollectMetrics {
@@ -271,34 +283,30 @@ func evalNode(bp *physical.BlockPlan, n *physical.Node, tables []*data.Table, co
 	case physical.OpGroupBy:
 		in := tables[n.Input.ID]
 		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
-		seen := make(map[string]bool)
-		var kbuf []byte
+		seen := newKeySet()
+		// One scratch key, cloned only on first-seen insert: duplicate rows
+		// (the common case under grouping) must not allocate.
+		scratch := make(data.Row, len(n.Cols))
 		for _, r := range in.Rows {
-			key := make(data.Row, len(n.Cols))
 			for i, c := range n.Cols {
-				key[i] = r[c]
+				scratch[i] = r[c]
 			}
-			kbuf = appendRowKey(kbuf[:0], key)
-			if !seen[string(kbuf)] {
-				seen[string(kbuf)] = true
-				tbl.Rows = append(tbl.Rows, key)
+			if seen.add(scratch) {
+				tbl.Rows = append(tbl.Rows, append(data.Row(nil), scratch...))
 			}
 		}
 	case physical.OpAggregateUDF:
 		in := tables[n.Input.ID]
 		tbl = &data.Table{Rel: in.Rel, Attrs: n.Attrs}
-		seen := make(map[string]bool)
+		seen := newKeySet()
 		buf := make([]int64, len(n.FnIns))
-		var kbuf []byte
 		for _, r := range in.Rows {
 			for i, c := range n.FnIns {
 				buf[i] = r[c]
 			}
-			kbuf = appendRowKey(kbuf[:0], buf)
-			if seen[string(kbuf)] {
+			if !seen.add(buf) {
 				continue
 			}
-			seen[string(kbuf)] = true
 			row := make(data.Row, 0, len(buf)+1)
 			row = append(append(row, buf...), n.Fn(buf))
 			tbl.Rows = append(tbl.Rows, row)

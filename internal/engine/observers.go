@@ -64,22 +64,18 @@ type distinctObserver struct {
 	col  *collector
 	stat stats.Stat
 	cols []int
-	seen map[string]bool
+	set  keySet
 	vals []int64
-	kbuf []byte
 }
 
 func (d *distinctObserver) observe(r data.Row) {
 	for i, c := range d.cols {
 		d.vals[i] = r[c]
 	}
-	d.kbuf = appendRowKey(d.kbuf[:0], d.vals)
-	if !d.seen[string(d.kbuf)] {
-		d.seen[string(d.kbuf)] = true
-	}
+	d.set.add(d.vals)
 }
 func (d *distinctObserver) finish() {
-	if err := d.col.store.PutScalarOnce(d.stat, int64(len(d.seen))); err != nil {
+	if err := d.col.store.PutScalarOnce(d.stat, int64(d.set.len())); err != nil {
 		d.col.markFailed(d.stat, err)
 	}
 }
@@ -115,9 +111,7 @@ func (d *distinctObserver) mergeShard(o rowObserver) error {
 	if !ok {
 		return fmt.Errorf("merge shard: distinct vs %T", o)
 	}
-	for k := range s.seen {
-		d.seen[k] = true
-	}
+	d.set.union(&s.set)
 	return nil
 }
 
@@ -175,7 +169,7 @@ func observersFor(col *collector, taps []physical.Tap) []rowObserver {
 		case stats.Distinct:
 			out = append(out, &distinctObserver{
 				col: col, stat: t.Stat, cols: t.Cols,
-				seen: make(map[string]bool), vals: make([]int64, len(t.Cols)),
+				set: newKeySet(), vals: make([]int64, len(t.Cols)),
 			})
 		}
 	}

@@ -15,7 +15,35 @@ func appendRowKey(dst []byte, vals []int64) []byte {
 	return dst
 }
 
-// rowKey is the allocating convenience form of appendRowKey.
-func rowKey(r []int64) string {
-	return string(appendRowKey(make([]byte, 0, len(r)*8), r))
+// keySet deduplicates rows of int64 values by their fixed-width encoding.
+// It centralizes the reused-buffer idiom every hash-dedup path shares: the
+// lookup uses string(kbuf), whose conversion the compiler elides for map
+// access, and the guarded assignment in add runs only for first-seen keys —
+// an unconditional `seen[string(kbuf)] = true` would copy the key bytes on
+// every duplicate row, since map *assignment* conversions are never elided.
+type keySet struct {
+	seen map[string]bool
+	kbuf []byte
+}
+
+func newKeySet() keySet { return keySet{seen: make(map[string]bool)} }
+
+// add records vals' key, reporting whether it was first seen.
+func (s *keySet) add(vals []int64) bool {
+	s.kbuf = appendRowKey(s.kbuf[:0], vals)
+	if s.seen[string(s.kbuf)] {
+		return false
+	}
+	s.seen[string(s.kbuf)] = true
+	return true
+}
+
+// len returns the number of distinct keys recorded.
+func (s *keySet) len() int { return len(s.seen) }
+
+// union folds another set's keys into s (the shard-merge path).
+func (s *keySet) union(o *keySet) {
+	for k := range o.seen {
+		s.seen[k] = true
+	}
 }

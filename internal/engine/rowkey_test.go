@@ -4,6 +4,14 @@ import (
 	"testing"
 )
 
+// rowKey is the allocating convenience form of appendRowKey. It lives in
+// test code on purpose: hot paths must reach for keySet (or a reused
+// appendRowKey buffer), never this form, which allocates a slice and a
+// string per call.
+func rowKey(r []int64) string {
+	return string(appendRowKey(make([]byte, 0, len(r)*8), r))
+}
+
 // TestAppendRowKey pins the encoding contract: fixed-width little-endian,
 // injective over rows of equal arity, and identical to the allocating form.
 func TestAppendRowKey(t *testing.T) {

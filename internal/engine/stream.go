@@ -123,8 +123,10 @@ func (g *groupByIter) Open() error {
 	if err := g.src.Open(); err != nil {
 		return err
 	}
-	seen := make(map[string]bool)
-	var kbuf []byte
+	seen := newKeySet()
+	// One scratch key, cloned only on first-seen insert: duplicate rows
+	// (the common case under grouping) must not allocate.
+	scratch := make(data.Row, len(g.cols))
 	for {
 		r, ok, err := g.src.Next()
 		if err != nil {
@@ -133,14 +135,11 @@ func (g *groupByIter) Open() error {
 		if !ok {
 			break
 		}
-		key := make(data.Row, len(g.cols))
 		for i, c := range g.cols {
-			key[i] = r[c]
+			scratch[i] = r[c]
 		}
-		kbuf = appendRowKey(kbuf[:0], key)
-		if !seen[string(kbuf)] {
-			seen[string(kbuf)] = true
-			g.out = append(g.out, key)
+		if seen.add(scratch) {
+			g.out = append(g.out, append(data.Row(nil), scratch...))
 		}
 	}
 	g.pos = 0
@@ -170,9 +169,8 @@ func (a *aggUDFIter) Open() error {
 	if err := a.src.Open(); err != nil {
 		return err
 	}
-	seen := make(map[string]bool)
+	seen := newKeySet()
 	buf := make([]int64, len(a.ins))
-	var kbuf []byte
 	for {
 		r, ok, err := a.src.Next()
 		if err != nil {
@@ -184,11 +182,9 @@ func (a *aggUDFIter) Open() error {
 		for i, c := range a.ins {
 			buf[i] = r[c]
 		}
-		kbuf = appendRowKey(kbuf[:0], buf)
-		if seen[string(kbuf)] {
+		if !seen.add(buf) {
 			continue
 		}
-		seen[string(kbuf)] = true
 		row := make(data.Row, 0, len(buf)+1)
 		row = append(append(row, buf...), a.fn(buf))
 		a.out = append(a.out, row)

@@ -51,6 +51,11 @@ type StreamEngine struct {
 	// RetryBackoff is the base delay between attempts, doubling per retry,
 	// capped at 100ms (0 = the default of 1ms).
 	RetryBackoff time.Duration
+	// RowMode selects the legacy row-at-a-time iterators instead of the
+	// default columnar chunk pipeline. The row interpreter is the reference
+	// implementation the equivalence suite diffs the columnar executor
+	// against on every workflow.
+	RowMode bool
 }
 
 // NewStream returns a streaming engine.
@@ -109,9 +114,15 @@ func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[i
 		out.Observed = col.store
 	}
 	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
-	err = runBlocksDAG(plan, e.Workers, env, out, func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
-		return e.runStreamBlock(bp, col, sink)
-	})
+	runner := func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+		return e.runVecStreamBlock(bp, col, sink)
+	}
+	if e.RowMode {
+		runner = func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
+			return e.runStreamBlock(bp, col, sink)
+		}
+	}
+	err = runBlocksDAG(plan, e.Workers, env, out, runner)
 	out.Retries = env.retries.Load()
 	out.Degraded = col.failedStats()
 	if e.CollectMetrics {

@@ -80,19 +80,15 @@ func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
 			c.markFailed(tap.Stat, err)
 		}
 	case stats.Distinct:
-		seen := make(map[string]bool)
-		var kbuf []byte
+		seen := newKeySet()
 		key := make([]int64, len(tap.Cols))
 		for _, r := range tbl.Rows {
 			for i, col := range tap.Cols {
 				key[i] = r[col]
 			}
-			kbuf = appendRowKey(kbuf[:0], key)
-			if !seen[string(kbuf)] {
-				seen[string(kbuf)] = true
-			}
+			seen.add(key)
 		}
-		if err := c.store.PutScalarOnce(tap.Stat, int64(len(seen))); err != nil {
+		if err := c.store.PutScalarOnce(tap.Stat, int64(seen.len())); err != nil {
 			c.markFailed(tap.Stat, err)
 		}
 	case stats.Hist:

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/essential-stats/etlopt/internal/batch"
+	"github.com/essential-stats/etlopt/internal/physical"
+	"github.com/essential-stats/etlopt/internal/stats"
+)
+
+// vecObserver is a batch-at-a-time statistic handler — the columnar
+// counterpart of rowObserver. The streaming columnar interpreter gives each
+// worker its own shard (so per-chunk observation never contends) and folds
+// the shards after the pipeline drains; counts, bucket frequencies and
+// distinct sets are order-insensitive, so the merged value is identical to
+// a sequential observation.
+type vecObserver interface {
+	observeVec(*batch.Batch)
+	finish()
+	mergeVec(vecObserver) error
+}
+
+// vecCardObserver counts live rows.
+type vecCardObserver struct {
+	col  *collector
+	stat stats.Stat
+	n    int64
+}
+
+func (c *vecCardObserver) observeVec(b *batch.Batch) { c.n += int64(b.Rows()) }
+func (c *vecCardObserver) finish() {
+	if err := c.col.store.PutScalarOnce(c.stat, c.n); err != nil {
+		c.col.markFailed(c.stat, err)
+	}
+}
+func (c *vecCardObserver) mergeVec(o vecObserver) error {
+	s, ok := o.(*vecCardObserver)
+	if !ok {
+		return fmt.Errorf("merge vec shard: card vs %T", o)
+	}
+	c.n += s.n
+	return nil
+}
+
+// vecHistObserver builds an exact frequency histogram.
+type vecHistObserver struct {
+	col  *collector
+	stat stats.Stat
+	cols []int
+	h    *stats.Histogram
+	vals []int64
+	err  error
+}
+
+func (h *vecHistObserver) observeVec(b *batch.Batch) {
+	inc := func(ri int32) {
+		for i, c := range h.cols {
+			h.vals[i] = b.Cols[c][ri]
+		}
+		if err := h.h.Inc(h.vals, 1); err != nil && h.err == nil {
+			h.err = err
+		}
+	}
+	if b.Sel != nil {
+		for _, ri := range b.Sel {
+			inc(ri)
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			inc(int32(ri))
+		}
+	}
+}
+func (h *vecHistObserver) finish() {
+	if h.err != nil {
+		h.col.markFailed(h.stat, h.err)
+		return
+	}
+	if err := h.col.store.PutHistOnce(h.stat, h.h); err != nil {
+		h.col.markFailed(h.stat, err)
+	}
+}
+func (h *vecHistObserver) mergeVec(o vecObserver) error {
+	s, ok := o.(*vecHistObserver)
+	if !ok {
+		return fmt.Errorf("merge vec shard: hist vs %T", o)
+	}
+	if s.err != nil && h.err == nil {
+		h.err = s.err
+	}
+	return h.h.Merge(s.h)
+}
+
+// vecDistinctObserver counts distinct combinations. Single-attribute taps
+// (the common case) hash values directly; wider taps go through keySet's
+// encoded keys.
+type vecDistinctObserver struct {
+	col    *collector
+	stat   stats.Stat
+	cols   []int
+	single map[int64]struct{}
+	set    keySet
+	vals   []int64
+}
+
+func newVecDistinct(col *collector, stat stats.Stat, cols []int) *vecDistinctObserver {
+	d := &vecDistinctObserver{col: col, stat: stat, cols: cols}
+	if len(cols) == 1 {
+		d.single = make(map[int64]struct{})
+	} else {
+		d.set = newKeySet()
+		d.vals = make([]int64, len(cols))
+	}
+	return d
+}
+
+func (d *vecDistinctObserver) observeVec(b *batch.Batch) {
+	if d.single != nil {
+		col := b.Cols[d.cols[0]]
+		if b.Sel != nil {
+			for _, ri := range b.Sel {
+				d.single[col[ri]] = struct{}{}
+			}
+		} else {
+			for ri := 0; ri < b.N; ri++ {
+				d.single[col[ri]] = struct{}{}
+			}
+		}
+		return
+	}
+	add := func(ri int32) {
+		for i, c := range d.cols {
+			d.vals[i] = b.Cols[c][ri]
+		}
+		d.set.add(d.vals)
+	}
+	if b.Sel != nil {
+		for _, ri := range b.Sel {
+			add(ri)
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			add(int32(ri))
+		}
+	}
+}
+func (d *vecDistinctObserver) count() int64 {
+	if d.single != nil {
+		return int64(len(d.single))
+	}
+	return int64(d.set.len())
+}
+func (d *vecDistinctObserver) finish() {
+	if err := d.col.store.PutScalarOnce(d.stat, d.count()); err != nil {
+		d.col.markFailed(d.stat, err)
+	}
+}
+func (d *vecDistinctObserver) mergeVec(o vecObserver) error {
+	s, ok := o.(*vecDistinctObserver)
+	if !ok {
+		return fmt.Errorf("merge vec shard: distinct vs %T", o)
+	}
+	if d.single != nil {
+		for v := range s.single {
+			d.single[v] = struct{}{}
+		}
+		return nil
+	}
+	d.set.union(&s.set)
+	return nil
+}
+
+// vecObserversFor builds batch handlers for compiled taps (which must
+// already be fault-filtered); a nil collector yields no observers.
+func vecObserversFor(col *collector, taps []physical.Tap) []vecObserver {
+	if col == nil {
+		return nil
+	}
+	var out []vecObserver
+	for _, t := range taps {
+		switch t.Stat.Kind {
+		case stats.Card:
+			out = append(out, &vecCardObserver{col: col, stat: t.Stat})
+		case stats.Hist:
+			out = append(out, &vecHistObserver{
+				col: col, stat: t.Stat, cols: t.Cols,
+				h: stats.NewHistogram(t.Stat.Attrs...), vals: make([]int64, len(t.Cols)),
+			})
+		case stats.Distinct:
+			out = append(out, newVecDistinct(col, t.Stat, t.Cols))
+		}
+	}
+	return out
+}
+
+// mergeVecShards folds the worker shards (one []vecObserver per worker, all
+// built from the same tap list) into the first shard and finishes it,
+// recording the merged statistics into the store.
+func mergeVecShards(shards [][]vecObserver) error {
+	if len(shards) == 0 {
+		return nil
+	}
+	base := shards[0]
+	for _, shard := range shards[1:] {
+		if len(shard) != len(base) {
+			return fmt.Errorf("merge vec shards: observer count mismatch (%d vs %d)", len(shard), len(base))
+		}
+		for i, o := range shard {
+			if err := base[i].mergeVec(o); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range base {
+		o.finish()
+	}
+	return nil
+}

@@ -18,12 +18,18 @@ type Histogram struct {
 	// Attrs are the attributes the distribution ranges over, in canonical
 	// order. Values passed to Add/Freq must follow this order.
 	Attrs []workflow.Attr
-	m     map[string]int64
+	// m holds bucket counts behind pointers so the per-row observation
+	// path can increment an existing bucket without re-materializing its
+	// key: a map *lookup* keyed by string(kbuf) is allocation-free, but a
+	// map *assignment* is not, so Inc only assigns (and only then copies
+	// the key) when a bucket is first seen.
+	m    map[string]*int64
+	kbuf []byte
 }
 
 // NewHistogram returns an empty histogram over the given attributes.
 func NewHistogram(attrs ...workflow.Attr) *Histogram {
-	return &Histogram{Attrs: workflow.SortAttrs(attrs), m: make(map[string]int64)}
+	return &Histogram{Attrs: workflow.SortAttrs(attrs), m: make(map[string]*int64)}
 }
 
 func encodeVals(vals []int64) string {
@@ -61,22 +67,51 @@ func (e *ArityError) Error() string {
 func (h *Histogram) Add(vals ...int64) error { return h.Inc(vals, 1) }
 
 // Inc increments the bucket for the value tuple by delta. Buckets that
-// reach zero are removed.
+// reach zero are removed. Incrementing an existing bucket allocates
+// nothing; the key string is materialized only on first insert.
 func (h *Histogram) Inc(vals []int64, delta int64) error {
 	if len(vals) != len(h.Attrs) {
 		return &ArityError{Want: len(h.Attrs), Got: len(vals)}
 	}
-	k := encodeVals(vals)
-	h.m[k] += delta
-	if h.m[k] == 0 {
-		delete(h.m, k)
+	h.kbuf = h.kbuf[:0]
+	for _, v := range vals {
+		h.kbuf = binary.BigEndian.AppendUint64(h.kbuf, uint64(v))
+	}
+	if p, ok := h.m[string(h.kbuf)]; ok {
+		*p += delta
+		if *p == 0 {
+			delete(h.m, string(h.kbuf))
+		}
+		return nil
+	}
+	if delta != 0 {
+		h.inc(string(h.kbuf), delta)
 	}
 	return nil
 }
 
+// inc adds delta to the bucket for an encoded key, inserting or removing
+// the bucket as needed.
+func (h *Histogram) inc(k string, delta int64) {
+	if p, ok := h.m[k]; ok {
+		*p += delta
+		if *p == 0 {
+			delete(h.m, k)
+		}
+		return
+	}
+	if delta != 0 {
+		v := delta
+		h.m[k] = &v
+	}
+}
+
 // Freq returns the frequency of the value tuple.
 func (h *Histogram) Freq(vals ...int64) int64 {
-	return h.m[encodeVals(vals)]
+	if p, ok := h.m[encodeVals(vals)]; ok {
+		return *p
+	}
+	return 0
 }
 
 // Total returns the sum of all bucket frequencies; for a histogram observed
@@ -84,7 +119,7 @@ func (h *Histogram) Freq(vals ...int64) int64 {
 func (h *Histogram) Total() int64 {
 	var t int64
 	for _, f := range h.m {
-		t += f
+		t += *f
 	}
 	return t
 }
@@ -96,7 +131,7 @@ func (h *Histogram) Buckets() int { return len(h.m) }
 // Each calls f for every bucket in an unspecified order.
 func (h *Histogram) Each(f func(vals []int64, freq int64)) {
 	for k, v := range h.m {
-		f(decodeVals(k), v)
+		f(decodeVals(k), *v)
 	}
 }
 
@@ -109,15 +144,16 @@ func (h *Histogram) EachSorted(f func(vals []int64, freq int64)) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		f(decodeVals(k), h.m[k])
+		f(decodeVals(k), *h.m[k])
 	}
 }
 
 // Clone returns a deep copy.
 func (h *Histogram) Clone() *Histogram {
-	out := &Histogram{Attrs: append([]workflow.Attr(nil), h.Attrs...), m: make(map[string]int64, len(h.m))}
+	out := &Histogram{Attrs: append([]workflow.Attr(nil), h.Attrs...), m: make(map[string]*int64, len(h.m))}
 	for k, v := range h.m {
-		out.m[k] = v
+		f := *v
+		out.m[k] = &f
 	}
 	return out
 }
@@ -133,10 +169,7 @@ func (h *Histogram) Merge(other *Histogram) error {
 			workflow.AttrsString(h.Attrs), workflow.AttrsString(other.Attrs))
 	}
 	for k, f := range other.m {
-		h.m[k] += f
-		if h.m[k] == 0 {
-			delete(h.m, k)
-		}
+		h.inc(k, *f)
 	}
 	return nil
 }
@@ -200,7 +233,11 @@ func DotProduct(h1, h2 *Histogram) (int64, error) {
 		small, large = large, small
 	}
 	for k, f := range small.m {
-		p, err := MulInt64(f, large.m[k])
+		var lf int64
+		if p, ok := large.m[k]; ok {
+			lf = *p
+		}
+		p, err := MulInt64(*f, lf)
 		if err != nil {
 			return 0, fmt.Errorf("dot product: bucket %v: %w", decodeVals(k), err)
 		}
@@ -259,7 +296,7 @@ func Join(h1, h2 *Histogram, join workflow.Attr, out []workflow.Attr) (*Histogra
 		v1 := decodeVals(k1)
 		for _, k2 := range group2[v1[p1[0]]] {
 			v2 := decodeVals(k2)
-			f2 := h2.m[k2]
+			f2 := *h2.m[k2]
 			vals := make([]int64, len(srcs))
 			for i, s := range srcs {
 				if s.side == 1 {
@@ -268,7 +305,7 @@ func Join(h1, h2 *Histogram, join workflow.Attr, out []workflow.Attr) (*Histogra
 					vals[i] = v2[s.pos]
 				}
 			}
-			f, err := MulInt64(f1, f2)
+			f, err := MulInt64(*f1, f2)
 			if err != nil {
 				return nil, fmt.Errorf("join: bucket %v: %w", vals, err)
 			}
@@ -289,12 +326,12 @@ func Multiply(h1, h2 *Histogram) (*Histogram, error) {
 	}
 	out := NewHistogram(h1.Attrs...)
 	for k, f1 := range h1.m {
-		if f2 := h2.m[k]; f2 != 0 {
-			f, err := MulInt64(f1, f2)
+		if f2, ok := h2.m[k]; ok && *f2 != 0 {
+			f, err := MulInt64(*f1, *f2)
 			if err != nil {
 				return nil, fmt.Errorf("multiply: bucket %v: %w", decodeVals(k), err)
 			}
-			out.m[k] = f
+			out.inc(k, f)
 		}
 	}
 	return out, nil
@@ -313,14 +350,17 @@ func Divide(num, den *Histogram) (*Histogram, error) {
 	}
 	out := NewHistogram(num.Attrs...)
 	for k, f := range num.m {
-		d := den.m[k]
+		var d int64
+		if p, ok := den.m[k]; ok {
+			d = *p
+		}
 		if d == 0 {
 			return nil, fmt.Errorf("divide: bucket %v has zero denominator", decodeVals(k))
 		}
-		if f%d != 0 {
-			return nil, fmt.Errorf("divide: bucket %v: %d not divisible by %d", decodeVals(k), f, d)
+		if *f%d != 0 {
+			return nil, fmt.Errorf("divide: bucket %v: %d not divisible by %d", decodeVals(k), *f, d)
 		}
-		out.m[k] = f / d
+		out.inc(k, *f/d)
 	}
 	return out, nil
 }
@@ -369,10 +409,7 @@ func AddHist(h1, h2 *Histogram) (*Histogram, error) {
 	}
 	out := h1.Clone()
 	for k, f := range h2.m {
-		out.m[k] += f
-		if out.m[k] == 0 {
-			delete(out.m, k)
-		}
+		out.inc(k, *f)
 	}
 	return out, nil
 }

@@ -362,7 +362,7 @@ func histEqual(a, b *Histogram) bool {
 		return false
 	}
 	for k, v := range a.m {
-		if b.m[k] != v {
+		if p, ok := b.m[k]; !ok || *p != *v {
 			return false
 		}
 	}

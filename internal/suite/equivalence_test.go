@@ -9,16 +9,56 @@ import (
 	"github.com/essential-stats/etlopt/internal/css"
 	"github.com/essential-stats/etlopt/internal/data"
 	"github.com/essential-stats/etlopt/internal/engine"
+	"github.com/essential-stats/etlopt/internal/faults"
 	"github.com/essential-stats/etlopt/internal/physical"
 	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
+// engineConfigs enumerates every interpreter the contract covers: legacy
+// row-at-a-time and columnar, batch and streaming, sequential and
+// worker-parallel. The row batch sequential run is the golden reference.
+var engineConfigs = []struct {
+	name    string
+	rowMode bool
+	stream  bool
+	workers int
+}{
+	{"row batch w1", true, false, 1},
+	{"row batch w4", true, false, 4},
+	{"row stream w1", true, true, 1},
+	{"row stream w4", true, true, 4},
+	{"vec batch w1", false, false, 1},
+	{"vec batch w4", false, false, 4},
+	{"vec stream w1", false, true, 1},
+	{"vec stream w4", false, true, 4},
+}
+
+// runConfig executes one compiled plan under one engine configuration.
+func runConfig(cfg struct {
+	name    string
+	rowMode bool
+	stream  bool
+	workers int
+}, an *workflow.Analysis, db engine.DB, res *css.Result, observe []stats.Stat, metrics bool, inj *faults.Injector) (*engine.Result, error) {
+	if cfg.stream {
+		e := engine.NewStream(an, db, nil)
+		e.RowMode, e.Workers, e.CollectMetrics, e.Faults = cfg.rowMode, cfg.workers, metrics, inj
+		return e.RunObserved(res, observe)
+	}
+	e := engine.New(an, db, nil)
+	e.RowMode, e.Workers, e.CollectMetrics, e.Faults = cfg.rowMode, cfg.workers, metrics, inj
+	return e.RunObserved(res, observe)
+}
+
 // TestEngineEquivalenceGolden is the cross-engine contract check: over
-// every suite workflow, the batch and streaming engines — sequential and
-// worker-parallel — must produce identical sinks, materialized tables,
-// observed statistics and work metric from one compiled physical plan. The
-// batch sequential run is the reference; any divergence means an executor
-// strayed from the shared IR's semantics.
+// every suite workflow, the row-at-a-time and columnar interpreters of both
+// engines — sequential and worker-parallel — must produce identical sinks,
+// materialized tables, observed statistics and work metric from one
+// compiled physical plan. The legacy row batch sequential run is the
+// golden; any divergence means an interpreter strayed from the shared IR's
+// semantics. A second pass repeats the matrix with metrics collection off,
+// since the columnar paths skip per-node accounting entirely in that mode.
 func TestEngineEquivalenceGolden(t *testing.T) {
 	const scale = 0.001
 	for _, w := range All() {
@@ -35,38 +75,32 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			observe := res.ObservableStats()
 			db := w.Data(scale)
 
-			refEng := engine.New(an, db, nil)
-			refEng.CollectMetrics = true
-			ref, err := refEng.RunObserved(res, observe)
-			if err != nil {
-				t.Fatalf("batch seq: %v", err)
-			}
-			runs := []struct {
-				label string
-				run   func() (*engine.Result, error)
-			}{
-				{"batch w4", func() (*engine.Result, error) {
-					e := engine.New(an, db, nil)
-					e.Workers, e.CollectMetrics = 4, true
-					return e.RunObserved(res, observe)
-				}},
-				{"stream w1", func() (*engine.Result, error) {
-					e := engine.NewStream(an, db, nil)
-					e.CollectMetrics = true
-					return e.RunObserved(res, observe)
-				}},
-				{"stream w4", func() (*engine.Result, error) {
-					e := engine.NewStream(an, db, nil)
-					e.Workers, e.CollectMetrics = 4, true
-					return e.RunObserved(res, observe)
-				}},
-			}
-			for _, r := range runs {
-				got, err := r.run()
+			for _, metrics := range []bool{true, false} {
+				ref, err := runConfig(engineConfigs[0], an, db, res, observe, metrics, nil)
 				if err != nil {
-					t.Fatalf("%s: %v", r.label, err)
+					t.Fatalf("%s (metrics=%v): %v", engineConfigs[0].name, metrics, err)
 				}
-				diffResults(t, r.label, ref, got)
+				for _, cfg := range engineConfigs[1:] {
+					if !metrics && cfg.rowMode {
+						// The metrics-off pass targets the columnar
+						// interpreters' accounting-free branches; the row
+						// interpreters barely branch on the flag and their
+						// metrics-on runs already pin them above.
+						continue
+					}
+					if raceDetector && cfg.workers == 1 {
+						// Under the race detector only the worker-parallel
+						// legs can race; the sequential ones run in the
+						// unraced test job and would push this package past
+						// its timeout on single-core hosts.
+						continue
+					}
+					got, err := runConfig(cfg, an, db, res, observe, metrics, nil)
+					if err != nil {
+						t.Fatalf("%s (metrics=%v): %v", cfg.name, metrics, err)
+					}
+					diffResults(t, fmt.Sprintf("%s (metrics=%v)", cfg.name, metrics), ref, got)
+				}
 			}
 		})
 	}

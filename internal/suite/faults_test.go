@@ -4,17 +4,17 @@ import (
 	"testing"
 
 	"github.com/essential-stats/etlopt/internal/css"
-	"github.com/essential-stats/etlopt/internal/engine"
 	"github.com/essential-stats/etlopt/internal/faults"
 )
 
 // TestEngineEquivalenceUnderFaults is the fault-matrix contract: with an
 // injector forcing one transient fault at every site (rate=1, transient=1 —
-// every block's first attempt fails and every retry succeeds), all four
-// engine configurations must still produce results identical to a
-// fault-free golden run over every suite workflow. Retries are invisible:
-// per-attempt sinks and row budgets isolate failed attempts, so nothing a
-// failed attempt did leaks into the committed result.
+// every block's first attempt fails and every retry succeeds), every engine
+// configuration — row and columnar, batch and streaming, sequential and
+// worker-parallel — must still produce results identical to a fault-free
+// golden run over every suite workflow. Retries are invisible: per-attempt
+// sinks and row budgets isolate failed attempts, so nothing a failed
+// attempt did leaks into the committed result.
 func TestEngineEquivalenceUnderFaults(t *testing.T) {
 	const scale = 0.001
 	inj := faults.New(1, 1, 1, 0) // seed 1, every site, one transient failure, all kinds
@@ -32,7 +32,7 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 			observe := res.ObservableStats()
 			db := w.Data(scale)
 
-			clean, err := engine.New(an, db, nil).RunObserved(res, observe)
+			clean, err := runConfig(engineConfigs[0], an, db, res, observe, false, nil)
 			if err != nil {
 				t.Fatalf("fault-free golden: %v", err)
 			}
@@ -40,26 +40,13 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 				t.Fatalf("fault-free run recorded %d retries", clean.Retries)
 			}
 
-			for _, cfg := range []struct {
-				name    string
-				stream  bool
-				workers int
-			}{
-				{"batch w1", false, 1},
-				{"batch w4", false, 4},
-				{"stream w1", true, 1},
-				{"stream w4", true, 4},
-			} {
-				var got *engine.Result
-				if cfg.stream {
-					e := engine.NewStream(an, db, nil)
-					e.Workers, e.Faults = cfg.workers, inj
-					got, err = e.RunObserved(res, observe)
-				} else {
-					e := engine.New(an, db, nil)
-					e.Workers, e.Faults = cfg.workers, inj
-					got, err = e.RunObserved(res, observe)
+			for _, cfg := range engineConfigs {
+				if raceDetector && cfg.workers == 1 {
+					// See TestEngineEquivalenceGolden: sequential legs
+					// cannot race and are covered by the unraced CI jobs.
+					continue
 				}
+				got, err := runConfig(cfg, an, db, res, observe, false, inj)
 				if err != nil {
 					t.Fatalf("%s under faults: %v", cfg.name, err)
 				}

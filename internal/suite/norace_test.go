@@ -1,0 +1,6 @@
+//go:build !race
+
+package suite
+
+// raceDetector is false in ordinary builds; see race_test.go.
+const raceDetector = false

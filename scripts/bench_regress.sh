@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench_regress.sh — CI gate for allocation regressions in the engine's
+# metrics-off configurations.
+#
+# Usage: scripts/bench_regress.sh [BASE.json] [HEAD.json]
+#
+# Compares allocs/op between the two committed benchjson records (default:
+# the PR3 row-engine baseline vs the PR6 columnar record) for every
+# benchmark that runs without metrics collection. Exits nonzero if any of
+# them allocates more than the baseline; cmd/benchdiff prints the full
+# comparison table either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-BENCH_pr3.json}"
+HEAD="${2:-BENCH_pr6.json}"
+
+for f in "$BASE" "$HEAD"; do
+    if [[ ! -f "$f" ]]; then
+        echo "bench_regress: missing benchmark record $f" >&2
+        exit 1
+    fi
+done
+
+exec go run ./cmd/benchdiff -base "$BASE" -head "$HEAD"
