@@ -153,6 +153,73 @@ func BenchmarkE2ECycle(b *testing.B) {
 	}
 }
 
+// BenchmarkE2ECycleApprox is BenchmarkE2ECycle on the sketch-backed tier:
+// the same workflow with every admissible exact statistic demoted to its
+// HyperLogLog or count-min sibling, pinning the approximate tier's
+// end-to-end overhead next to the exact baseline.
+func BenchmarkE2ECycleApprox(b *testing.B) {
+	w := suite.MustGet(5)
+	db := w.Data(0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.StatsTier = core.TierApprox
+		cy, err := core.Run(w.Graph, w.Catalog, db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cy.Plans.TotalCost > cy.Plans.TotalInitialCost {
+			b.Fatal("optimizer regressed")
+		}
+	}
+}
+
+// BenchmarkHLLAdd measures the per-tuple cost of a HyperLogLog update, the
+// hot path of every sketch-backed distinct-count tap.
+func BenchmarkHLLAdd(b *testing.B) {
+	h := stats.NewHLL(stats.DefaultHLLP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i))
+	}
+	if h.Estimate() == 0 {
+		b.Fatal("empty sketch")
+	}
+}
+
+// BenchmarkHLLMerge measures the register-max merge that combines
+// per-worker HLL shards after a parallel run.
+func BenchmarkHLLMerge(b *testing.B) {
+	l := stats.NewHLL(stats.DefaultHLLP)
+	r := stats.NewHLL(stats.DefaultHLLP)
+	for i := int64(0); i < 4096; i++ {
+		l.Add(i)
+		r.Add(i + 2048)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Clone().Merge(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCMHistObserve measures the per-tuple cost of a count-min
+// histogram update (hash + one counter write per depth row).
+func BenchmarkCMHistObserve(b *testing.B) {
+	cm := stats.NewCMH(stats.CMSpecFor(0, 9999), stats.DefaultCMDepth, stats.DefaultCMWidth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Observe(int64(i % 10000))
+	}
+	if cm.Total() == 0 {
+		b.Fatal("empty sketch")
+	}
+}
+
 // BenchmarkAblationGreedyVsExact compares the two selection solvers on one
 // mid-size workflow (the DESIGN.md solver ablation).
 func BenchmarkAblationGreedyVsExact(b *testing.B) {

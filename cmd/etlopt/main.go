@@ -21,6 +21,8 @@
 //	etlopt schedule -wf 3 -budget 64  # Section 6.1 multi-run observation schedule
 //	etlopt report  -wf 3 > cycle.md   # markdown report of one full cycle
 //	etlopt run     -wf 3 -save-stats wf03.stats   # …and persist the observed statistics
+//	etlopt run     -wf 3 -stats-tier=approx       # observe sketch-backed approximate statistics
+//	etlopt run     -wf 3 -stats-tier=auto         # sketches compete with exact taps on cost
 //	etlopt serve   -catalog dir -addr :8080       # statistics-serving daemon (docs/ARCHITECTURE.md)
 //
 // A workflow document is the JSON form of workflow.Document: the operator
@@ -95,6 +97,7 @@ func main() {
 	timeout := fs.Duration("timeout", 0, "abort run/explain/schedule/report after this duration (0 = no deadline)")
 	faultSpec := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,rate=0.5,transient=1,kinds=tap|op (see docs/FAULTS.md)")
 	saveStats := fs.String("save-stats", "", "run: write the observed statistics to this file (the /v1/observe upload format)")
+	statsTier := fs.String("stats-tier", "exact", "run/explain: statistics tier: exact | approx (sketch-backed observation wherever possible) | auto (sketches compete on cost)")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	catalogDir := fs.String("catalog", "", "serve: statistics catalog directory")
 	drift := fs.Float64("drift", serve.DefaultDriftThreshold, "serve: max relative drift before cached solutions invalidate")
@@ -102,6 +105,11 @@ func main() {
 	_ = fs.Parse(os.Args[2:])
 
 	inj, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlopt:", err)
+		os.Exit(2)
+	}
+	tier, err := core.ParseStatsTier(*statsTier)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlopt:", err)
 		os.Exit(2)
@@ -141,11 +149,11 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats)
+		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats, tier)
 	case "serve":
 		err = serveCmd(ctx, *addr, *catalogDir, *drift, *cache)
 	case "explain":
-		err = explainCmd(ctx, *file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics, inj)
+		err = explainCmd(ctx, *file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics, inj, tier)
 	case "gendata":
 		err = genData(*wfID, *scale, *outDir)
 	case "schedule":
@@ -219,7 +227,7 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string) error {
+func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string, tier core.StatsTier) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -229,6 +237,7 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 	cfg.MaxRows = maxRows
 	cfg.CollectMetrics = metricsFmt != ""
 	cfg.Faults = inj
+	cfg.StatsTier = tier
 	cy, err := core.RunCtx(ctx, g, cat, db, cfg)
 	if err != nil {
 		// A cancelled or failed run still returns the partial cycle; flush
@@ -309,7 +318,7 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 // section (per-operator row counts plus the q-error feedback report); with
 // -derive it runs the full cycle and prints the derivation tree of every
 // SE cardinality.
-func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector) error {
+func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scale float64, derive bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, tier core.StatsTier) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -340,6 +349,7 @@ func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scal
 		cfg.MaxRows = maxRows
 		cfg.CollectMetrics = true
 		cfg.Faults = inj
+		cfg.StatsTier = tier
 		cy, err := core.RunCtx(ctx, g, cat, db, cfg)
 		if err != nil {
 			return err
@@ -354,7 +364,7 @@ func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scal
 		return nil
 	}
 	fmt.Println()
-	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "")
+	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "", tier)
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown

@@ -234,13 +234,15 @@ func runError(scale float64) error {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "buckets\tmemory\tmeanRelErr\tmaxRelErr\tjoins")
+	fmt.Fprintln(w, "buckets\tmemory\tobsCPU\tmeanRelErr\tmaxRelErr\tjoins")
 	for _, r := range rs {
 		label := fmt.Sprintf("%d", r.Buckets)
-		if r.Buckets == 0 {
+		if r.Sketch {
+			label = "cm-sketch"
+		} else if r.Buckets == 0 {
 			label = "exact"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\t%d\n", label, r.Memory, r.MeanRelErr, r.MaxRelErr, r.Joins)
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.4f\t%.4f\t%d\n", label, r.Memory, r.CPU, r.MeanRelErr, r.MaxRelErr, r.Joins)
 	}
 	w.Flush()
 	fmt.Println()

@@ -80,12 +80,59 @@ type Config struct {
 	// RetryBackoff is the base inter-attempt delay, doubling per retry,
 	// capped at 100ms (0 = engine default of 1ms).
 	RetryBackoff time.Duration
+	// StatsTier selects the statistics observation tier: TierExact (the
+	// default) observes exact counters and per-value histograms only;
+	// TierApprox replaces every exact Distinct/Hist that has a sketch
+	// sibling with the sketch (HyperLogLog distinct counts, count-min
+	// histograms), cutting observation CPU and statistic payload bytes at
+	// a calibrated estimate-accuracy cost; TierAuto admits sketches into
+	// the universe and lets the selection objective choose per statistic.
+	StatsTier StatsTier
+	// MinAccuracy is the per-statistic accuracy floor for the approx and
+	// auto tiers (0 admits every sketch at its analytical guarantee).
+	MinAccuracy float64
 	// AllowPartialStats lets OptimizeFromSaved proceed when the saved
 	// store cannot derive every SE cardinality (a partial save from a
 	// degraded or cancelled run): blocks whose cardinalities are
 	// underivable keep their initial plans (reported in Result.Fallbacks)
 	// instead of the whole optimization failing with a MissingStatsError.
 	AllowPartialStats bool
+}
+
+// StatsTier names an observation tier.
+type StatsTier string
+
+// The observation tiers.
+const (
+	TierExact  StatsTier = "exact"
+	TierApprox StatsTier = "approx"
+	TierAuto   StatsTier = "auto"
+)
+
+// ParseStatsTier validates a tier name ("" means exact).
+func ParseStatsTier(s string) (StatsTier, error) {
+	switch StatsTier(s) {
+	case "", TierExact:
+		return TierExact, nil
+	case TierApprox:
+		return TierApprox, nil
+	case TierAuto:
+		return TierAuto, nil
+	default:
+		return "", fmt.Errorf("core: unknown stats tier %q (want exact, approx or auto)", s)
+	}
+}
+
+// approxPolicy maps the configured tier onto the selector's policy.
+func (c Config) approxPolicy() selector.ApproxPolicy {
+	switch c.StatsTier {
+	case TierApprox:
+		return selector.ApproxPolicy{Enable: true, MinAccuracy: c.MinAccuracy, Force: true}
+	case TierAuto:
+		return selector.ApproxPolicy{Enable: true, MinAccuracy: c.MinAccuracy}
+	default:
+		return selector.ApproxPolicy{}
+	}
 }
 
 // DefaultConfig enables every rule family with the exact solver and the
@@ -197,7 +244,7 @@ func RunCtx(ctx context.Context, g *workflow.Graph, cat *workflow.Catalog, db en
 	coster.FreeSourceStats = cfg.FreeSourceStats
 	coster.CPUWeight = cfg.CPUWeight
 	coster.Sizes = cfg.Sizes
-	u, err := selector.NewUniverse(res, coster)
+	u, err := selector.NewUniverseOpts(res, coster, selector.UniverseOptions{Approx: cfg.approxPolicy()})
 	if err != nil {
 		return cy, fmt.Errorf("core: select statistics: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/essential-stats/etlopt/internal/faults"
+	"github.com/essential-stats/etlopt/internal/stats"
 )
 
 // TestDegradedCyclePermanentTapFaults is the ladder's contract: permanent
@@ -48,7 +49,7 @@ func TestDegradedCyclePermanentTapFaults(t *testing.T) {
 				if len(deg.Failed) == 0 {
 					t.Fatal("degradation report lists no failed statistics")
 				}
-				if deg.Mode != "alternate-css" && deg.Mode != "payg" {
+				if deg.Mode != "alternate-css" && deg.Mode != "sketch" && deg.Mode != "payg" {
 					t.Fatalf("unexpected degradation mode %q", deg.Mode)
 				}
 				if tc.rate == 1 && deg.Mode != "payg" {
@@ -111,6 +112,47 @@ func TestAlternateCSSRungReached(t *testing.T) {
 		return
 	}
 	t.Fatal("no injector seed in 1..32 completed via the alternate-css rung with a re-observation run")
+}
+
+// TestSketchRungReached scans injector seeds until the ladder completes on
+// the sketch rung: every permanently failed statistic recovered through its
+// bounded-memory approximate sibling (which tap faults cannot touch), with
+// no pay-as-you-go runs and no fallback blocks. The rate is chosen low
+// enough that some seed fails only statistics with sketch variants.
+func TestSketchRungReached(t *testing.T) {
+	g, cat, db := skewedRetail(t)
+	for seed := uint64(1); seed <= 64; seed++ {
+		cfg := DefaultConfig()
+		cfg.Faults = faults.New(seed, 0.3, 0, faults.Tap)
+		cy, err := Run(g, cat, db, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: Run aborted: %v", seed, err)
+		}
+		deg := cy.Degradation
+		if deg == nil || deg.Mode != "sketch" {
+			continue
+		}
+		if deg.SketchRuns != 1 {
+			t.Fatalf("seed %d: sketch mode with %d sketch runs", seed, deg.SketchRuns)
+		}
+		if deg.PaygRuns != 0 {
+			t.Fatalf("seed %d: sketch mode ran payg %d time(s)", seed, deg.PaygRuns)
+		}
+		// Every failure must actually be covered by an observed sketch.
+		store := cy.Observed.Observed
+		for _, f := range deg.Failed {
+			v, ok := stats.ApproxVariant(f.Stat)
+			if !ok || !store.Has(v) {
+				t.Fatalf("seed %d: failed statistic %v not covered by a sketch", seed, f.Stat.Key())
+			}
+		}
+		if n := len(deg.FallbackBlocks); n != 0 {
+			t.Fatalf("seed %d: sketch rung left %d fallback blocks", seed, n)
+		}
+		t.Logf("seed %d: sketch rung recovered %d failed statistic(s)", seed, len(deg.Failed))
+		return
+	}
+	t.Fatal("no injector seed in 1..64 completed via the sketch rung")
 }
 
 // TestDegradedCycleDeterministic re-runs the same faulted configuration and

@@ -63,6 +63,16 @@ func (c *Coster) Memory(s stats.Stat) (int64, error) {
 	if s.Kind == stats.Card {
 		return 1, nil
 	}
+	// Sketch-backed kinds occupy a fixed budget regardless of the attribute
+	// domain — that bound is the whole point of the approximate tier. The
+	// units mirror Store.MemoryUnits: 8 HLL registers per unit, one unit per
+	// count-min counter.
+	switch s.Kind {
+	case stats.HLLDistinct:
+		return (1 << stats.DefaultHLLP) / 8, nil
+	case stats.CMHist:
+		return int64(stats.DefaultCMDepth) * int64(stats.DefaultCMWidth), nil
+	}
 	phys, err := c.Res.PhysicalAttrs(s)
 	if err != nil {
 		return 0, err
@@ -114,17 +124,46 @@ func (c *Coster) reduceByFDs(attrs []workflow.Attr) []workflow.Attr {
 }
 
 // CPU returns the CPU observation cost: the estimated number of tuples at
-// the observation point (each tuple costs one statistic update).
+// the observation point, scaled by the per-kind update weight — each tuple
+// costs one update for exact statistics, while sketch updates (a hash and
+// a register/counter write, no sorted-map maintenance) are priced at
+// UpdateWeight of one.
 func (c *Coster) CPU(s stats.Stat) float64 {
+	n := 0.0
 	if c.Sizes != nil {
-		if n, ok := c.Sizes.SizeOf(s.Target); ok {
-			return n
+		if sz, ok := c.Sizes.SizeOf(s.Target); ok {
+			n = sz
 		}
 	}
-	if n, ok := NewIndependence(c.Res, c.Cat).SizeOf(s.Target); ok {
-		return n
+	if n == 0 {
+		if sz, ok := NewIndependence(c.Res, c.Cat).SizeOf(s.Target); ok {
+			n = sz
+		}
 	}
-	return 0
+	return n * UpdateWeight(s.Kind)
+}
+
+// SketchUpdateWeight prices one sketch update relative to one exact
+// distribution update. Exact distribution updates maintain a sorted
+// frequency map; a sketch update is a 64-bit hash plus a bounded number of
+// array writes.
+const SketchUpdateWeight = 0.1
+
+// CardUpdateWeight prices a cardinality update: a bare counter increment,
+// with no key hashing or map maintenance at all — orders of magnitude
+// below the exact-distribution unit the weights are relative to.
+const CardUpdateWeight = 0.001
+
+// UpdateWeight returns the per-tuple CPU weight of a statistic kind,
+// relative to one exact distribution (frequency-map) update.
+func UpdateWeight(k stats.Kind) float64 {
+	if k == stats.Card {
+		return CardUpdateWeight
+	}
+	if k.Approx() {
+		return SketchUpdateWeight
+	}
+	return 1
 }
 
 // Cost combines the metrics per the configured weights. Statistics over

@@ -193,6 +193,14 @@ func (s *blockSink) liveTaps(col *collector, taps []physical.Tap) ([]physical.Ta
 	}
 	live := taps[:0:0]
 	for _, t := range taps {
+		// Tap faults model the observation side-memory exhausting; sketch
+		// taps hold a fixed few hundred bytes no matter what flows past, so
+		// the injector is never consulted for them — they are the rung the
+		// degradation ladder retreats to when exact taps keep failing.
+		if t.Stat.Kind.Approx() {
+			live = append(live, t)
+			continue
+		}
 		err := s.flt.At(faults.Tap, tapSite(t.Stat), s.attempt)
 		if err == nil {
 			live = append(live, t)
@@ -213,6 +221,10 @@ func (s *blockSink) liveAux(col *collector, aux []*physical.AuxJoin) ([]*physica
 	}
 	live := aux[:0:0]
 	for _, a := range aux {
+		if a.Stat.Kind.Approx() {
+			live = append(live, a)
+			continue
+		}
 		err := s.flt.At(faults.Tap, tapSite(a.Stat), s.attempt)
 		if err == nil {
 			live = append(live, a)

@@ -80,6 +80,46 @@ func (d *distinctObserver) finish() {
 	}
 }
 
+// hllObserver sketches a distinct count with a fixed register budget. Each
+// worker shard hashes its rows into its own registers; the register-max
+// merge makes the final sketch identical to a sequential observation at
+// any worker count.
+type hllObserver struct {
+	col  *collector
+	stat stats.Stat
+	cols []int
+	h    *stats.HLL
+	vals []int64
+}
+
+func (o *hllObserver) observe(r data.Row) {
+	for i, c := range o.cols {
+		o.vals[i] = r[c]
+	}
+	o.h.Add(o.vals...)
+}
+func (o *hllObserver) finish() {
+	if err := o.col.store.PutHLLOnce(o.stat, o.h); err != nil {
+		o.col.markFailed(o.stat, err)
+	}
+}
+
+// cmObserver sketches a single-attribute frequency distribution with a
+// count-min over the tap's compile-time bucket spec.
+type cmObserver struct {
+	col    *collector
+	stat   stats.Stat
+	colIdx int
+	cm     *stats.CMH
+}
+
+func (o *cmObserver) observe(r data.Row) { o.cm.Observe(r[o.colIdx]) }
+func (o *cmObserver) finish() {
+	if err := o.col.store.PutCMOnce(o.stat, o.cm); err != nil {
+		o.col.markFailed(o.stat, err)
+	}
+}
+
 // mergeObserver folds another shard of the same statistic into this one.
 // The parallel engine gives each worker its own observer shard (so per-row
 // observation never contends) and merges the shards after the operator
@@ -113,6 +153,22 @@ func (d *distinctObserver) mergeShard(o rowObserver) error {
 	}
 	d.set.union(&s.set)
 	return nil
+}
+
+func (o *hllObserver) mergeShard(other rowObserver) error {
+	s, ok := other.(*hllObserver)
+	if !ok {
+		return fmt.Errorf("merge shard: hll vs %T", other)
+	}
+	return o.h.Merge(s.h)
+}
+
+func (o *cmObserver) mergeShard(other rowObserver) error {
+	s, ok := other.(*cmObserver)
+	if !ok {
+		return fmt.Errorf("merge shard: cm vs %T", other)
+	}
+	return o.cm.Merge(s.cm)
 }
 
 // shardMerger is implemented by every built-in observer; external test
@@ -170,6 +226,16 @@ func observersFor(col *collector, taps []physical.Tap) []rowObserver {
 			out = append(out, &distinctObserver{
 				col: col, stat: t.Stat, cols: t.Cols,
 				set: newKeySet(), vals: make([]int64, len(t.Cols)),
+			})
+		case stats.HLLDistinct:
+			out = append(out, &hllObserver{
+				col: col, stat: t.Stat, cols: t.Cols,
+				h: stats.NewHLL(stats.DefaultHLLP), vals: make([]int64, len(t.Cols)),
+			})
+		case stats.CMHist:
+			out = append(out, &cmObserver{
+				col: col, stat: t.Stat, colIdx: t.Cols[0],
+				cm: stats.NewCMH(t.Spec, stats.DefaultCMDepth, stats.DefaultCMWidth),
 			})
 		}
 	}

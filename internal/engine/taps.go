@@ -106,6 +106,26 @@ func (c *collector) collect(tap physical.Tap, tbl *data.Table) {
 		if err := c.store.PutHistOnce(tap.Stat, h); err != nil {
 			c.markFailed(tap.Stat, err)
 		}
+	case stats.HLLDistinct:
+		h := stats.NewHLL(stats.DefaultHLLP)
+		vals := make([]int64, len(tap.Cols))
+		for _, r := range tbl.Rows {
+			for i, col := range tap.Cols {
+				vals[i] = r[col]
+			}
+			h.Add(vals...)
+		}
+		if err := c.store.PutHLLOnce(tap.Stat, h); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
+	case stats.CMHist:
+		cm := stats.NewCMH(tap.Spec, stats.DefaultCMDepth, stats.DefaultCMWidth)
+		for _, r := range tbl.Rows {
+			cm.Observe(r[tap.Cols[0]])
+		}
+		if err := c.store.PutCMOnce(tap.Stat, cm); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
 	}
 }
 

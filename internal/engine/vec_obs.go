@@ -170,6 +170,93 @@ func (d *vecDistinctObserver) mergeVec(o vecObserver) error {
 	return nil
 }
 
+// vecHLLObserver sketches a distinct count over batches. The register-max
+// merge makes the folded sketch identical to a sequential observation at
+// any worker count.
+type vecHLLObserver struct {
+	col  *collector
+	stat stats.Stat
+	cols []int
+	h    *stats.HLL
+	vals []int64
+}
+
+func (o *vecHLLObserver) observeVec(b *batch.Batch) {
+	if len(o.cols) == 1 {
+		col := b.Cols[o.cols[0]]
+		if b.Sel != nil {
+			for _, ri := range b.Sel {
+				o.h.Add(col[ri])
+			}
+		} else {
+			for ri := 0; ri < b.N; ri++ {
+				o.h.Add(col[ri])
+			}
+		}
+		return
+	}
+	add := func(ri int32) {
+		for i, c := range o.cols {
+			o.vals[i] = b.Cols[c][ri]
+		}
+		o.h.Add(o.vals...)
+	}
+	if b.Sel != nil {
+		for _, ri := range b.Sel {
+			add(ri)
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			add(int32(ri))
+		}
+	}
+}
+func (o *vecHLLObserver) finish() {
+	if err := o.col.store.PutHLLOnce(o.stat, o.h); err != nil {
+		o.col.markFailed(o.stat, err)
+	}
+}
+func (o *vecHLLObserver) mergeVec(other vecObserver) error {
+	s, ok := other.(*vecHLLObserver)
+	if !ok {
+		return fmt.Errorf("merge vec shard: hll vs %T", other)
+	}
+	return o.h.Merge(s.h)
+}
+
+// vecCMObserver sketches a single-attribute distribution over batches.
+type vecCMObserver struct {
+	col    *collector
+	stat   stats.Stat
+	colIdx int
+	cm     *stats.CMH
+}
+
+func (o *vecCMObserver) observeVec(b *batch.Batch) {
+	col := b.Cols[o.colIdx]
+	if b.Sel != nil {
+		for _, ri := range b.Sel {
+			o.cm.Observe(col[ri])
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			o.cm.Observe(col[ri])
+		}
+	}
+}
+func (o *vecCMObserver) finish() {
+	if err := o.col.store.PutCMOnce(o.stat, o.cm); err != nil {
+		o.col.markFailed(o.stat, err)
+	}
+}
+func (o *vecCMObserver) mergeVec(other vecObserver) error {
+	s, ok := other.(*vecCMObserver)
+	if !ok {
+		return fmt.Errorf("merge vec shard: cm vs %T", other)
+	}
+	return o.cm.Merge(s.cm)
+}
+
 // vecObserversFor builds batch handlers for compiled taps (which must
 // already be fault-filtered); a nil collector yields no observers.
 func vecObserversFor(col *collector, taps []physical.Tap) []vecObserver {
@@ -188,6 +275,16 @@ func vecObserversFor(col *collector, taps []physical.Tap) []vecObserver {
 			})
 		case stats.Distinct:
 			out = append(out, newVecDistinct(col, t.Stat, t.Cols))
+		case stats.HLLDistinct:
+			out = append(out, &vecHLLObserver{
+				col: col, stat: t.Stat, cols: t.Cols,
+				h: stats.NewHLL(stats.DefaultHLLP), vals: make([]int64, len(t.Cols)),
+			})
+		case stats.CMHist:
+			out = append(out, &vecCMObserver{
+				col: col, stat: t.Stat, colIdx: t.Cols[0],
+				cm: stats.NewCMH(t.Spec, stats.DefaultCMDepth, stats.DefaultCMWidth),
+			})
 		}
 	}
 	return out

@@ -91,6 +91,55 @@ func (c *collector) collectVec(tap physical.Tap, b *batch.Batch) {
 		if err := c.store.PutHistOnce(tap.Stat, h); err != nil {
 			c.markFailed(tap.Stat, err)
 		}
+	case stats.HLLDistinct:
+		h := stats.NewHLL(stats.DefaultHLLP)
+		if len(tap.Cols) == 1 {
+			col := b.Cols[tap.Cols[0]]
+			if b.Sel != nil {
+				for _, ri := range b.Sel {
+					h.Add(col[ri])
+				}
+			} else {
+				for ri := 0; ri < b.N; ri++ {
+					h.Add(col[ri])
+				}
+			}
+		} else {
+			vals := make([]int64, len(tap.Cols))
+			add := func(ri int32) {
+				for i, col := range tap.Cols {
+					vals[i] = b.Cols[col][ri]
+				}
+				h.Add(vals...)
+			}
+			if b.Sel != nil {
+				for _, ri := range b.Sel {
+					add(ri)
+				}
+			} else {
+				for ri := 0; ri < b.N; ri++ {
+					add(int32(ri))
+				}
+			}
+		}
+		if err := c.store.PutHLLOnce(tap.Stat, h); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
+	case stats.CMHist:
+		cm := stats.NewCMH(tap.Spec, stats.DefaultCMDepth, stats.DefaultCMWidth)
+		col := b.Cols[tap.Cols[0]]
+		if b.Sel != nil {
+			for _, ri := range b.Sel {
+				cm.Observe(col[ri])
+			}
+		} else {
+			for ri := 0; ri < b.N; ri++ {
+				cm.Observe(col[ri])
+			}
+		}
+		if err := c.store.PutCMOnce(tap.Stat, cm); err != nil {
+			c.markFailed(tap.Stat, err)
+		}
 	}
 }
 

@@ -37,6 +37,22 @@ func (e *Estimator) Explain(s stats.Stat) (*Explanation, error) {
 	if e.Store.Has(s) {
 		return &Explanation{Stat: s, Value: v, Rule: "observed"}, nil
 	}
+	// The approximate tier: the value came from the observed sketch
+	// sibling, so explain it as the A1/A2 conversion over an observed leaf.
+	if av, ok := stats.ApproxVariant(s); ok && e.Store.Has(av) {
+		rule := "A1"
+		if av.Kind == stats.CMHist {
+			rule = "A2"
+		}
+		leaf, err := e.fromStore(av)
+		if err != nil {
+			return nil, err
+		}
+		return &Explanation{
+			Stat: s, Value: v, Rule: rule,
+			Inputs: []*Explanation{{Stat: av, Value: leaf, Rule: "observed"}},
+		}, nil
+	}
 	// Find the first evaluable CSS — the same order Value used, so the
 	// explanation matches the computation.
 	for _, c := range e.Res.CSS[s.Key()] {

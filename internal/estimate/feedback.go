@@ -41,6 +41,11 @@ type SEReport struct {
 	// Derivable reports whether the estimator could derive the target
 	// from the selected statistics at all.
 	Derivable bool `json:"derivable"`
+	// Tier records which statistics tier fed the derivation: "approx" when
+	// any statistic on the derivation path came from a sketch, "exact"
+	// otherwise (empty when not derivable). Per-tier q-errors are what
+	// calibrate how much cheaper observation is worth in estimate quality.
+	Tier string `json:"tier,omitempty"`
 }
 
 // RuleAccuracy aggregates q-errors per root derivation rule, surfacing
@@ -123,6 +128,10 @@ func BuildFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int
 		rep.Derivable = true
 		rep.Estimate = ex.Value.Scalar
 		rep.Rule = ex.Rule
+		rep.Tier = "exact"
+		if ex.Value.Approx {
+			rep.Tier = "approx"
+		}
 		rep.QError = qError(rep.Actual, rep.Estimate)
 		f.SEs = append(f.SEs, rep)
 		f.Total++
@@ -219,8 +228,12 @@ func (f *Feedback) Render() string {
 			fmt.Fprintf(&sb, "  blk%d %-28s actual %-10d not derivable\n", r.Block, r.Label, r.Actual)
 			continue
 		}
-		fmt.Fprintf(&sb, "  blk%d %-28s actual %-10d est %-10d q %-8s %s\n",
-			r.Block, r.Label, r.Actual, r.Estimate, fmtQ(r.QError), r.Rule)
+		tier := ""
+		if r.Tier == "approx" {
+			tier = " (approx)"
+		}
+		fmt.Fprintf(&sb, "  blk%d %-28s actual %-10d est %-10d q %-8s %s%s\n",
+			r.Block, r.Label, r.Actual, r.Estimate, fmtQ(r.QError), r.Rule, tier)
 	}
 	if len(f.Rules) > 0 {
 		sb.WriteString("  rule accuracy:\n")

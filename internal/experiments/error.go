@@ -19,8 +19,17 @@ import (
 type ErrorRow struct {
 	// Buckets is the per-histogram bucket count (0 = exact per-value).
 	Buckets int
-	// Memory is the total bucket count across all observed histograms.
+	// Sketch marks the count-min row of the sweep: the approximate
+	// statistics tier's estimate for the same join edges, at its default
+	// sketch dimensions.
+	Sketch bool
+	// Memory is the total counter count across all observed histograms or
+	// sketches.
 	Memory int64
+	// CPU is the total observation cost under the Section 5.4 model:
+	// tuples observed × the per-kind update weight (1 for exact
+	// distributions, costmodel.SketchUpdateWeight for sketches).
+	CPU float64
 	// MeanRelErr and MaxRelErr summarize |est−truth|/truth over all join
 	// edges of the measured workflows.
 	MeanRelErr, MaxRelErr float64
@@ -97,10 +106,36 @@ func ErrorSweep(ids []int, scale float64, bucketCounts []int) ([]*ErrorRow, erro
 				row.MaxRelErr = relErr
 			}
 			row.Memory += mem
+			row.CPU += float64(c.h1.Total() + c.h2.Total())
 		}
 		row.MeanRelErr = sum / float64(len(cases))
 		out = append(out, row)
 	}
+	// The count-min row: the approximate statistics tier's estimate for
+	// the same join edges at its default sketch dimensions — the point the
+	// -stats-tier=approx cycle actually operates at on this curve.
+	row := &ErrorRow{Sketch: true, Joins: len(cases)}
+	var sum float64
+	for _, c := range cases {
+		spec := stats.CMSpecFor(c.lo, c.hi)
+		cm1 := stats.NewCMH(spec, stats.DefaultCMDepth, stats.DefaultCMWidth)
+		cm2 := stats.NewCMH(spec, stats.DefaultCMDepth, stats.DefaultCMWidth)
+		c.h1.Each(func(vals []int64, f int64) { cm1.Inc(vals[0], f) })
+		c.h2.Each(func(vals []int64, f int64) { cm2.Inc(vals[0], f) })
+		est, err := stats.CMDotProduct(cm1, cm2)
+		if err != nil {
+			return nil, err
+		}
+		relErr := stats.RelativeError(est, c.truth)
+		sum += relErr
+		if relErr > row.MaxRelErr {
+			row.MaxRelErr = relErr
+		}
+		row.Memory += cm1.MemoryUnits() + cm2.MemoryUnits()
+		row.CPU += float64(c.h1.Total()+c.h2.Total()) * costmodel.SketchUpdateWeight
+	}
+	row.MeanRelErr = sum / float64(len(cases))
+	out = append(out, row)
 	return out, nil
 }
 

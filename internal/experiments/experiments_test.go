@@ -103,7 +103,7 @@ func TestErrorSweepMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
+	if len(rows) != 4 { // the bucket counts plus the appended count-min row
 		t.Fatalf("rows = %d", len(rows))
 	}
 	if rows[2].MeanRelErr != 0 || rows[2].MaxRelErr != 0 {
@@ -114,6 +114,17 @@ func TestErrorSweepMonotone(t *testing.T) {
 	}
 	if rows[0].Memory >= rows[1].Memory {
 		t.Fatalf("memory should grow with buckets: %d then %d", rows[0].Memory, rows[1].Memory)
+	}
+	sk := rows[3]
+	if !sk.Sketch {
+		t.Fatalf("last row should be the count-min point: %+v", sk)
+	}
+	if sk.CPU <= 0 || sk.CPU >= rows[2].CPU {
+		t.Fatalf("sketch observation CPU %.1f should be positive and below exact %.1f",
+			sk.CPU, rows[2].CPU)
+	}
+	if sk.Memory <= 0 {
+		t.Fatalf("sketch memory = %d", sk.Memory)
 	}
 }
 

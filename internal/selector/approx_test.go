@@ -1,0 +1,125 @@
+package selector
+
+import (
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/costmodel"
+	"github.com/essential-stats/etlopt/internal/css"
+	"github.com/essential-stats/etlopt/internal/stats"
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// buildApproxUniverse mirrors buildUniverse with the approximate tier and a
+// CPU-weighted coster (sketch savings are a CPU effect — memory units
+// already favor sketches on large domains).
+func buildApproxUniverse(t *testing.T, policy ApproxPolicy) *Universe {
+	t.Helper()
+	g, cat := retail(t)
+	an, err := workflow.Analyze(g, cat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := css.Generate(an, css.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	coster := &costmodel.Coster{Res: res, Cat: an.Cat, MemWeight: 1, CPUWeight: 1}
+	u, err := NewUniverseOpts(res, coster, UniverseOptions{Approx: policy})
+	if err != nil {
+		t.Fatalf("NewUniverseOpts: %v", err)
+	}
+	return u
+}
+
+func TestApproxUniverseAddsVariants(t *testing.T) {
+	exact := buildApproxUniverse(t, ApproxPolicy{})
+	approx := buildApproxUniverse(t, ApproxPolicy{Enable: true})
+	if len(approx.Stats) <= len(exact.Stats) {
+		t.Fatalf("approx universe has %d stats, exact %d — no variants admitted",
+			len(approx.Stats), len(exact.Stats))
+	}
+	sketches := 0
+	for i, s := range approx.Stats {
+		if !s.Kind.Approx() {
+			continue
+		}
+		sketches++
+		if !approx.Observable[i] {
+			t.Fatalf("sketch variant %v not observable", s.Key())
+		}
+		ex, ok := stats.ExactVariant(s)
+		if !ok {
+			t.Fatalf("variant %v has no exact sibling", s.Key())
+		}
+		j, found := approx.Index[ex.Key()]
+		if !found {
+			t.Fatalf("exact sibling of %v missing from universe", s.Key())
+		}
+		// Observing only the sketch must make the exact statistic
+		// computable via the A1/A2 candidate set.
+		observed := make([]bool, len(approx.Stats))
+		observed[i] = true
+		if !approx.Closure(observed)[j] {
+			t.Fatalf("observing %v does not cover %v", s.Key(), ex.Key())
+		}
+		// Kind-aware pricing: the sketch must be strictly cheaper than the
+		// exact sibling under a CPU-weighted objective.
+		if approx.Cost[i] >= approx.Cost[j] {
+			t.Fatalf("sketch %v costs %.1f, exact sibling %.1f", s.Key(), approx.Cost[i], approx.Cost[j])
+		}
+	}
+	if sketches == 0 {
+		t.Fatal("no sketch variants in the approx universe")
+	}
+}
+
+// TestApproxAccuracyFloor: a floor above every sketch guarantee excludes
+// all variants, collapsing the universe back to the exact tier.
+func TestApproxAccuracyFloor(t *testing.T) {
+	exact := buildApproxUniverse(t, ApproxPolicy{})
+	floored := buildApproxUniverse(t, ApproxPolicy{Enable: true, MinAccuracy: 0.999})
+	if len(floored.Stats) != len(exact.Stats) {
+		t.Fatalf("accuracy floor 0.999 still admitted %d variants",
+			len(floored.Stats)-len(exact.Stats))
+	}
+	loose := buildApproxUniverse(t, ApproxPolicy{Enable: true, MinAccuracy: 0.9})
+	if len(loose.Stats) <= len(exact.Stats) {
+		t.Fatal("accuracy floor 0.9 excluded the default sketches")
+	}
+	a := ApproxAccuracy(stats.Stat{Kind: stats.HLLDistinct})
+	if a <= 0.9 || a >= 1 {
+		t.Fatalf("hll accuracy %v outside (0.9, 1)", a)
+	}
+	if ApproxAccuracy(stats.Stat{Kind: stats.Card}) != 1 {
+		t.Fatal("exact kinds must report accuracy 1")
+	}
+}
+
+// TestApproxSelectionPrefersSketches: every solver, given the cheaper
+// sketch alternatives, covers S_C at no more cost than the exact-only
+// selection, and the greedy/exact ones actually pick sketches.
+func TestApproxSelectionPrefersSketches(t *testing.T) {
+	exactU := buildApproxUniverse(t, ApproxPolicy{})
+	approxU := buildApproxUniverse(t, ApproxPolicy{Enable: true})
+	for _, m := range []Method{MethodGreedy, MethodExact, MethodLP} {
+		exSel, err := SelectUniverse(exactU, Options{Method: m})
+		if err != nil {
+			t.Fatalf("method %v exact universe: %v", m, err)
+		}
+		apSel, err := SelectUniverse(approxU, Options{Method: m})
+		if err != nil {
+			t.Fatalf("method %v approx universe: %v", m, err)
+		}
+		if apSel.Cost > exSel.Cost {
+			t.Errorf("method %v: approx selection costs %.1f, exact-only %.1f",
+				m, apSel.Cost, exSel.Cost)
+		}
+		observed := make([]bool, len(approxU.Stats))
+		for _, s := range apSel.Observe {
+			observed[approxU.Index[s.Key()]] = true
+		}
+		if !approxU.Covered(observed) {
+			t.Fatalf("method %v: approx selection does not cover S_C", m)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package selector
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/essential-stats/etlopt/internal/costmodel"
 	"github.com/essential-stats/etlopt/internal/css"
@@ -48,12 +49,88 @@ type Universe struct {
 
 type useRef struct{ stat, css int }
 
+// ApproxPolicy admits sketch-backed approximate statistics into the
+// universe as cheap alternatives to their exact counterparts.
+type ApproxPolicy struct {
+	// Enable turns the approximate tier on.
+	Enable bool
+	// MinAccuracy is the per-statistic accuracy floor in [0, 1]: a sketch
+	// variant whose ApproxAccuracy falls below the floor is excluded, so
+	// the selector falls back to the exact kind for that statistic.
+	MinAccuracy float64
+	// Force makes each exact statistic with an admitted sketch sibling
+	// unobservable, so every selection must observe the sketch (the approx
+	// tier). Without it, sketches merely compete on cost (the auto tier).
+	Force bool
+}
+
+// UniverseOptions configure universe construction.
+type UniverseOptions struct {
+	Approx ApproxPolicy
+}
+
+// ApproxAccuracy returns the expected accuracy of observing a statistic,
+// 1 for exact kinds and the sketch's analytical guarantee for approximate
+// ones: 1 − 1.04/√m (the HyperLogLog standard error at m registers) for
+// HLLDistinct, and 1 − e/w (the count-min overcount bound at width w) for
+// CMHist.
+func ApproxAccuracy(s stats.Stat) float64 {
+	switch s.Kind {
+	case stats.HLLDistinct:
+		return 1 - 1.04/math.Sqrt(float64(int64(1)<<stats.DefaultHLLP))
+	case stats.CMHist:
+		return 1 - math.E/float64(stats.DefaultCMWidth)
+	default:
+		return 1
+	}
+}
+
 // NewUniverse indexes a CSS-generation result with the given coster. It
 // verifies that every required statistic is derivable at all (observable or
 // transitively covered), pruning candidate sets that reference underivable
 // statistics.
 func NewUniverse(res *css.Result, coster *costmodel.Coster) (*Universe, error) {
+	return NewUniverseOpts(res, coster, UniverseOptions{})
+}
+
+// NewUniverseOpts is NewUniverse with options. When the approximate tier
+// is enabled, each exact statistic with a sketch sibling (Distinct →
+// HLLDistinct, single-attribute non-reject Hist → CMHist) that is
+// observable under the initial plan and meets the accuracy floor enters
+// the universe as an extra observable statistic, and the exact statistic
+// gains a one-input candidate set (rules A1 and A2) so observing the
+// sketch covers it. The shared css.Result is never mutated.
+func NewUniverseOpts(res *css.Result, coster *costmodel.Coster, opts UniverseOptions) (*Universe, error) {
 	all := res.AllStats()
+	nExact := len(all)
+	// variant maps an appended sketch statistic's index back to its exact
+	// sibling's index and derivation rule.
+	type variantRef struct {
+		exact int
+		rule  string
+	}
+	var variants []variantRef
+	demoted := make(map[int]bool)
+	if opts.Approx.Enable {
+		for i := 0; i < nExact; i++ {
+			v, ok := stats.ApproxVariant(all[i])
+			if !ok || !res.StatObservable(v) {
+				continue
+			}
+			if ApproxAccuracy(v) < opts.Approx.MinAccuracy {
+				continue
+			}
+			rule := "A1"
+			if v.Kind == stats.CMHist {
+				rule = "A2"
+			}
+			all = append(all, v)
+			variants = append(variants, variantRef{exact: i, rule: rule})
+			if opts.Approx.Force {
+				demoted[i] = true
+			}
+		}
+	}
 	u := &Universe{
 		Res:        res,
 		Stats:      all,
@@ -69,7 +146,12 @@ func NewUniverse(res *css.Result, coster *costmodel.Coster) (*Universe, error) {
 	}
 	for i, s := range all {
 		k := s.Key()
-		u.Observable[i] = res.Observable[k]
+		// Appended sketch variants are observable by construction (checked
+		// via StatObservable above); they are absent from the result's
+		// Observable map, which covers the exact universe only. Forced
+		// approx demotes exact statistics whose sketch sibling was
+		// admitted.
+		u.Observable[i] = (res.Observable[k] || i >= nExact) && !demoted[i]
 		// Costs are priced for every statistic, not just currently
 		// observable ones: the Section 6.1 budget planner treats any
 		// statistic as observable in a re-ordered later run.
@@ -98,6 +180,10 @@ func NewUniverse(res *css.Result, coster *costmodel.Coster) (*Universe, error) {
 				u.CSS[i] = append(u.CSS[i], entry)
 			}
 		}
+	}
+	// The exact statistic is derivable from its sketch sibling alone.
+	for vi, ref := range variants {
+		u.CSS[ref.exact] = append(u.CSS[ref.exact], cssEntry{rule: ref.rule, inputs: []int{nExact + vi}})
 	}
 	for _, s := range res.Required {
 		j, ok := u.Index[s.Key()]

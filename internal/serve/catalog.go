@@ -33,10 +33,10 @@ import (
 
 // Meta describes the latest generation of one workflow's statistics.
 type Meta struct {
-	Workflow    string  `json:"workflow"`
-	Generation  int     `json:"generation"`
-	Count       int     `json:"count"`
-	MemoryUnits int64   `json:"memoryUnits"`
+	Workflow    string `json:"workflow"`
+	Generation  int    `json:"generation"`
+	Count       int    `json:"count"`
+	MemoryUnits int64  `json:"memoryUnits"`
 	// DriftMaxRel and DriftMeanRel record the drift of this generation
 	// relative to the previous one (zero for the first generation).
 	DriftMaxRel  float64 `json:"driftMaxRel"`

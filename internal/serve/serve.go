@@ -272,14 +272,17 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 
 // observeResponse reports a persisted upload.
 type observeResponse struct {
-	Workflow    string     `json:"workflow"`
-	Generation  int        `json:"generation"`
-	Count       int        `json:"count"`
-	MemoryUnits int64      `json:"memoryUnits"`
-	Drift       driftJSON  `json:"drift"`
-	Reoptimize  bool       `json:"reoptimize"`
-	Invalidated int64      `json:"invalidated"`
-	QErrorMax   float64    `json:"qErrorMax,omitempty"`
+	Workflow    string    `json:"workflow"`
+	Generation  int       `json:"generation"`
+	Count       int       `json:"count"`
+	MemoryUnits int64     `json:"memoryUnits"`
+	Drift       driftJSON `json:"drift"`
+	Reoptimize  bool      `json:"reoptimize"`
+	Invalidated int64     `json:"invalidated"`
+	QErrorMax   float64   `json:"qErrorMax,omitempty"`
+	// PayloadBytes is the size of this upload's binary stream — sketch-tier
+	// producers shrink it, and /metrics tracks the per-workflow ratio.
+	PayloadBytes int64 `json:"payloadBytes"`
 }
 
 type driftJSON struct {
@@ -330,10 +333,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := observeResponse{
-		Workflow:    name,
-		Generation:  entry.Generation,
-		Count:       entry.Count,
-		MemoryUnits: entry.MemoryUnits,
+		Workflow:     name,
+		Generation:   entry.Generation,
+		Count:        entry.Count,
+		MemoryUnits:  entry.MemoryUnits,
+		PayloadBytes: int64(len(body)),
 		Drift: driftJSON{
 			MaxRel: drift.MaxRel, MeanRel: drift.MeanRel,
 			Shared: drift.Shared, OnlyOld: drift.OnlyOld, OnlyNew: drift.OnlyNew,
@@ -345,7 +349,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		resp.Reoptimize = true
 		resp.Invalidated = s.invalidate(name)
 	}
-	s.metrics.observe(name, entry.Generation, drift.MaxRel)
+	s.metrics.observe(name, entry.Generation, drift.MaxRel, int64(len(body)))
 	if hadPrev {
 		if res, err := s.cssFor(name); err == nil {
 			if q, ok := maxQError(res, prev, store); ok {
@@ -401,14 +405,14 @@ type optimizeRequest struct {
 
 // optimizeResponse mirrors what `etlopt run` prints per block, as data.
 type optimizeResponse struct {
-	Workflow         string      `json:"workflow"`
-	Generation       int         `json:"generation"`
-	CostModel        string      `json:"costModel"`
-	TotalCost        float64     `json:"totalCost"`
-	TotalInitialCost float64     `json:"totalInitialCost"`
-	Improvement      float64     `json:"improvement"`
-	Fallbacks        []int       `json:"fallbacks,omitempty"`
-	Blocks           []planJSON  `json:"blocks"`
+	Workflow         string     `json:"workflow"`
+	Generation       int        `json:"generation"`
+	CostModel        string     `json:"costModel"`
+	TotalCost        float64    `json:"totalCost"`
+	TotalInitialCost float64    `json:"totalInitialCost"`
+	Improvement      float64    `json:"improvement"`
+	Fallbacks        []int      `json:"fallbacks,omitempty"`
+	Blocks           []planJSON `json:"blocks"`
 }
 
 type planJSON struct {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -372,6 +373,63 @@ func TestServePartialStoreConflict(t *testing.T) {
 	}
 	if len(opt.Fallbacks) == 0 {
 		t.Fatalf("allowPartial returned no fallbacks: %s", body)
+	}
+}
+
+// TestServeObservePayloadMetrics: every upload reports its payload size,
+// and /metrics tracks the per-workflow byte gauge plus the shrink ratio
+// between consecutive generations — the signal that a producer switched to
+// the sketch-backed approximate tier. Sketch-kind (format v2) streams must
+// be accepted like any other upload.
+func TestServeObservePayloadMetrics(t *testing.T) {
+	doc, db := tinyWorkflow(t, 11, 600)
+	_, ts := newTestServer(t, doc, Options{})
+	exact := observedStream(t, doc, db)
+
+	cfg := core.DefaultConfig()
+	cfg.StatsTier = core.TierApprox
+	cy, err := core.Run(doc.Graph, doc.Catalog, db, cfg)
+	if err != nil {
+		t.Fatalf("approx-tier Run: %v", err)
+	}
+	var abuf bytes.Buffer
+	if err := cy.SaveStats(&abuf); err != nil {
+		t.Fatalf("SaveStats: %v", err)
+	}
+	approx := abuf.Bytes()
+
+	var obs observeResponse
+	resp, body := post(t, ts.URL+"/v1/observe?workflow=tiny", "application/octet-stream", exact)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact upload: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.PayloadBytes != int64(len(exact)) {
+		t.Fatalf("exact upload reports %d payload bytes, want %d", obs.PayloadBytes, len(exact))
+	}
+
+	resp, body = post(t, ts.URL+"/v1/observe?workflow=tiny", "application/octet-stream", approx)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sketch-tier upload rejected: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.PayloadBytes != int64(len(approx)) {
+		t.Fatalf("approx upload reports %d payload bytes, want %d", obs.PayloadBytes, len(approx))
+	}
+
+	_, mbody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf(`etlopt_serve_observe_payload_bytes{workflow="tiny"} %d`, len(approx)),
+		fmt.Sprintf(`etlopt_serve_observe_payload_shrink{workflow="tiny"} %g`,
+			float64(len(exact))/float64(len(approx))),
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, mbody)
+		}
 	}
 }
 

@@ -33,11 +33,32 @@ func FuzzReadStore(f *testing.F) {
 	f.Add([]byte{})                              // empty
 	f.Add([]byte("ETLSTAT"))                     // bare magic
 	f.Add([]byte("NOTMAGIC"))                    // wrong magic
-	f.Add([]byte("ETLSTAT\x02\x00\x00\x00"))     // bad version
+	f.Add([]byte("ETLSTAT\x03\x00\x00\x00"))     // future version
+	f.Add([]byte("ETLSTAT\x02\x00\x00\x00"))     // v2 header, truncated count
 	// Header claiming 2^24 statistics with no bytes behind it.
 	f.Add([]byte("ETLSTAT\x01\x00\x00\x00\x00\x00\x00\x01"))
 	// Header count past the absolute cap.
 	f.Add([]byte("ETLSTAT\x01\x00\x00\x00\xff\xff\xff\xff"))
+
+	// Version-2 streams: a genuine store carrying both sketch shapes, and
+	// its v1 downgrade (a valid v1 stream that must upgrade cleanly).
+	var valid2 bytes.Buffer
+	if _, err := sampleSketchStore().WriteTo(&valid2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid2.Bytes())
+	f.Add(valid2.Bytes()[:valid2.Len()-1]) // truncated sketch counters
+	// Hostile v2 mutants: sketch kind in a v1 stream, out-of-range shape
+	// byte, lying HLL precision, non-canonical count-min spec.
+	v1Sketch := append([]byte(nil), valid2.Bytes()...)
+	v1Sketch[7] = 1
+	f.Add(v1Sketch)
+	for _, off := range []int{16, 60, valid2.Len() / 2, valid2.Len() - 9} {
+		mut := append([]byte(nil), valid2.Bytes()...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("ETLSTAT\x02\x00\x00\x00\x01\x00\x00\x00\x05"))
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		st, err := ReadStore(bytes.NewReader(in))
@@ -51,12 +72,16 @@ func FuzzReadStore(f *testing.F) {
 			t.Fatal("nil store with nil error")
 		}
 		// The format is canonical: anything accepted must re-serialize to
-		// the exact input bytes.
+		// the exact input bytes, modulo the version field — the writer
+		// always emits the current version, so an accepted version-1 stream
+		// round-trips to its byte-identical version-2 upgrade.
 		var out bytes.Buffer
 		if _, err := st.WriteTo(&out); err != nil {
 			t.Fatalf("re-serialize accepted stream: %v", err)
 		}
-		if !bytes.Equal(out.Bytes(), in) {
+		want := append([]byte(nil), in...)
+		want[7] = persistVersion // version field follows the 7-byte magic
+		if !bytes.Equal(out.Bytes(), want) {
 			t.Fatalf("accepted stream is not canonical:\n in: %x\nout: %x", in, out.Bytes())
 		}
 		// A second read must agree, through a wrapper that hides the size

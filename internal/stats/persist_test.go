@@ -29,6 +29,24 @@ func sampleStore() *Store {
 	return st
 }
 
+// sampleSketchStore mixes exact values with both version-2 sketch shapes.
+func sampleSketchStore() *Store {
+	a := workflow.Attr{Rel: "Orders", Col: "cid"}
+	st := NewStore()
+	st.PutScalar(NewCard(SE(expr.NewSet(0))), 12345)
+	hll := NewHLL(DefaultHLLP)
+	for i := int64(0); i < 200; i++ {
+		hll.Add(i)
+	}
+	st.PutHLL(NewHLLDistinct(SE(expr.NewSet(0)), a), hll)
+	cm := NewCMH(CMSpecFor(1, 500), DefaultCMDepth, DefaultCMWidth)
+	for i := int64(0); i < 300; i++ {
+		cm.Observe(i%500 + 1)
+	}
+	st.PutCM(NewCMHist(SE(expr.NewSet(1)), a), cm)
+	return st
+}
+
 func TestPersistRoundTrip(t *testing.T) {
 	st := sampleStore()
 	var buf bytes.Buffer

@@ -26,20 +26,99 @@ const (
 	Distinct
 	// Hist is an exact frequency distribution H_T^a over an attribute set.
 	Hist
+	// HLLDistinct is the sketch-backed approximate counterpart of Distinct:
+	// a HyperLogLog register file whose estimate stands in for |a_T|.
+	HLLDistinct
+	// CMHist is the sketch-backed approximate counterpart of Hist: a
+	// count-min sketch over the buckets of a BucketSpec, standing in for a
+	// bucketized H_T^a.
+	CMHist
 )
+
+// Shape is the value representation a kind stores: the registry that
+// replaced the old hard-coded scalar-or-histogram union.
+type Shape uint8
+
+// Value shapes.
+const (
+	// ShapeScalar is a single int64 (cardinalities, distinct counts).
+	ShapeScalar Shape = iota
+	// ShapeHist is an exact frequency histogram.
+	ShapeHist
+	// ShapeHLL is a HyperLogLog register file.
+	ShapeHLL
+	// ShapeCM is a count-min sketch over histogram buckets.
+	ShapeCM
+)
+
+// String names the shape.
+func (sh Shape) String() string {
+	switch sh {
+	case ShapeScalar:
+		return "scalar"
+	case ShapeHist:
+		return "hist"
+	case ShapeHLL:
+		return "hll"
+	case ShapeCM:
+		return "cm"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(sh))
+	}
+}
+
+// kindInfo is one row of the kind registry.
+type kindInfo struct {
+	name  string
+	shape Shape
+	// approx marks sketch-backed kinds; exact names the exact kind an
+	// approximate one stands in for (itself for exact kinds).
+	approx bool
+	exact  Kind
+	// bounded marks kinds whose observers use constant-size side memory
+	// (a counter or a fixed register file) rather than memory growing with
+	// the observed record set. The fault model exempts them from tap
+	// (side-memory exhaustion) faults.
+	bounded bool
+}
+
+// kindRegistry declares every statistic kind: name, value shape, and the
+// exact/approximate pairing the selector and degradation ladder navigate.
+var kindRegistry = [...]kindInfo{
+	Card:        {name: "card", shape: ShapeScalar, exact: Card, bounded: true},
+	Distinct:    {name: "distinct", shape: ShapeScalar, exact: Distinct},
+	Hist:        {name: "hist", shape: ShapeHist, exact: Hist},
+	HLLDistinct: {name: "hll-distinct", shape: ShapeHLL, approx: true, exact: Distinct, bounded: true},
+	CMHist:      {name: "cm-hist", shape: ShapeCM, approx: true, exact: Hist, bounded: true},
+}
+
+// NumKinds is the number of registered statistic kinds; kind bytes at or
+// beyond it are unknown (possibly from a future format version).
+const NumKinds = len(kindRegistry)
+
+// Valid reports whether the kind is registered.
+func (k Kind) Valid() bool { return int(k) < NumKinds }
+
+// Shape returns the kind's value representation.
+func (k Kind) Shape() Shape { return kindRegistry[k].shape }
+
+// Approx reports whether the kind is a sketch-backed approximation.
+func (k Kind) Approx() bool { return kindRegistry[k].approx }
+
+// ExactKind returns the exact kind an approximate kind stands in for
+// (the kind itself when already exact).
+func (k Kind) ExactKind() Kind { return kindRegistry[k].exact }
+
+// BoundedMemory reports whether the kind's observer uses constant-size
+// side memory at the tap.
+func (k Kind) BoundedMemory() bool { return kindRegistry[k].bounded }
 
 // String names the kind.
 func (k Kind) String() string {
-	switch k {
-	case Card:
-		return "card"
-	case Distinct:
-		return "distinct"
-	case Hist:
-		return "hist"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if k.Valid() {
+		return kindRegistry[k].name
 	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Target identifies the relation a statistic describes. The common case is
@@ -150,6 +229,43 @@ func NewHist(t Target, attrs ...workflow.Attr) Stat {
 	return Stat{Kind: Hist, Target: t, Attrs: canonAttrs(attrs)}
 }
 
+// NewHLLDistinct returns the HyperLogLog approximation of |attrs_se|.
+func NewHLLDistinct(t Target, attrs ...workflow.Attr) Stat {
+	return Stat{Kind: HLLDistinct, Target: t, Attrs: canonAttrs(attrs)}
+}
+
+// NewCMHist returns the count-min approximation of H_se^attrs.
+func NewCMHist(t Target, attrs ...workflow.Attr) Stat {
+	return Stat{Kind: CMHist, Target: t, Attrs: canonAttrs(attrs)}
+}
+
+// ApproxVariant returns the sketch-backed counterpart of an exact
+// statistic, when one exists: any distinct count has an HLL variant; a
+// histogram has a count-min variant only for single-attribute non-reject
+// targets (the bucketizable case the estimation algebra's J1 consumes —
+// joint distributions and reject-side auxiliary joins stay exact).
+func ApproxVariant(s Stat) (Stat, bool) {
+	switch s.Kind {
+	case Distinct:
+		return Stat{Kind: HLLDistinct, Target: s.Target, Attrs: s.Attrs}, true
+	case Hist:
+		if len(s.Attrs) != 1 || s.Target.IsReject() {
+			return Stat{}, false
+		}
+		return Stat{Kind: CMHist, Target: s.Target, Attrs: s.Attrs}, true
+	}
+	return Stat{}, false
+}
+
+// ExactVariant returns the exact statistic an approximate one stands in
+// for; ok is false when s is already exact.
+func ExactVariant(s Stat) (Stat, bool) {
+	if !s.Kind.Approx() {
+		return Stat{}, false
+	}
+	return Stat{Kind: s.Kind.ExactKind(), Target: s.Target, Attrs: s.Attrs}, true
+}
+
 // canonAttrs sorts and de-duplicates an attribute list (rule composition
 // can mention the same class twice, e.g. J5 when the carried attribute is
 // the join attribute itself).
@@ -197,6 +313,10 @@ func (s Stat) Label(b *workflow.Block) string {
 		return "|" + s.Target.Label(b) + "|"
 	case Distinct:
 		return "|" + workflow.AttrsString(s.Attrs) + "_{" + s.Target.Label(b) + "}|"
+	case HLLDistinct:
+		return "|~" + workflow.AttrsString(s.Attrs) + "_{" + s.Target.Label(b) + "}|"
+	case CMHist:
+		return "~H^{" + workflow.AttrsString(s.Attrs) + "}_{" + s.Target.Label(b) + "}"
 	default:
 		return "H^{" + workflow.AttrsString(s.Attrs) + "}_{" + s.Target.Label(b) + "}"
 	}

@@ -9,12 +9,20 @@ import (
 	"github.com/essential-stats/etlopt/internal/workflow"
 )
 
-// Value is an observed statistic value: a scalar for cardinalities and
-// distinct counts, a histogram for distributions.
+// Value is an observed statistic value. Exactly one representation is
+// populated, matching the kind's registered shape: a scalar for
+// cardinalities and distinct counts, a histogram for distributions, a
+// sketch for the approximate kinds.
 type Value struct {
 	Stat   Stat
 	Scalar int64
 	Hist   *Histogram
+	HLL    *HLL
+	CM     *CMH
+	// Approx marks values whose figure came through the sketch tier —
+	// either a sketch itself or a scalar/histogram derived from one — so
+	// estimation feedback can tag its source tier.
+	Approx bool
 }
 
 // Store holds observed (or derived) statistic values keyed by statistic
@@ -90,10 +98,10 @@ func (st *Store) Has(s Stat) bool {
 	return ok
 }
 
-// KindError reports a put whose value shape does not match the statistic's
-// kind (a scalar for a histogram statistic or vice versa). It is a typed
-// error so the observation layer can mark the statistic degraded and keep
-// the run alive instead of crashing it.
+// KindError reports a put whose value shape does not match the statistic
+// kind's registered shape (a scalar for a histogram statistic, a histogram
+// for a sketch, ...). It is a typed error so the observation layer can mark
+// the statistic degraded and keep the run alive instead of crashing it.
 type KindError struct {
 	// Stat is the mis-declared statistic.
 	Stat Stat
@@ -102,60 +110,101 @@ type KindError struct {
 }
 
 func (e *KindError) Error() string {
-	shape := "scalar"
-	if e.Stat.Kind == Hist {
-		shape = "histogram"
+	return fmt.Sprintf("stats: %s on %s-shaped statistic %v", e.Op, e.Stat.Kind.Shape(), e.Stat.Key())
+}
+
+// checkShape validates a put against the kind registry.
+func checkShape(s Stat, want Shape, op string) error {
+	if !s.Kind.Valid() || s.Kind.Shape() != want {
+		return &KindError{Stat: s, Op: op}
 	}
-	return fmt.Sprintf("stats: %s on %s statistic %v", e.Op, shape, e.Stat.Key())
+	return nil
+}
+
+// put stores a value, optionally only when absent.
+func (st *Store) put(v *Value, once bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := v.Stat.Key()
+	if once {
+		if _, ok := st.m[k]; ok {
+			return
+		}
+	}
+	st.m[k] = v
 }
 
 // PutScalar records a cardinality or distinct-count observation.
 func (st *Store) PutScalar(s Stat, v int64) error {
-	if s.Kind == Hist {
-		return &KindError{Stat: s, Op: "PutScalar"}
+	if err := checkShape(s, ShapeScalar, "PutScalar"); err != nil {
+		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.m[s.Key()] = &Value{Stat: s, Scalar: v}
+	st.put(&Value{Stat: s, Scalar: v}, false)
 	return nil
 }
 
 // PutHist records a histogram observation.
 func (st *Store) PutHist(s Stat, h *Histogram) error {
-	if s.Kind != Hist {
-		return &KindError{Stat: s, Op: "PutHist"}
+	if err := checkShape(s, ShapeHist, "PutHist"); err != nil {
+		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.m[s.Key()] = &Value{Stat: s, Hist: h}
+	st.put(&Value{Stat: s, Hist: h}, false)
 	return nil
 }
 
 // PutScalarOnce records the scalar unless the statistic is already present,
 // atomically (the check-then-put the collectors rely on).
 func (st *Store) PutScalarOnce(s Stat, v int64) error {
-	if s.Kind == Hist {
-		return &KindError{Stat: s, Op: "PutScalarOnce"}
+	if err := checkShape(s, ShapeScalar, "PutScalarOnce"); err != nil {
+		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.m[s.Key()]; !ok {
-		st.m[s.Key()] = &Value{Stat: s, Scalar: v}
-	}
+	st.put(&Value{Stat: s, Scalar: v}, true)
 	return nil
 }
 
 // PutHistOnce records the histogram unless the statistic is already
 // present, atomically.
 func (st *Store) PutHistOnce(s Stat, h *Histogram) error {
-	if s.Kind != Hist {
-		return &KindError{Stat: s, Op: "PutHistOnce"}
+	if err := checkShape(s, ShapeHist, "PutHistOnce"); err != nil {
+		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.m[s.Key()]; !ok {
-		st.m[s.Key()] = &Value{Stat: s, Hist: h}
+	st.put(&Value{Stat: s, Hist: h}, true)
+	return nil
+}
+
+// PutHLL records a HyperLogLog sketch observation.
+func (st *Store) PutHLL(s Stat, h *HLL) error {
+	if err := checkShape(s, ShapeHLL, "PutHLL"); err != nil {
+		return err
 	}
+	st.put(&Value{Stat: s, HLL: h, Approx: true}, false)
+	return nil
+}
+
+// PutHLLOnce records the sketch unless the statistic is already present.
+func (st *Store) PutHLLOnce(s Stat, h *HLL) error {
+	if err := checkShape(s, ShapeHLL, "PutHLLOnce"); err != nil {
+		return err
+	}
+	st.put(&Value{Stat: s, HLL: h, Approx: true}, true)
+	return nil
+}
+
+// PutCM records a count-min sketch observation.
+func (st *Store) PutCM(s Stat, c *CMH) error {
+	if err := checkShape(s, ShapeCM, "PutCM"); err != nil {
+		return err
+	}
+	st.put(&Value{Stat: s, CM: c, Approx: true}, false)
+	return nil
+}
+
+// PutCMOnce records the sketch unless the statistic is already present.
+func (st *Store) PutCMOnce(s Stat, c *CMH) error {
+	if err := checkShape(s, ShapeCM, "PutCMOnce"); err != nil {
+		return err
+	}
+	st.put(&Value{Stat: s, CM: c, Approx: true}, true)
 	return nil
 }
 
@@ -167,8 +216,8 @@ func (st *Store) Scalar(s Stat) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("statistic not in store: %v", s.Key())
 	}
-	if s.Kind == Hist {
-		return 0, fmt.Errorf("statistic %v is a histogram", s.Key())
+	if s.Kind.Valid() && s.Kind.Shape() != ShapeScalar {
+		return 0, fmt.Errorf("statistic %v is %s-shaped, not scalar", s.Key(), s.Kind.Shape())
 	}
 	return v.Scalar, nil
 }
@@ -185,6 +234,42 @@ func (st *Store) Hist(s Stat) (*Histogram, error) {
 		return nil, fmt.Errorf("statistic %v is not a histogram", s.Key())
 	}
 	return v.Hist, nil
+}
+
+// HLLSketch returns the HyperLogLog value of an HLLDistinct statistic.
+func (st *Store) HLLSketch(s Stat) (*HLL, error) {
+	st.mu.RLock()
+	v, ok := st.m[s.Key()]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("statistic not in store: %v", s.Key())
+	}
+	if v.HLL == nil {
+		return nil, fmt.Errorf("statistic %v is not an HLL sketch", s.Key())
+	}
+	return v.HLL, nil
+}
+
+// CMSketch returns the count-min value of a CMHist statistic.
+func (st *Store) CMSketch(s Stat) (*CMH, error) {
+	st.mu.RLock()
+	v, ok := st.m[s.Key()]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("statistic not in store: %v", s.Key())
+	}
+	if v.CM == nil {
+		return nil, fmt.Errorf("statistic %v is not a count-min sketch", s.Key())
+	}
+	return v.CM, nil
+}
+
+// Lookup returns the stored value for a statistic, if present.
+func (st *Store) Lookup(s Stat) (*Value, bool) {
+	st.mu.RLock()
+	v, ok := st.m[s.Key()]
+	st.mu.RUnlock()
+	return v, ok
 }
 
 // Values returns all stored values in a deterministic order.
@@ -248,9 +333,14 @@ func (st *Store) MemoryUnits() int64 {
 	defer st.mu.RUnlock()
 	var total int64
 	for _, v := range st.m {
-		if v.Hist != nil {
+		switch {
+		case v.Hist != nil:
 			total += int64(v.Hist.Buckets())
-		} else {
+		case v.HLL != nil:
+			total += v.HLL.MemoryUnits()
+		case v.CM != nil:
+			total += v.CM.MemoryUnits()
+		default:
 			total++
 		}
 	}
@@ -261,9 +351,14 @@ func (st *Store) MemoryUnits() int64 {
 func (st *Store) Dump(b *workflow.Block) string {
 	out := ""
 	for _, v := range st.Values() {
-		if v.Hist != nil {
+		switch {
+		case v.Hist != nil:
 			out += fmt.Sprintf("%s: %d buckets, total %d\n", v.Stat.Label(b), v.Hist.Buckets(), v.Hist.Total())
-		} else {
+		case v.HLL != nil:
+			out += fmt.Sprintf("%s ≈ %d (hll 2^%d)\n", v.Stat.Label(b), v.HLL.Estimate(), v.HLL.P)
+		case v.CM != nil:
+			out += fmt.Sprintf("%s: ~%d buckets, total %d (cm %dx%d)\n", v.Stat.Label(b), v.CM.Spec.N, v.CM.Total(), v.CM.Depth, v.CM.Width)
+		default:
 			out += fmt.Sprintf("%s = %d\n", v.Stat.Label(b), v.Scalar)
 		}
 	}

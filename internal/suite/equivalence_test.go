@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -179,6 +180,39 @@ func diffStores(t *testing.T, label string, ref, got *stats.Store) {
 		t.Errorf("%s: store sizes differ: %d vs %d", label, got.Len(), ref.Len())
 	}
 	for _, v := range ref.Values() {
+		// Sketch shapes are part of the merge contract at the byte level:
+		// register-max and counter-add merges are order-independent, so any
+		// engine at any worker count must land on identical state.
+		if v.HLL != nil {
+			g, err := got.HLLSketch(v.Stat)
+			if err != nil {
+				t.Errorf("%s: hll %v: %v", label, v.Stat.Key(), err)
+				continue
+			}
+			if g.P != v.HLL.P || !bytes.Equal(g.Regs, v.HLL.Regs) {
+				t.Errorf("%s: hll %v registers differ", label, v.Stat.Key())
+			}
+			continue
+		}
+		if v.CM != nil {
+			g, err := got.CMSketch(v.Stat)
+			if err != nil {
+				t.Errorf("%s: cm %v: %v", label, v.Stat.Key(), err)
+				continue
+			}
+			if g.Spec != v.CM.Spec || g.Depth != v.CM.Depth || g.Width != v.CM.Width {
+				t.Errorf("%s: cm %v layout differs", label, v.Stat.Key())
+				continue
+			}
+			same := len(g.Counters) == len(v.CM.Counters)
+			for i := 0; same && i < len(g.Counters); i++ {
+				same = g.Counters[i] == v.CM.Counters[i]
+			}
+			if !same {
+				t.Errorf("%s: cm %v counters differ", label, v.Stat.Key())
+			}
+			continue
+		}
 		if v.Hist == nil {
 			g, err := got.Scalar(v.Stat)
 			if err != nil || g != v.Scalar {

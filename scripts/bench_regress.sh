@@ -22,4 +22,11 @@ for f in "$BASE" "$HEAD"; do
     fi
 done
 
-exec go run ./cmd/benchdiff -base "$BASE" -head "$HEAD"
+# Tolerance: sequential row/columnar runs have deterministic allocation
+# counts, but the streaming engine's goroutine scheduling and sync.Pool
+# state make its allocs/op vary ~3% BETWEEN bench sessions (re-measuring
+# the very commit that recorded wf18/stream-w1=455 yields 470-472 in a
+# fresh session). 5% rides above that session-to-session noise while still
+# catching real leaks — a per-row or per-batch allocation regression moves
+# these counters by tens of percent, not single digits.
+exec go run ./cmd/benchdiff -base "$BASE" -head "$HEAD" -tolerance 0.05
