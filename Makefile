@@ -5,7 +5,7 @@ FUZZTIME ?= 5s
 # Override BENCHTIME/BENCHCOUNT for longer local sessions.
 BENCHTIME ?= 3x
 BENCHCOUNT ?= 2
-BENCHOUT ?= BENCH_pr7.json
+BENCHOUT ?= BENCH_pr8.json
 
 .PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke
 
@@ -47,10 +47,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run=^$$ . | $(GO) run ./cmd/benchjson -min-iters 2 -out $(BENCHOUT)
 
 # bench-regress compares the committed benchmark records: allocs/op in
-# $(BENCHOUT) must not regress against the BENCH_pr6.json baseline in any
+# $(BENCHOUT) must not regress against the BENCH_pr7.json baseline in any
 # metrics-off configuration.
 bench-regress:
-	./scripts/bench_regress.sh BENCH_pr6.json $(BENCHOUT)
+	./scripts/bench_regress.sh BENCH_pr7.json $(BENCHOUT)
 
 # examples smoke-runs every runnable example program; each must exit 0.
 examples:

@@ -469,6 +469,49 @@ func BenchmarkEngineWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveOverhead prices mid-run adaptive re-optimization on a
+// multi-block workflow against the plain optimized run: "check" pays only
+// the boundary checks (accurate estimates, nothing trips), "replan" pays a
+// forced re-optimization plus the checkpoint splice. The check leg should
+// sit within noise of plain; the replan leg bounds the worst case.
+func BenchmarkAdaptiveOverhead(b *testing.B) {
+	w := suite.MustGet(8)
+	db := w.Data(0.002)
+	cy, err := core.Run(w.Graph, w.Catalog, db, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cy.RunOptimized(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ar, err := cy.RunOptimizedAdaptive(core.AdaptiveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ar.Replans) != 0 {
+				b.Fatal("accurate estimates replanned")
+			}
+		}
+	})
+	b.Run("replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ar, err := cy.RunOptimizedAdaptive(core.AdaptiveOptions{Skew: map[int]float64{0: 4}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ar.Replans) != 1 {
+				b.Fatalf("replans = %d, want 1", len(ar.Replans))
+			}
+		}
+	})
+}
+
 // BenchmarkZipfGeneration measures the synthetic data generator.
 func BenchmarkZipfGeneration(b *testing.B) {
 	spec := data.TableSpec{Rel: "T", Card: 100000, Columns: []data.ColumnSpec{

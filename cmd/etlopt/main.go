@@ -23,6 +23,8 @@
 //	etlopt run     -wf 3 -save-stats wf03.stats   # …and persist the observed statistics
 //	etlopt run     -wf 3 -stats-tier=approx       # observe sketch-backed approximate statistics
 //	etlopt run     -wf 3 -stats-tier=auto         # sketches compete with exact taps on cost
+//	etlopt run     -wf 3 -adaptive                # mid-run re-optimization at block boundaries
+//	etlopt run     -wf 3 -adaptive -replan-skew 4 # force a replan (block-0 estimates skewed 4x)
 //	etlopt serve   -catalog dir -addr :8080       # statistics-serving daemon (docs/ARCHITECTURE.md)
 //
 // A workflow document is the JSON form of workflow.Document: the operator
@@ -98,6 +100,9 @@ func main() {
 	faultSpec := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,rate=0.5,transient=1,kinds=tap|op (see docs/FAULTS.md)")
 	saveStats := fs.String("save-stats", "", "run: write the observed statistics to this file (the /v1/observe upload format)")
 	statsTier := fs.String("stats-tier", "exact", "run/explain: statistics tier: exact | approx (sketch-backed observation wherever possible) | auto (sketches compete on cost)")
+	adaptive := fs.Bool("adaptive", false, "run: execute the optimized plans adaptively, re-optimizing the not-yet-executed blocks when boundary actuals refute the estimates")
+	replanThreshold := fs.Float64("replan-threshold", core.DefaultReplanThreshold, "run: base q-error a boundary actual must exceed to trigger an -adaptive replan (widened by plan-time calibration)")
+	replanSkew := fs.Float64("replan-skew", 0, "run: multiply block 0's estimates by this factor during -adaptive boundary checks, forcing a replan (testing aid; 0 = off)")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	catalogDir := fs.String("catalog", "", "serve: statistics catalog directory")
 	drift := fs.Float64("drift", serve.DefaultDriftThreshold, "serve: max relative drift before cached solutions invalidate")
@@ -149,7 +154,8 @@ func main() {
 			return nil
 		})
 	case "run":
-		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats, tier)
+		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats, tier,
+			adaptiveOptions(*adaptive, *replanThreshold, *replanSkew))
 	case "serve":
 		err = serveCmd(ctx, *addr, *catalogDir, *drift, *cache)
 	case "explain":
@@ -225,9 +231,22 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 	}
 }
 
+// adaptiveOptions maps the -adaptive/-replan-threshold/-replan-skew flags
+// onto the core driver's options; nil means a plain optimized run.
+func adaptiveOptions(on bool, threshold, skew float64) *core.AdaptiveOptions {
+	if !on {
+		return nil
+	}
+	opts := &core.AdaptiveOptions{Threshold: threshold}
+	if skew > 0 {
+		opts.Skew = map[int]float64{0: skew}
+	}
+	return opts
+}
+
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string, tier core.StatsTier) error {
+func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string, tier core.StatsTier, adapt *core.AdaptiveOptions) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -284,6 +303,15 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 	}
 	fmt.Printf("\nplan-cost improvement: %.2fx\n", cy.Improvement())
 	_ = scale
+	if adapt != nil {
+		ar, aerr := cy.RunOptimizedAdaptiveCtx(ctx, *adapt)
+		if aerr != nil {
+			return aerr
+		}
+		fmt.Println()
+		fmt.Print(ar.Summary())
+		fmt.Printf("adaptive run processed %d rows into %d sink(s)\n", ar.Run.Rows, len(ar.Run.Sinks))
+	}
 	if metricsFmt != "" {
 		fmt.Println("\nmetrics:")
 		if err := cy.WriteMetrics(os.Stdout, metricsFmt); err != nil {
@@ -364,7 +392,7 @@ func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scal
 		return nil
 	}
 	fmt.Println()
-	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "", tier)
+	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "", tier, nil)
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown

@@ -80,6 +80,10 @@ type Config struct {
 	// RetryBackoff is the base inter-attempt delay, doubling per retry,
 	// capped at 100ms (0 = engine default of 1ms).
 	RetryBackoff time.Duration
+	// RowMode selects the engines' legacy row-at-a-time interpreters
+	// instead of the default columnar executors (the equivalence suite runs
+	// every workflow through both).
+	RowMode bool
 	// StatsTier selects the statistics observation tier: TierExact (the
 	// default) observes exact counters and per-value histograms only;
 	// TierApprox replaces every exact Distinct/Hist that has a sketch
@@ -193,6 +197,7 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 		eng.Faults = cfg.Faults
 		eng.RetryMax = cfg.RetryMax
 		eng.RetryBackoff = cfg.RetryBackoff
+		eng.RowMode = cfg.RowMode
 		return eng
 	}
 	eng := engine.New(an, db, cfg.Registry)
@@ -202,6 +207,7 @@ func newExecutor(an *workflow.Analysis, db engine.DB, cfg Config) executor {
 	eng.Faults = cfg.Faults
 	eng.RetryMax = cfg.RetryMax
 	eng.RetryBackoff = cfg.RetryBackoff
+	eng.RowMode = cfg.RowMode
 	return eng
 }
 

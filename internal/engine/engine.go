@@ -73,6 +73,10 @@ type Engine struct {
 	// sinks, materialized tables, observed statistics, work metric and
 	// deterministic metrics against it on every workflow.
 	RowMode bool
+	// AdaptCheck, when non-nil, is consulted after every committed block;
+	// returning true stops the run with a *ReplanSignal. Forces sequential
+	// block scheduling (see adapt.go).
+	AdaptCheck AdaptCheck
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -157,6 +161,13 @@ func (e *Engine) Resume(ctx context.Context, cp *Checkpoint, plans map[int]*work
 	return e.runPlans(ctx, cp, plans, res, observe, false)
 }
 
+// ResumeObserving is Resume without the initial-plan observability filter —
+// the adaptive driver's splice path, where the re-optimized cone's plans no
+// longer match the initial plan's observation points.
+func (e *Engine) ResumeObserving(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, cp, plans, res, observe, true)
+}
+
 func (e *Engine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
 	plan, err := physical.Compile(e.An, e.DB, physical.Options{
 		Plans: plans, Res: res, Observe: observe, AnyPoint: anyPoint, Reg: e.Reg,
@@ -179,6 +190,7 @@ func (e *Engine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*wo
 		out.Observed = col.store
 	}
 	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
+	env.adapt = e.AdaptCheck
 	runner := func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
 		return runVecBlock(bp, col, sink, e.CollectMetrics)
 	}

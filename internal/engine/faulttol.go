@@ -91,6 +91,9 @@ type runEnv struct {
 	retryMax int
 	backoff  time.Duration
 	retries  atomic.Int64
+	// adapt, when non-nil, is consulted at block boundaries and forces
+	// sequential block scheduling (see adapt.go).
+	adapt AdaptCheck
 }
 
 func newRunEnv(ctx context.Context, budget *rowBudget, flt *faults.Injector, retryMax int, backoff time.Duration) *runEnv {
@@ -115,6 +118,15 @@ func (env *runEnv) runBlock(bp *physical.BlockPlan, upstream map[int]*data.Table
 	for attempt := 0; ; attempt++ {
 		if err := env.ctx.Err(); err != nil {
 			return nil, nil, err
+		}
+		if attempt > 0 {
+			// A retry re-runs the whole block; whatever metrics the failed
+			// attempt accumulated on this block's nodes would double-count
+			// its rows (and corrupt the boundary actuals the adaptive check
+			// reads), so the attempt starts from zero.
+			for _, n := range bp.Nodes {
+				n.Metrics = physical.Metrics{}
+			}
 		}
 		var inject error
 		if env.flt != nil {
@@ -141,12 +153,25 @@ func (env *runEnv) runBlock(bp *physical.BlockPlan, upstream map[int]*data.Table
 	}
 }
 
+// maxRetryBackoff caps the exponential backoff between attempts.
+const maxRetryBackoff = 100 * time.Millisecond
+
 // sleep waits out the capped exponential backoff before retry `attempt`+1,
-// returning early if the run is cancelled.
+// returning early if the run is cancelled. The doubling saturates at the
+// cap instead of shifting: `backoff << attempt` overflows to a negative
+// duration for large attempt counts, which would fire the timer instantly
+// and turn the backoff into a hot retry loop. An already-cancelled context
+// returns before the timer is even armed.
 func (env *runEnv) sleep(attempt int) error {
-	d := env.backoff << attempt
-	if max := 100 * time.Millisecond; d > max {
-		d = max
+	if err := env.ctx.Err(); err != nil {
+		return err
+	}
+	d := env.backoff
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -165,10 +165,16 @@ func runBlocksDAG(plan *physical.Plan, workers int, env *runEnv, out *Result, ru
 		return up
 	}
 
-	if workers <= 1 || len(plan.Blocks) <= 1 {
+	if workers <= 1 || len(plan.Blocks) <= 1 || env.adapt != nil {
 		// Sequential: plan.Blocks is topologically ordered, so every
-		// dependency is already in out.BlockOut when its reader runs.
-		for _, bp := range plan.Blocks {
+		// dependency is already in out.BlockOut when its reader runs. An
+		// AdaptCheck also forces this path — the boundary-check sequence
+		// must not depend on goroutine timing (see adapt.go).
+		done := make(map[int]bool, len(plan.Blocks))
+		for i := range out.BlockOut {
+			done[i] = true
+		}
+		for bi, bp := range plan.Blocks {
 			if _, ok := out.BlockOut[bp.Block.Index]; ok {
 				continue // checkpointed
 			}
@@ -185,6 +191,15 @@ func runBlocksDAG(plan *physical.Plan, workers int, env *runEnv, out *Result, ru
 				out.Materialized[k] = v
 			}
 			out.Rows += sink.rows
+			done[bp.Block.Index] = true
+			// The boundary check: with blocks still pending, ask whether the
+			// actuals committed so far refute the estimates behind them.
+			if env.adapt != nil && bi+1 < len(plan.Blocks) && env.adapt(plan, bp.Block.Index, done) {
+				return &ReplanSignal{
+					Block:      bp.Block.Index,
+					Checkpoint: checkpointOf(out, nil),
+				}
+			}
 		}
 		return nil
 	}

@@ -56,6 +56,10 @@ type StreamEngine struct {
 	// implementation the equivalence suite diffs the columnar executor
 	// against on every workflow.
 	RowMode bool
+	// AdaptCheck, when non-nil, is consulted after every committed block;
+	// returning true stops the run with a *ReplanSignal. Forces sequential
+	// block scheduling (see adapt.go).
+	AdaptCheck AdaptCheck
 }
 
 // NewStream returns a streaming engine.
@@ -77,24 +81,42 @@ func (e *StreamEngine) RunObserved(res *css.Result, observe []stats.Stat) (*Resu
 
 // RunPlans mirrors Engine.RunPlans in streaming mode.
 func (e *StreamEngine) RunPlans(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
-	return e.runPlans(context.Background(), nil, plans, res, observe)
+	return e.runPlans(context.Background(), nil, plans, res, observe, false)
 }
 
 // RunPlansCtx is RunPlans under a context: cancellation stops the run
 // promptly; on error the partial result rides alongside.
 func (e *StreamEngine) RunPlansCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
-	return e.runPlans(ctx, nil, plans, res, observe)
+	return e.runPlans(ctx, nil, plans, res, observe, false)
+}
+
+// RunPlansObserving is RunPlans without the initial-plan observability
+// filter (see Engine.RunPlansObserving).
+func (e *StreamEngine) RunPlansObserving(plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(context.Background(), nil, plans, res, observe, true)
+}
+
+// RunPlansObservingCtx is RunPlansObserving under a context.
+func (e *StreamEngine) RunPlansObservingCtx(ctx context.Context, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, nil, plans, res, observe, true)
 }
 
 // Resume continues a run from a checkpoint, re-executing only the missing
 // blocks (see Engine.Resume — the checkpoint format is engine-independent).
 func (e *StreamEngine) Resume(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
-	return e.runPlans(ctx, cp, plans, res, observe)
+	return e.runPlans(ctx, cp, plans, res, observe, false)
 }
 
-func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+// ResumeObserving is Resume without the initial-plan observability filter —
+// the adaptive driver's splice path, where the re-optimized cone's plans no
+// longer match the initial plan's observation points.
+func (e *StreamEngine) ResumeObserving(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat) (*Result, error) {
+	return e.runPlans(ctx, cp, plans, res, observe, true)
+}
+
+func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*workflow.JoinTree, res *css.Result, observe []stats.Stat, anyPoint bool) (*Result, error) {
 	plan, err := physical.Compile(e.An, e.DB, physical.Options{
-		Plans: plans, Res: res, Observe: observe, Reg: e.Reg,
+		Plans: plans, Res: res, Observe: observe, AnyPoint: anyPoint, Reg: e.Reg,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +136,7 @@ func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[i
 		out.Observed = col.store
 	}
 	env := newRunEnv(ctx, newRowBudget(e.MaxRows), e.Faults, e.RetryMax, e.RetryBackoff)
+	env.adapt = e.AdaptCheck
 	runner := func(bp *physical.BlockPlan, sink *blockSink) (*data.Table, error) {
 		return e.runVecStreamBlock(bp, col, sink)
 	}

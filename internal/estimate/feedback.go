@@ -41,6 +41,11 @@ type SEReport struct {
 	// Derivable reports whether the estimator could derive the target
 	// from the selected statistics at all.
 	Derivable bool `json:"derivable"`
+	// Vacuous marks a derivable target whose actual and estimate are both
+	// zero. The q-error is 1 by definition, but an empty SE whose estimate
+	// agrees by coincidence tests nothing about the derivation, so vacuous
+	// targets are excluded from the q-error aggregates and the calibration.
+	Vacuous bool `json:"vacuous,omitempty"`
 	// Tier records which statistics tier fed the derivation: "approx" when
 	// any statistic on the derivation path came from a sketch, "exact"
 	// otherwise (empty when not derivable). Per-tier q-errors are what
@@ -68,13 +73,28 @@ type Feedback struct {
 	// Derivable / Total count targets the estimator could / should derive.
 	Derivable int `json:"derivable"`
 	Total     int `json:"total"`
-	// MaxQ and MeanQ summarize the finite q-errors of derivable targets
-	// (1 when every derivation was exact; 0 when none were derivable).
+	// MaxQ and MeanQ summarize the finite q-errors of derivable,
+	// non-vacuous targets (1 when every derivation was exact; 0 when no
+	// target produced usable evidence).
 	MaxQ  float64 `json:"maxQ"`
 	MeanQ float64 `json:"meanQ"`
+	// P90Q is the 90th-percentile finite q-error of derivable, non-vacuous
+	// targets (nearest-rank; 0 when there are none). Calibration divides by
+	// it instead of MaxQ so a single outlier cannot zero the drift
+	// threshold and flap the re-optimization trigger.
+	P90Q float64 `json:"p90q,omitempty"`
 	// Unbounded counts derivable targets with an infinite q-error (one
 	// side zero, the other not).
 	Unbounded int `json:"unbounded"`
+	// UnboundedEmpty counts the unbounded targets whose actual was zero:
+	// the SE was empty at this scale and the estimate merely over-predicted
+	// a few rows. These disagreements are noise on tiny inputs, so they do
+	// not force the calibrated threshold to zero the way a genuinely broken
+	// derivation (actual > 0, estimate 0) does.
+	UnboundedEmpty int `json:"unboundedEmpty,omitempty"`
+	// Vacuous counts derivable targets where actual and estimate are both
+	// zero (see SEReport.Vacuous).
+	Vacuous int `json:"vacuous,omitempty"`
 }
 
 // BuildFeedback compares each actual cardinality from an instrumented run
@@ -83,6 +103,22 @@ type Feedback struct {
 // skipped silently (inner chain points are only in the statistic universe
 // when a rule needs them, so their absence is expected, not a failure).
 func BuildFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int64) *Feedback {
+	return buildFeedback(res, est, actuals, nil)
+}
+
+// ConeFeedback builds the mid-run evidence an adaptive run checks at block
+// boundaries: actuals holds the cardinalities tapped from the blocks
+// completed so far (plus the boundary cardinalities feeding the pending
+// blocks), and est is the estimator whose derivations justified the
+// not-yet-executed cone. skew, when non-nil, multiplies the derived
+// estimates of the named target blocks — the deterministic forcing knob
+// the adaptive tests and the -replan-skew flag use to provoke a replan
+// without perturbing data.
+func ConeFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int64, skew map[int]float64) *Feedback {
+	return buildFeedback(res, est, actuals, skew)
+}
+
+func buildFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int64, skew map[int]float64) *Feedback {
 	targets := make([]stats.Target, 0, len(actuals))
 	for t := range actuals {
 		targets = append(targets, t)
@@ -106,7 +142,7 @@ func BuildFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int
 
 	f := &Feedback{}
 	var qSum float64
-	var qCount int
+	var finite []float64
 	byRule := make(map[string][]float64)
 	for _, t := range targets {
 		var blk = res.Analysis.Blocks[t.Block]
@@ -127,28 +163,40 @@ func BuildFeedback(res *css.Result, est *Estimator, actuals map[stats.Target]int
 		}
 		rep.Derivable = true
 		rep.Estimate = ex.Value.Scalar
+		if k, ok := skew[t.Block]; ok {
+			rep.Estimate = int64(float64(rep.Estimate) * k)
+		}
 		rep.Rule = ex.Rule
 		rep.Tier = "exact"
 		if ex.Value.Approx {
 			rep.Tier = "approx"
 		}
 		rep.QError = qError(rep.Actual, rep.Estimate)
+		rep.Vacuous = rep.Actual == 0 && rep.Estimate == 0
 		f.SEs = append(f.SEs, rep)
 		f.Total++
 		f.Derivable++
-		if math.IsInf(rep.QError, 1) {
+		switch {
+		case rep.Vacuous:
+			f.Vacuous++
+		case math.IsInf(rep.QError, 1):
 			f.Unbounded++
-		} else {
+			if rep.Actual == 0 {
+				f.UnboundedEmpty++
+			}
+		default:
 			qSum += rep.QError
-			qCount++
+			finite = append(finite, rep.QError)
 			if rep.QError > f.MaxQ {
 				f.MaxQ = rep.QError
 			}
 		}
 		byRule[rep.Rule] = append(byRule[rep.Rule], rep.QError)
 	}
-	if qCount > 0 {
-		f.MeanQ = qSum / float64(qCount)
+	if len(finite) > 0 {
+		f.MeanQ = qSum / float64(len(finite))
+		sort.Float64s(finite)
+		f.P90Q = quantileOf(finite, calibrationQuantile)
 	}
 
 	rules := make([]string, 0, len(byRule))
@@ -192,16 +240,96 @@ func qError(act, est int64) float64 {
 	return math.Max(a/b, b/a)
 }
 
-// CalibratedThreshold scales a base drift threshold by the feedback's
-// accuracy: with exact derivations (MaxQ = 1) the base holds; the further
-// estimates strayed, the smaller the returned threshold, so a plan resting
-// on shaky estimates re-optimizes sooner. Unbounded or absent feedback
-// returns 0 — without evidence the estimates hold, any drift triggers.
-func (f *Feedback) CalibratedThreshold(base float64) float64 {
-	if f == nil || f.Derivable == 0 || f.Unbounded > 0 || f.MaxQ <= 0 {
+// calibrationQuantile is the finite q-error quantile the calibration
+// divides by: high enough to capture systematic inaccuracy, but not the
+// maximum, so one outlying derivation cannot zero the threshold.
+const calibrationQuantile = 0.9
+
+// quantileOf returns the p-quantile of ascending-sorted qs by the
+// nearest-rank method (deterministic, no interpolation).
+func quantileOf(qs []float64, p float64) float64 {
+	if len(qs) == 0 {
 		return 0
 	}
-	return base / f.MaxQ
+	idx := int(math.Ceil(p*float64(len(qs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(qs) {
+		idx = len(qs) - 1
+	}
+	return qs[idx]
+}
+
+// CalibratedThreshold scales a base drift threshold by the feedback's
+// accuracy: with exact derivations (P90Q = 1) the base holds; the further
+// estimates strayed, the smaller the returned threshold, so a plan resting
+// on shaky estimates re-optimizes sooner.
+//
+// The calibration divides by the P90 finite q-error, not the maximum, so a
+// single outlier does not zero the threshold and turn every drift into a
+// re-optimization. It still returns 0 — re-optimize on any drift — when
+// there is no usable finite evidence, or when some derivation is broken
+// outright (estimate 0 against a non-zero actual). Unbounded q-errors on
+// empty SEs (actual 0, estimate > 0 — over-prediction noise at small
+// scales) and vacuous 0/0 targets are excluded from the evidence rather
+// than collapsing the threshold.
+func (f *Feedback) CalibratedThreshold(base float64) float64 {
+	if f == nil || f.Derivable == 0 {
+		return 0
+	}
+	if f.Unbounded > f.UnboundedEmpty {
+		// A derivation claimed an SE empty that was not: broken, not shaky.
+		return 0
+	}
+	if f.P90Q <= 0 {
+		// Only vacuous or empty-SE evidence: the derivations went untested.
+		return 0
+	}
+	q := f.P90Q
+	if q < 1 {
+		q = 1
+	}
+	return base / q
+}
+
+// ReplanThreshold widens a base mid-run replan threshold by the plan-time
+// estimate inaccuracy: a boundary actual deviating within the q-error
+// envelope the plan was already justified under is not news, so the
+// adaptive trigger only fires beyond it — the de-flapping counterpart of
+// CalibratedThreshold (which tightens the between-run drift trigger).
+// Absent or untested feedback keeps the base.
+func (f *Feedback) ReplanThreshold(base float64) float64 {
+	if f == nil || f.P90Q <= 1 {
+		return base
+	}
+	return base * f.P90Q
+}
+
+// TripsReplan returns the first report, in the feedback's deterministic
+// order, whose evidence refutes its estimate at the given q-error
+// threshold: a finite q-error above it, or an estimate of zero against a
+// non-zero actual. Vacuous 0/0 targets and over-predicted empty SEs never
+// trip — they are exactly the flapping inputs the calibration excludes.
+func (f *Feedback) TripsReplan(threshold float64) (SEReport, bool) {
+	if f == nil {
+		return SEReport{}, false
+	}
+	for _, r := range f.SEs {
+		if !r.Derivable || r.Vacuous {
+			continue
+		}
+		if math.IsInf(r.QError, 1) {
+			if r.Actual > 0 {
+				return r, true
+			}
+			continue
+		}
+		if r.QError > threshold {
+			return r, true
+		}
+	}
+	return SEReport{}, false
 }
 
 // ShouldReoptimize applies the calibrated threshold to a measured drift:
@@ -218,8 +346,17 @@ func (f *Feedback) Render() string {
 	fmt.Fprintf(&sb, "estimate feedback: %d/%d targets derivable", f.Derivable, f.Total)
 	if f.Derivable > 0 {
 		fmt.Fprintf(&sb, ", max q-error %s, mean %s", fmtQ(f.MaxQ), fmtQ(f.MeanQ))
+		if f.P90Q > 0 {
+			fmt.Fprintf(&sb, ", p90 %s", fmtQ(f.P90Q))
+		}
 		if f.Unbounded > 0 {
 			fmt.Fprintf(&sb, ", %d unbounded", f.Unbounded)
+			if f.UnboundedEmpty > 0 {
+				fmt.Fprintf(&sb, " (%d on empty SEs)", f.UnboundedEmpty)
+			}
+		}
+		if f.Vacuous > 0 {
+			fmt.Fprintf(&sb, ", %d vacuous", f.Vacuous)
 		}
 	}
 	sb.WriteString("\n")

@@ -31,19 +31,16 @@ func TestQError(t *testing.T) {
 }
 
 func TestCalibratedThreshold(t *testing.T) {
-	// Exact feedback keeps the base threshold; inaccuracy shrinks it;
-	// unbounded or absent feedback forces re-optimization on any drift.
-	exact := &Feedback{Derivable: 4, Total: 4, MaxQ: 1}
+	// Exact feedback keeps the base threshold; systematic inaccuracy
+	// (high P90) shrinks it; absent or broken feedback forces
+	// re-optimization on any drift.
+	exact := &Feedback{Derivable: 4, Total: 4, MaxQ: 1, P90Q: 1}
 	if got := exact.CalibratedThreshold(0.3); got != 0.3 {
 		t.Errorf("exact threshold = %v, want 0.3", got)
 	}
-	shaky := &Feedback{Derivable: 4, Total: 4, MaxQ: 3}
+	shaky := &Feedback{Derivable: 4, Total: 4, MaxQ: 3, P90Q: 3}
 	if got := shaky.CalibratedThreshold(0.3); math.Abs(got-0.1) > 1e-12 {
 		t.Errorf("shaky threshold = %v, want 0.1", got)
-	}
-	unbounded := &Feedback{Derivable: 4, Total: 4, MaxQ: 1, Unbounded: 1}
-	if got := unbounded.CalibratedThreshold(0.3); got != 0 {
-		t.Errorf("unbounded threshold = %v, want 0", got)
 	}
 	var nilFB *Feedback
 	if got := nilFB.CalibratedThreshold(0.3); got != 0 {
@@ -60,6 +57,110 @@ func TestCalibratedThreshold(t *testing.T) {
 	}
 	if !shaky.ShouldReoptimize(d, 0.3) {
 		t.Error("0.2 drift over calibrated 0.1 threshold must re-optimize")
+	}
+}
+
+// TestCalibratedThresholdSingleOutlier pins the de-flapping bugfix: one
+// finite outlier among otherwise-exact derivations must no longer zero (or
+// near-zero) the threshold — calibration divides by P90, not MaxQ.
+func TestCalibratedThresholdSingleOutlier(t *testing.T) {
+	outlier := &Feedback{Derivable: 10, Total: 10, MaxQ: 50, MeanQ: 5.9, P90Q: 1}
+	got := outlier.CalibratedThreshold(0.3)
+	if got != 0.3 {
+		t.Errorf("single-outlier threshold = %v, want base 0.3 (P90 calibration)", got)
+	}
+	// The old MaxQ calibration would have returned 0.006 — effectively
+	// re-optimizing on every run. Guard against regressing to it.
+	if got < 0.3/2 {
+		t.Errorf("single outlier collapsed threshold to %v", got)
+	}
+	// P90Q below 1 cannot inflate the threshold past base.
+	sub := &Feedback{Derivable: 2, Total: 2, P90Q: 0.5}
+	if got := sub.CalibratedThreshold(0.3); got != 0.3 {
+		t.Errorf("sub-1 P90 threshold = %v, want clamped base 0.3", got)
+	}
+}
+
+// TestCalibratedThresholdEmptySE pins the second half of the bugfix:
+// unbounded q-errors whose actual was zero (over-predicted empty SEs) are
+// noise, not broken derivations, and must not force reoptimize-every-run.
+// A genuinely broken derivation — estimate zero against rows that exist —
+// still zeroes the threshold.
+func TestCalibratedThresholdEmptySE(t *testing.T) {
+	empty := &Feedback{Derivable: 6, Total: 6, MaxQ: 1, P90Q: 1, Unbounded: 2, UnboundedEmpty: 2}
+	if got := empty.CalibratedThreshold(0.3); got != 0.3 {
+		t.Errorf("empty-SE unbounded threshold = %v, want 0.3", got)
+	}
+	broken := &Feedback{Derivable: 6, Total: 6, MaxQ: 1, P90Q: 1, Unbounded: 2, UnboundedEmpty: 1}
+	if got := broken.CalibratedThreshold(0.3); got != 0 {
+		t.Errorf("hard-unbounded threshold = %v, want 0", got)
+	}
+	// Only vacuous 0/0 evidence means the derivations went untested.
+	vac := &Feedback{Derivable: 3, Total: 3, Vacuous: 3}
+	if got := vac.CalibratedThreshold(0.3); got != 0 {
+		t.Errorf("vacuous-only threshold = %v, want 0", got)
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	cases := []struct {
+		qs   []float64
+		p    float64
+		want float64
+	}{
+		{nil, 0.9, 0},
+		{[]float64{1}, 0.9, 1},
+		{[]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 50}, 0.9, 1},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9},
+		{[]float64{1, 2}, 0.9, 2},
+		{[]float64{1, 2, 3}, 1.0, 3},
+	}
+	for _, tc := range cases {
+		if got := quantileOf(tc.qs, tc.p); got != tc.want {
+			t.Errorf("quantileOf(%v, %v) = %v, want %v", tc.qs, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestReplanThreshold(t *testing.T) {
+	// Plan-time inaccuracy widens the mid-run trigger: known-shaky
+	// estimates deviating within their own envelope is not news.
+	exact := &Feedback{Derivable: 4, P90Q: 1}
+	if got := exact.ReplanThreshold(2); got != 2 {
+		t.Errorf("exact replan threshold = %v, want 2", got)
+	}
+	shaky := &Feedback{Derivable: 4, P90Q: 3}
+	if got := shaky.ReplanThreshold(2); got != 6 {
+		t.Errorf("shaky replan threshold = %v, want 6", got)
+	}
+	var nilFB *Feedback
+	if got := nilFB.ReplanThreshold(2); got != 2 {
+		t.Errorf("nil replan threshold = %v, want base 2", got)
+	}
+}
+
+func TestTripsReplan(t *testing.T) {
+	fb := &Feedback{SEs: []SEReport{
+		{Block: 0, Label: "underivable", Actual: 5},
+		{Block: 0, Label: "vacuous", Derivable: true, Vacuous: true, QError: 1},
+		{Block: 1, Label: "empty-se", Derivable: true, Actual: 0, Estimate: 7, QError: math.Inf(1)},
+		{Block: 1, Label: "exact", Derivable: true, Actual: 10, Estimate: 10, QError: 1},
+		{Block: 2, Label: "off", Derivable: true, Actual: 30, Estimate: 10, QError: 3},
+	}}
+	if rep, ok := fb.TripsReplan(2); !ok || rep.Label != "off" {
+		t.Fatalf("TripsReplan(2) = %+v, %v; want the q=3 report", rep, ok)
+	}
+	if _, ok := fb.TripsReplan(4); ok {
+		t.Fatal("TripsReplan(4) tripped below threshold")
+	}
+	// A broken derivation (estimate 0 against rows that exist) always trips.
+	fb.SEs = append(fb.SEs, SEReport{Block: 3, Label: "broken", Derivable: true, Actual: 9, QError: math.Inf(1)})
+	if rep, ok := fb.TripsReplan(100); !ok || rep.Label != "broken" {
+		t.Fatalf("TripsReplan must trip on hard-unbounded report, got %+v, %v", rep, ok)
+	}
+	var nilFB *Feedback
+	if _, ok := nilFB.TripsReplan(2); ok {
+		t.Fatal("nil feedback tripped")
 	}
 }
 
@@ -151,5 +252,92 @@ func TestBuildFeedbackUnderivable(t *testing.T) {
 	fb = BuildFeedback(res, est, actuals)
 	if fb.Derivable != 1 || fb.MaxQ != 1 {
 		t.Fatalf("derivable feedback %d maxQ %v, want 1/1", fb.Derivable, fb.MaxQ)
+	}
+}
+
+// TestConeFeedbackSkew pins the deterministic forcing knob the adaptive
+// tests and -replan-skew use: skewing a block's derived estimates produces
+// exactly that q-error, trips TripsReplan past the threshold, and leaves
+// other blocks' evidence exact.
+func TestConeFeedbackSkew(t *testing.T) {
+	g, cat, db := zipfRetail(t, 5)
+	_, res, _, est, _ := pipeline(t, g, cat, db, css.DefaultOptions(), selector.MethodExact)
+
+	actuals := make(map[stats.Target]int64)
+	for bi, sp := range res.Spaces {
+		for _, se := range sp.SEs {
+			card, err := est.CardOf(bi, se)
+			if err != nil || card == 0 {
+				continue
+			}
+			actuals[stats.BlockSE(bi, se)] = card
+		}
+	}
+	if len(actuals) == 0 {
+		t.Fatal("no non-empty actuals derived from fixture")
+	}
+
+	fb := ConeFeedback(res, est, actuals, map[int]float64{0: 3})
+	for _, r := range fb.SEs {
+		if !r.Derivable {
+			continue
+		}
+		want := 1.0
+		if r.Block == 0 {
+			want = 3
+		}
+		if math.Abs(r.QError-want) > 0.5 {
+			t.Errorf("blk%d %s q-error %v, want ~%v", r.Block, r.Label, r.QError, want)
+		}
+	}
+	rep, ok := fb.TripsReplan(2)
+	if !ok || rep.Block != 0 {
+		t.Fatalf("skewed block must trip replan: %+v, %v", rep, ok)
+	}
+	if _, ok := fb.TripsReplan(4); ok {
+		t.Fatal("3x skew tripped a 4x threshold")
+	}
+	// Without skew the same evidence is exact and never trips.
+	if rep, ok := BuildFeedback(res, est, actuals).TripsReplan(1); ok {
+		t.Fatalf("exact evidence tripped replan: %+v", rep)
+	}
+}
+
+// TestBuildFeedbackVacuous pins the 0/0 tagging: a derivable target whose
+// actual and (skew-zeroed) estimate are both zero is vacuous — counted,
+// excluded from the q-error aggregates, and never counted as perfect
+// evidence for the calibration.
+func TestBuildFeedbackVacuous(t *testing.T) {
+	g, cat, db := zipfRetail(t, 5)
+	_, res, _, est, _ := pipeline(t, g, cat, db, css.DefaultOptions(), selector.MethodExact)
+
+	full := res.Space(0).Full()
+	target := stats.BlockSE(0, full)
+	actuals := map[stats.Target]int64{target: 0}
+	fb := ConeFeedback(res, est, actuals, map[int]float64{0: 0})
+	if fb.Derivable != 1 || fb.Vacuous != 1 {
+		t.Fatalf("feedback derivable=%d vacuous=%d, want 1/1", fb.Derivable, fb.Vacuous)
+	}
+	if !fb.SEs[0].Vacuous || fb.SEs[0].QError != 1 {
+		t.Fatalf("vacuous report = %+v", fb.SEs[0])
+	}
+	if fb.P90Q != 0 || fb.MaxQ != 0 {
+		t.Fatalf("vacuous evidence leaked into aggregates: p90 %v max %v", fb.P90Q, fb.MaxQ)
+	}
+	if got := fb.CalibratedThreshold(0.3); got != 0 {
+		t.Fatalf("vacuous-only calibration = %v, want 0 (untested)", got)
+	}
+	if _, ok := fb.TripsReplan(0); ok {
+		t.Fatal("vacuous target tripped replan")
+	}
+
+	// An over-predicted empty SE is unbounded-empty, not broken: it keeps
+	// the calibrated threshold and never trips a replan.
+	fb = BuildFeedback(res, est, actuals)
+	if fb.Unbounded != 1 || fb.UnboundedEmpty != 1 {
+		t.Fatalf("feedback unbounded=%d empty=%d, want 1/1", fb.Unbounded, fb.UnboundedEmpty)
+	}
+	if _, ok := fb.TripsReplan(100); ok {
+		t.Fatal("empty-SE unbounded target tripped replan")
 	}
 }

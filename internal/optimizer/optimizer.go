@@ -81,6 +81,11 @@ type Options struct {
 	// cannot be derived (statistics lost to observation failures). Fallback
 	// blocks are reported in Result.Fallbacks.
 	FallbackInitial bool
+	// Only restricts optimization to the named block indices; the others
+	// are skipped entirely (absent from Result.Plans and the totals). The
+	// mid-run adaptive path sets it to re-optimize just the not-yet-executed
+	// cone. Nil optimizes every block.
+	Only map[int]bool
 }
 
 // Optimize chooses the cheapest join order for every block by dynamic
@@ -95,6 +100,9 @@ func Optimize(res *css.Result, cards CardSource, model CostModel) (*Result, erro
 func OptimizeOpts(res *css.Result, cards CardSource, model CostModel, opt Options) (*Result, error) {
 	out := &Result{Plans: make(map[int]*Plan)}
 	for bi, sp := range res.Spaces {
+		if opt.Only != nil && !opt.Only[bi] {
+			continue
+		}
 		blk := res.Analysis.Blocks[bi]
 		p, err := optimizeBlock(bi, blk, sp, cards, model, opt)
 		if err != nil {

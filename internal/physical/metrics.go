@@ -144,3 +144,28 @@ func (rm *RunMetrics) Actuals() map[stats.Target]int64 {
 	}
 	return out
 }
+
+// BlockActuals reads one block's statistic-target cardinalities straight
+// off the live plan's node metrics — the per-boundary slice of Actuals the
+// adaptive check accumulates as blocks commit, without snapshotting the
+// whole plan at every boundary.
+func (p *Plan) BlockActuals(block int) map[stats.Target]int64 {
+	out := make(map[stats.Target]int64)
+	for _, bp := range p.Blocks {
+		if bp.Block.Index != block {
+			continue
+		}
+		for _, n := range bp.Nodes {
+			if n.Kind == OpMaterialize {
+				continue
+			}
+			if !n.SE.Empty() {
+				out[stats.BlockSE(block, n.SE)] = n.Metrics.RowsOut
+			}
+			if n.ChainInput >= 0 {
+				out[stats.ChainPoint(block, n.ChainInput, n.ChainDepth)] = n.Metrics.RowsOut
+			}
+		}
+	}
+	return out
+}

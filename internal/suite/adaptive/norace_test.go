@@ -1,0 +1,6 @@
+//go:build !race
+
+package adaptive
+
+// raceDetector is false in ordinary builds; see race_test.go.
+const raceDetector = false

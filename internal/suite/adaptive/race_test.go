@@ -1,0 +1,9 @@
+//go:build race
+
+package adaptive
+
+// raceDetector reports whether this test binary was built with -race.
+// The splice matrix uses it to drop the sequential legs: adaptive runs
+// force sequential block scheduling, so only the intra-block
+// worker-parallel paths can race, and those run in the w4 legs.
+const raceDetector = true
