@@ -5,9 +5,9 @@ FUZZTIME ?= 5s
 # Override BENCHTIME/BENCHCOUNT for longer local sessions.
 BENCHTIME ?= 3x
 BENCHCOUNT ?= 2
-BENCHOUT ?= BENCH_pr8.json
+BENCHOUT ?= BENCH_pr9.json
 
-.PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke
+.PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke distributed-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ fuzz:
 # observe upload, optimize solve + cache hit, metrics, SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# distributed-smoke runs a coordinator against two real worker processes,
+# SIGKILLs one mid-run, and requires exit 0 with stdout byte-identical to
+# the single-process run.
+distributed-smoke:
+	./scripts/distributed_smoke.sh
 
 # The parallel engine paths are the main race surface; this is the gate
 # CI runs in addition to the plain test job. The suite's cross-engine
@@ -47,10 +53,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run=^$$ . | $(GO) run ./cmd/benchjson -min-iters 2 -out $(BENCHOUT)
 
 # bench-regress compares the committed benchmark records: allocs/op in
-# $(BENCHOUT) must not regress against the BENCH_pr7.json baseline in any
+# $(BENCHOUT) must not regress against the BENCH_pr8.json baseline in any
 # metrics-off configuration.
 bench-regress:
-	./scripts/bench_regress.sh BENCH_pr7.json $(BENCHOUT)
+	./scripts/bench_regress.sh BENCH_pr8.json $(BENCHOUT)
 
 # examples smoke-runs every runnable example program; each must exit 0.
 examples:

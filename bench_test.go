@@ -8,6 +8,7 @@ package etlopt_test
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"github.com/essential-stats/etlopt/internal/core"
@@ -18,6 +19,7 @@ import (
 	"github.com/essential-stats/etlopt/internal/experiments"
 	"github.com/essential-stats/etlopt/internal/payg"
 	"github.com/essential-stats/etlopt/internal/selector"
+	"github.com/essential-stats/etlopt/internal/serve"
 	"github.com/essential-stats/etlopt/internal/stats"
 	"github.com/essential-stats/etlopt/internal/suite"
 	"github.com/essential-stats/etlopt/internal/workflow"
@@ -523,6 +525,36 @@ func BenchmarkZipfGeneration(b *testing.B) {
 		t := data.Generate(spec, int64(i))
 		if t.Card() != 100000 {
 			b.Fatal("bad cardinality")
+		}
+	}
+}
+
+// BenchmarkDistributedDispatch measures the coordinator/worker dispatch
+// overhead over local loopback HTTP — wire codec, lease bookkeeping and
+// central shard merge — next to BenchmarkE2ECycle's in-process number for
+// the same workflow and scale.
+func BenchmarkDistributedDispatch(b *testing.B) {
+	w := suite.MustGet(5)
+	db := w.Data(0.002)
+	srv := httptest.NewServer(serve.NewWorker().Handler())
+	defer srv.Close()
+	coord, err := serve.NewCoordinator(
+		serve.RunSpec{WF: 5, Scale: 0.002, CSS: css.DefaultOptions()},
+		serve.CoordinatorOptions{Addrs: []string{srv.URL}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Dispatcher = coord
+		cy, err := core.Run(w.Graph, w.Catalog, db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := cy.Observed.Dist; d == nil || len(d.Remote) == 0 || d.FellBack {
+			b.Fatalf("run did not execute remotely: %+v", d)
 		}
 	}
 }

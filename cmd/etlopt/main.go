@@ -26,6 +26,8 @@
 //	etlopt run     -wf 3 -adaptive                # mid-run re-optimization at block boundaries
 //	etlopt run     -wf 3 -adaptive -replan-skew 4 # force a replan (block-0 estimates skewed 4x)
 //	etlopt serve   -catalog dir -addr :8080       # statistics-serving daemon (docs/ARCHITECTURE.md)
+//	etlopt worker  -addr :9091                    # block-execution worker (docs/DISTRIBUTED.md)
+//	etlopt run     -wf 3 -distributed -worker-addrs http://localhost:9091,http://localhost:9092
 //
 // A workflow document is the JSON form of workflow.Document: the operator
 // DAG plus the catalog of relations, domains and (optionally) functional
@@ -46,6 +48,12 @@
 // failed run, exceeded -max-rows guard), 2 on usage errors (unknown
 // subcommand, missing arguments, bad -wf or -faults value), 3 when the
 // run was cancelled (SIGINT/SIGTERM) or hit the -timeout deadline.
+//
+// A -distributed run that loses every worker is NOT an error: the
+// coordinator completes the run in-process from its last checkpoint,
+// prints a "distributed: ... fell back in-process" summary on stderr, and
+// exits 0 — outputs are byte-identical to a single-process run, only the
+// placement degraded (docs/DISTRIBUTED.md).
 package main
 
 import (
@@ -57,8 +65,10 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"github.com/essential-stats/etlopt/internal/core"
 	"github.com/essential-stats/etlopt/internal/costmodel"
@@ -103,7 +113,11 @@ func main() {
 	adaptive := fs.Bool("adaptive", false, "run: execute the optimized plans adaptively, re-optimizing the not-yet-executed blocks when boundary actuals refute the estimates")
 	replanThreshold := fs.Float64("replan-threshold", core.DefaultReplanThreshold, "run: base q-error a boundary actual must exceed to trigger an -adaptive replan (widened by plan-time calibration)")
 	replanSkew := fs.Float64("replan-skew", 0, "run: multiply block 0's estimates by this factor during -adaptive boundary checks, forcing a replan (testing aid; 0 = off)")
-	addr := fs.String("addr", ":8080", "serve: listen address")
+	addr := fs.String("addr", ":8080", "serve/worker: listen address")
+	distributed := fs.Bool("distributed", false, "run: dispatch plan blocks to remote workers (needs -worker-addrs; suite workflows only)")
+	workerAddrs := fs.String("worker-addrs", "", "run: comma-separated worker base URLs, e.g. http://localhost:9091,http://localhost:9092")
+	heartbeat := fs.Duration("heartbeat", 0, "run: health-probe period while a block is leased to a worker (0 = 200ms default)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "run: lease time-to-live without a successful probe before a block is reassigned (0 = 2s default)")
 	catalogDir := fs.String("catalog", "", "serve: statistics catalog directory")
 	drift := fs.Float64("drift", serve.DefaultDriftThreshold, "serve: max relative drift before cached solutions invalidate")
 	cache := fs.Bool("cache", true, "serve: cache solved responses (off still deduplicates concurrent solves)")
@@ -155,9 +169,12 @@ func main() {
 		})
 	case "run":
 		err = runCycle(ctx, *file, *wfID, *dataDir, *scale, false, *workers, *maxRows, *metrics, inj, *saveStats, tier,
-			adaptiveOptions(*adaptive, *replanThreshold, *replanSkew))
+			adaptiveOptions(*adaptive, *replanThreshold, *replanSkew),
+			distOptionsFor(*distributed, *workerAddrs, *heartbeat, *leaseTTL))
 	case "serve":
 		err = serveCmd(ctx, *addr, *catalogDir, *drift, *cache)
+	case "worker":
+		err = workerCmd(ctx, *addr)
 	case "explain":
 		err = explainCmd(ctx, *file, *wfID, *dataDir, *scale, *derive, *workers, *maxRows, *metrics, inj, tier)
 	case "gendata":
@@ -172,20 +189,30 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlopt:", err)
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// Interrupted (SIGINT/SIGTERM) or past the -timeout deadline.
-			os.Exit(3)
-		case errors.As(err, new(*suite.UnknownWorkflowError)):
-			// Bad -wf value: a usage error, like a bad subcommand.
-			os.Exit(2)
-		}
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
+// exitCode maps a top-level error onto the documented process exit codes:
+// 3 for cancellation (SIGINT/SIGTERM or the -timeout deadline), 2 for
+// usage errors (an unknown suite workflow, like a bad subcommand), 1 for
+// any other runtime error. A nil error — including a distributed run that
+// fell back in-process and completed degraded — exits 0.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 3
+	case errors.As(err, new(*suite.UnknownWorkflowError)):
+		return 2
+	}
+	return 1
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report|serve> [-f flow.json | -wf N] [flags]")
+	fmt.Fprintln(os.Stderr, "usage: etlopt <suite|export|analyze|stats|baseline|dot|run|explain|gendata|schedule|report|serve|worker> [-f flow.json | -wf N] [flags]")
 }
 
 // serveCmd runs the statistics-serving daemon until SIGINT/SIGTERM, then
@@ -231,6 +258,37 @@ func loadWorkflow(file string, wfID int, dataDir string, scale float64) (*workfl
 	}
 }
 
+// workerCmd runs a block-execution worker until SIGINT/SIGTERM, then
+// drains and exits cleanly (exit code 0 — stopping a worker is how fleets
+// scale down, not an error).
+func workerCmd(ctx context.Context, addr string) error {
+	wk := serve.NewWorker()
+	fmt.Fprintf(os.Stderr, "etlopt worker: listening on %s\n", addr)
+	return wk.ListenAndServe(ctx, addr)
+}
+
+// distOptions carries the -distributed flag family.
+type distOptions struct {
+	addrs     []string
+	heartbeat time.Duration
+	leaseTTL  time.Duration
+}
+
+// distOptionsFor maps the -distributed/-worker-addrs/-heartbeat/-lease-ttl
+// flags onto coordinator options; nil means a purely local run.
+func distOptionsFor(on bool, addrs string, heartbeat, leaseTTL time.Duration) *distOptions {
+	if !on {
+		return nil
+	}
+	d := &distOptions{heartbeat: heartbeat, leaseTTL: leaseTTL}
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			d.addrs = append(d.addrs, a)
+		}
+	}
+	return d
+}
+
 // adaptiveOptions maps the -adaptive/-replan-threshold/-replan-skew flags
 // onto the core driver's options; nil means a plain optimized run.
 func adaptiveOptions(on bool, threshold, skew float64) *core.AdaptiveOptions {
@@ -246,7 +304,7 @@ func adaptiveOptions(on bool, threshold, skew float64) *core.AdaptiveOptions {
 
 // runCycle executes one full optimization cycle, optionally printing the
 // derivation tree of every SE cardinality.
-func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string, tier core.StatsTier, adapt *core.AdaptiveOptions) error {
+func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale float64, explain bool, workers int, maxRows int64, metricsFmt string, inj *faults.Injector, saveStats string, tier core.StatsTier, adapt *core.AdaptiveOptions, dist *distOptions) error {
 	g, cat, db, err := loadWorkflow(file, wfID, dataDir, scale)
 	if err != nil {
 		return err
@@ -257,6 +315,33 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 	cfg.CollectMetrics = metricsFmt != ""
 	cfg.Faults = inj
 	cfg.StatsTier = tier
+	if dist != nil {
+		if wfID == 0 || dataDir != "" {
+			return fmt.Errorf("-distributed needs a suite workflow (-wf 1..30) so workers can regenerate the data deterministically")
+		}
+		if adapt != nil {
+			return fmt.Errorf("-distributed is incompatible with -adaptive (replanning needs the sequential local scheduler)")
+		}
+		if cfg.CollectMetrics {
+			return fmt.Errorf("-distributed is incompatible with -metrics (workers do not ship per-operator metrics)")
+		}
+		coord, err := serve.NewCoordinator(serve.RunSpec{
+			WF:      wfID,
+			Scale:   scale,
+			Workers: workers,
+			MaxRows: maxRows,
+			Faults:  inj.String(),
+			CSS:     cfg.CSS,
+		}, serve.CoordinatorOptions{
+			Addrs:          dist.addrs,
+			HeartbeatEvery: dist.heartbeat,
+			LeaseTTL:       dist.leaseTTL,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Dispatcher = coord
+	}
 	cy, err := core.RunCtx(ctx, g, cat, db, cfg)
 	if err != nil {
 		// A cancelled or failed run still returns the partial cycle; flush
@@ -283,6 +368,18 @@ func runCycle(ctx context.Context, file string, wfID int, dataDir string, scale 
 		}
 		fmt.Fprintf(os.Stderr, "saved %d observed statistics to %s\n",
 			cy.Observed.Observed.Len(), saveStats)
+	}
+	// The distributed placement summary goes to stderr: stdout stays
+	// byte-identical to a single-process run (the smoke test diffs them).
+	if cy.Observed != nil && cy.Observed.Dist != nil {
+		d := cy.Observed.Dist
+		if d.FellBack {
+			fmt.Fprintf(os.Stderr, "distributed: fell back in-process (%s): %d block(s) completed remotely, %d from the last checkpoint locally; run completed whole, outputs identical\n",
+				d.Reason, len(d.Remote), len(d.Local))
+		} else {
+			fmt.Fprintf(os.Stderr, "distributed: %d block(s) executed remotely, %d reassignment(s), %d worker(s) lost\n",
+				len(d.Remote), d.Reassigned, len(d.LostWorkers))
+		}
 	}
 	fmt.Printf("workflow %s\n", g.Name)
 	if cy.Observed != nil && cy.Observed.Retries > 0 {
@@ -392,7 +489,7 @@ func explainCmd(ctx context.Context, file string, wfID int, dataDir string, scal
 		return nil
 	}
 	fmt.Println()
-	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "", tier, nil)
+	return runCycle(ctx, file, wfID, dataDir, scale, true, workers, maxRows, "", inj, "", tier, nil, nil)
 }
 
 // reportCmd runs one cycle over a suite workflow and writes the markdown

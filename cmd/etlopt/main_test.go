@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/suite"
+)
+
+// TestExitCode pins the documented process exit codes: 0 on success
+// (including a degraded distributed fallback, which completes the run), 3
+// on cancellation or deadline, 2 on an unknown suite workflow, 1 on any
+// other runtime error.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		// A distributed run that loses every worker falls back in-process
+		// and returns a nil error: degradation is reported on stderr, not
+		// via the exit code.
+		{"degraded fallback is success", nil, 0},
+		{"canceled", context.Canceled, 3},
+		{"deadline", context.DeadlineExceeded, 3},
+		{"wrapped canceled", fmt.Errorf("run: %w", context.Canceled), 3},
+		{"wrapped deadline", fmt.Errorf("run: %w", context.DeadlineExceeded), 3},
+		{"unknown workflow", &suite.UnknownWorkflowError{ID: 99}, 2},
+		{"wrapped unknown workflow", fmt.Errorf("suite: %w", &suite.UnknownWorkflowError{ID: 0}), 2},
+		{"generic", errors.New("boom"), 1},
+		{"wrapped generic", fmt.Errorf("run: %w", errors.New("boom")), 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestDistOptionsFor pins the -worker-addrs parsing: comma separation,
+// whitespace trimming, empty entries dropped, and nil when -distributed is
+// off.
+func TestDistOptionsFor(t *testing.T) {
+	if d := distOptionsFor(false, "http://a:1", 0, 0); d != nil {
+		t.Errorf("distOptionsFor without -distributed must be nil, got %+v", d)
+	}
+	d := distOptionsFor(true, " http://a:1 ,http://b:2,, ", 0, 0)
+	if d == nil {
+		t.Fatal("distOptionsFor with -distributed returned nil")
+	}
+	want := []string{"http://a:1", "http://b:2"}
+	if len(d.addrs) != len(want) || d.addrs[0] != want[0] || d.addrs[1] != want[1] {
+		t.Errorf("addrs = %v, want %v", d.addrs, want)
+	}
+}

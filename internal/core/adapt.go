@@ -270,6 +270,9 @@ func (cy *Cycle) RunOptimizedAdaptiveCtx(ctx context.Context, opts AdaptiveOptio
 	if cy.Plans == nil || cy.CSS == nil || cy.Selection == nil {
 		return nil, fmt.Errorf("core: adaptive run needs a completed optimization cycle")
 	}
+	if cy.cfg.Dispatcher != nil {
+		return nil, fmt.Errorf("core: adaptive execution is incompatible with distributed dispatch (replanning needs the sequential local scheduler)")
+	}
 	base := opts.Threshold
 	if base <= 0 {
 		base = DefaultReplanThreshold

@@ -1,0 +1,184 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+// Table wire format. Distributed execution ships block boundary outputs
+// between coordinator and worker processes; the encoding below is the
+// canonical byte form of a Table: a magic header, the relation name, the
+// attribute schema, then every row as varint-encoded int64 values. It is
+// lossless (ReadTable(WriteTable(t)) reproduces t exactly, including
+// attribute order and row order) and canonical — the same table always
+// encodes to the same bytes — so a block that executes twice on different
+// workers returns byte-identical payloads and the coordinator can commit
+// whichever copy arrives first.
+//
+// Like stats.ReadStore, the reader defends against truncated or hostile
+// streams: declared counts are capped, every row must carry exactly the
+// schema's column count, and allocations grow with bytes actually
+// consumed, never with declared counts alone.
+
+// tableMagic versions the stream; bump on any incompatible change.
+const tableMagic = "ETBL1"
+
+// Wire limits: a schema wider than maxWireCols or a name longer than
+// maxWireName is rejected outright (no workflow in the system approaches
+// either), which bounds what a corrupt count can make the reader allocate.
+const (
+	maxWireCols = 1 << 12
+	maxWireName = 1 << 12
+)
+
+// WriteTable serializes the table. A nil table encodes as a present/absent
+// marker so map values can round-trip without a sidecar.
+func WriteTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(tableMagic); err != nil {
+		return err
+	}
+	if t == nil {
+		if err := bw.WriteByte(0); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	if err := writeWireString(bw, t.Rel); err != nil {
+		return err
+	}
+	if len(t.Attrs) > maxWireCols {
+		return fmt.Errorf("data: table %q has %d columns, wire cap is %d", t.Rel, len(t.Attrs), maxWireCols)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Attrs)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, a := range t.Attrs {
+		if err := writeWireString(bw, a.Rel); err != nil {
+			return err
+		}
+		if err := writeWireString(bw, a.Col); err != nil {
+			return err
+		}
+	}
+	n = binary.PutUvarint(buf[:], uint64(len(t.Rows)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if len(r) != len(t.Attrs) {
+			return fmt.Errorf("data: table %q row has %d values, schema has %d columns", t.Rel, len(r), len(t.Attrs))
+		}
+		for _, v := range r {
+			n = binary.PutVarint(buf[:], v)
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTable deserializes a table written by WriteTable.
+func ReadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(tableMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("data: table header: %w", err)
+	}
+	if string(magic) != tableMagic {
+		return nil, fmt.Errorf("data: bad table magic %q", magic)
+	}
+	present, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("data: table presence: %w", err)
+	}
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("data: bad table presence byte %d", present)
+	}
+	rel, err := readWireString(br, "relation name")
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("data: column count: %w", err)
+	}
+	if ncols > maxWireCols {
+		return nil, fmt.Errorf("data: column count %d exceeds wire cap %d", ncols, maxWireCols)
+	}
+	t := &Table{Rel: rel}
+	for i := uint64(0); i < ncols; i++ {
+		arel, err := readWireString(br, "attribute relation")
+		if err != nil {
+			return nil, err
+		}
+		acol, err := readWireString(br, "attribute column")
+		if err != nil {
+			return nil, err
+		}
+		t.Attrs = append(t.Attrs, workflow.Attr{Rel: arel, Col: acol})
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("data: row count: %w", err)
+	}
+	// Rows append as bytes are consumed — a lying count hits EOF, not an
+	// oversized allocation.
+	for i := uint64(0); i < nrows; i++ {
+		row := make(Row, ncols)
+		for c := uint64(0); c < ncols; c++ {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d column %d: %w", i, c, err)
+			}
+			row[c] = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("data: trailing bytes after %d row(s)", nrows)
+	}
+	return t, nil
+}
+
+func writeWireString(w *bufio.Writer, s string) error {
+	if len(s) > maxWireName {
+		return fmt.Errorf("data: name longer than wire cap %d", maxWireName)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readWireString(r *bufio.Reader, what string) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", fmt.Errorf("data: %s length: %w", what, err)
+	}
+	if n > maxWireName {
+		return "", fmt.Errorf("data: %s length %d exceeds wire cap %d", what, n, maxWireName)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("data: %s: %w", what, err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,103 @@
+package data
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/workflow"
+)
+
+func TestTableWireRoundTrip(t *testing.T) {
+	tbl := &Table{
+		Rel: "Orders",
+		Attrs: []workflow.Attr{
+			{Rel: "Orders", Col: "id"},
+			{Rel: "Orders", Col: "cid"},
+		},
+		Rows: []Row{{1, -5}, {2, 0}, {1 << 60, -(1 << 60)}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tbl); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTable: %v", err)
+	}
+	if !reflect.DeepEqual(got, tbl) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tbl)
+	}
+}
+
+func TestTableWireCanonical(t *testing.T) {
+	tbl := &Table{
+		Rel:   "T",
+		Attrs: []workflow.Attr{{Rel: "T", Col: "a"}},
+		Rows:  []Row{{7}, {8}},
+	}
+	var a, b bytes.Buffer
+	if err := WriteTable(&a, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable(&b, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same table encoded to different bytes")
+	}
+}
+
+func TestTableWireNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, nil); err != nil {
+		t.Fatalf("WriteTable(nil): %v", err)
+	}
+	got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil || got != nil {
+		t.Fatalf("nil table round trip: got %v, %v", got, err)
+	}
+
+	empty := &Table{Rel: "E", Attrs: []workflow.Attr{{Rel: "E", Col: "x"}}}
+	buf.Reset()
+	if err := WriteTable(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rel != "E" || len(got.Attrs) != 1 || len(got.Rows) != 0 {
+		t.Fatalf("empty table round trip: %+v", got)
+	}
+}
+
+func TestTableWireRejectsCorruption(t *testing.T) {
+	tbl := &Table{
+		Rel:   "T",
+		Attrs: []workflow.Attr{{Rel: "T", Col: "a"}},
+		Rows:  []Row{{1}, {2}, {3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncation at every prefix length must fail, never mis-decode.
+	for n := 0; n < len(full); n++ {
+		if _, err := ReadTable(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated stream of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := ReadTable(bytes.NewReader(append(append([]byte{}, full...), 0x00))); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad magic is rejected.
+	bad := append([]byte{}, full...)
+	bad[0] ^= 0xff
+	if _, err := ReadTable(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -77,6 +77,11 @@ type Engine struct {
 	// returning true stops the run with a *ReplanSignal. Forces sequential
 	// block scheduling (see adapt.go).
 	AdaptCheck AdaptCheck
+	// Dispatch, when non-nil, schedules blocks onto remote workers through
+	// the dispatcher instead of local goroutines (see dispatch.go). An
+	// AdaptCheck takes precedence: adaptive runs need the sequential local
+	// scheduler, so a run with both set executes locally.
+	Dispatch BlockDispatcher
 }
 
 // New returns an engine for the analyzed workflow over the database.
@@ -110,6 +115,9 @@ type Result struct {
 	Degraded []FailedStat
 	// Retries counts block attempts repeated after transient faults.
 	Retries int64
+	// Dist records block placement when the run executed through a
+	// dispatcher (nil for purely local runs).
+	Dist *DistReport
 }
 
 // Run executes the workflow with each block using its initial join tree.
@@ -199,7 +207,13 @@ func (e *Engine) runPlans(ctx context.Context, cp *Checkpoint, plans map[int]*wo
 			return runBatchBlock(bp, col, sink, e.CollectMetrics)
 		}
 	}
-	err = runBlocksDAG(plan, e.Workers, env, out, runner)
+	if e.Dispatch != nil && env.adapt == nil {
+		err = runBlocksDist(plan, e.Workers, env, out, col, e.Dispatch, &DispatchSpec{
+			Plans: plans, Observe: observe, Instrument: res != nil, AnyPoint: anyPoint,
+		}, runner)
+	} else {
+		err = runBlocksDAG(plan, e.Workers, env, out, runner)
+	}
 	out.Retries = env.retries.Load()
 	out.Degraded = col.failedStats()
 	if e.CollectMetrics {

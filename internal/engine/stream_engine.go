@@ -60,6 +60,11 @@ type StreamEngine struct {
 	// returning true stops the run with a *ReplanSignal. Forces sequential
 	// block scheduling (see adapt.go).
 	AdaptCheck AdaptCheck
+	// Dispatch, when non-nil, schedules blocks onto remote workers through
+	// the dispatcher instead of local goroutines (see dispatch.go). An
+	// AdaptCheck takes precedence: adaptive runs need the sequential local
+	// scheduler, so a run with both set executes locally.
+	Dispatch BlockDispatcher
 }
 
 // NewStream returns a streaming engine.
@@ -145,7 +150,13 @@ func (e *StreamEngine) runPlans(ctx context.Context, cp *Checkpoint, plans map[i
 			return e.runStreamBlock(bp, col, sink)
 		}
 	}
-	err = runBlocksDAG(plan, e.Workers, env, out, runner)
+	if e.Dispatch != nil && env.adapt == nil {
+		err = runBlocksDist(plan, e.Workers, env, out, col, e.Dispatch, &DispatchSpec{
+			Plans: plans, Observe: observe, Instrument: res != nil, AnyPoint: anyPoint,
+		}, runner)
+	} else {
+		err = runBlocksDAG(plan, e.Workers, env, out, runner)
+	}
 	out.Retries = env.retries.Load()
 	out.Degraded = col.failedStats()
 	if e.CollectMetrics {

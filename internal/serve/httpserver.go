@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Timeouts hardens an http.Server against slow or stalled clients. The
+// daemon and the worker both face the open network in production ETL
+// deployments; a client that dribbles header bytes, never finishes a body,
+// or parks an idle keep-alive connection must not hold a connection slot
+// forever. Zero-valued fields fall back to the defaults below.
+type Timeouts struct {
+	// ReadHeader bounds how long a client may take to send the request
+	// headers (slowloris guard).
+	ReadHeader time.Duration
+	// Read bounds the whole request read, body included.
+	Read time.Duration
+	// Write bounds writing the response, counted from the end of the
+	// request headers.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests.
+	Idle time.Duration
+}
+
+// DefaultTimeouts are generous enough for the largest statistics upload
+// (maxUploadBytes) on a slow link while still bounding every connection
+// state.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		ReadHeader: 10 * time.Second,
+		Read:       2 * time.Minute,
+		Write:      2 * time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// withDefaults fills zero fields from DefaultTimeouts.
+func (t Timeouts) withDefaults() Timeouts {
+	d := DefaultTimeouts()
+	if t.ReadHeader <= 0 {
+		t.ReadHeader = d.ReadHeader
+	}
+	if t.Read <= 0 {
+		t.Read = d.Read
+	}
+	if t.Write <= 0 {
+		t.Write = d.Write
+	}
+	if t.Idle <= 0 {
+		t.Idle = d.Idle
+	}
+	return t
+}
+
+// newHTTPServer returns an http.Server with every connection-state timeout
+// set — the one constructor both the daemon and the worker use, so neither
+// can regress to an unbounded server.
+func newHTTPServer(addr string, h http.Handler, t Timeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}
+
+// serveUntil runs the server until the context is cancelled, then drains
+// in-flight requests (bounded) and returns nil on a clean shutdown.
+func serveUntil(ctx context.Context, srv *http.Server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}

@@ -25,7 +25,6 @@ import (
 	"net/http"
 	"sort"
 	"sync"
-	"time"
 
 	"github.com/essential-stats/etlopt/internal/core"
 	"github.com/essential-stats/etlopt/internal/costmodel"
@@ -132,25 +131,7 @@ func (s *Server) Handler() http.Handler {
 // drains in-flight requests and returns nil on a clean shutdown — SIGTERM
 // is how the daemon is meant to stop, not an error.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(drain); err != nil {
-		return fmt.Errorf("serve: shutdown: %w", err)
-	}
-	<-errc // always http.ErrServerClosed after Shutdown
-	return nil
+	return serveUntil(ctx, newHTTPServer(addr, s.Handler(), Timeouts{}))
 }
 
 // cssFor returns the workflow's generated CSS result, building it once per

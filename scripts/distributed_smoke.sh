@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Distributed-execution smoke test: build the CLI, start two worker
+# processes, run a multi-block workflow distributed, SIGKILL one worker
+# while the run is in flight, and require exit 0 with stdout
+# byte-identical to the single-process reference; then repeat with the
+# dead worker still configured (the reassign/degrade path from the very
+# first dispatch). CI runs this as its own job; `make distributed-smoke`
+# runs it locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+wf=8
+scale=0.1
+p1="${SMOKE_WORKER1_PORT:-18091}"
+p2="${SMOKE_WORKER2_PORT:-18092}"
+addrs="http://127.0.0.1:$p1,http://127.0.0.1:$p2"
+trap 'rm -rf "$work"; kill "${w1:-}" "${w2:-}" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$work/etlopt" ./cmd/etlopt
+
+echo "== single-process reference"
+"$work/etlopt" run -wf "$wf" -scale "$scale" > "$work/ref.out"
+
+echo "== start 2 workers"
+"$work/etlopt" worker -addr "127.0.0.1:$p1" 2> "$work/w1.log" &
+w1=$!
+"$work/etlopt" worker -addr "127.0.0.1:$p2" 2> "$work/w2.log" &
+w2=$!
+disown "$w1" "$w2" # suppress job-control noise when the SIGKILL lands
+for p in "$p1" "$p2"; do
+    for i in $(seq 1 50); do
+        if curl -sf "http://127.0.0.1:$p/v1/worker/health" >/dev/null 2>&1; then break; fi
+        sleep 0.1
+    done
+    curl -sf "http://127.0.0.1:$p/v1/worker/health" | grep -q ok
+done
+
+echo "== distributed run, one worker SIGKILLed mid-run"
+"$work/etlopt" run -wf "$wf" -scale "$scale" -distributed -worker-addrs "$addrs" \
+    > "$work/dist.out" 2> "$work/dist.err" &
+run=$!
+sleep 0.25
+kill -9 "$w1" 2>/dev/null || true
+rc=0
+wait "$run" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "distributed run exited $rc, want 0" >&2
+    cat "$work/dist.err" >&2
+    exit 1
+fi
+grep -q '^distributed:' "$work/dist.err"
+
+echo "== outputs byte-identical to the single-process run"
+cmp "$work/ref.out" "$work/dist.out"
+
+echo "== re-run with the dead worker still configured"
+rc=0
+"$work/etlopt" run -wf "$wf" -scale "$scale" -distributed -worker-addrs "$addrs" \
+    > "$work/dist2.out" 2> "$work/dist2.err" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "second distributed run exited $rc, want 0" >&2
+    cat "$work/dist2.err" >&2
+    exit 1
+fi
+grep -q '^distributed:' "$work/dist2.err"
+cmp "$work/ref.out" "$work/dist2.out"
+
+echo "PASS: distributed runs survive a SIGKILLed worker with identical outputs"
