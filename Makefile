@@ -6,8 +6,9 @@ FUZZTIME ?= 5s
 BENCHTIME ?= 3x
 BENCHCOUNT ?= 2
 BENCHOUT ?= BENCH_pr9.json
+SERVEBENCH ?= BENCH_serve.json
 
-.PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke distributed-smoke
+.PHONY: build test race short bench bench-regress examples vet lint check fuzz serve-smoke distributed-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +34,11 @@ serve-smoke:
 distributed-smoke:
 	./scripts/distributed_smoke.sh
 
+# load-smoke drives an under-provisioned daemon (1 solve slot, no queue)
+# with cmd/loadgen: zero 5xx, the 429 shed path must fire, clean drain.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # The parallel engine paths are the main race surface; this is the gate
 # CI runs in addition to the plain test job. The suite's cross-engine
 # matrix (8 configurations × 30 workflows, twice) outgrows go test's
@@ -51,6 +57,7 @@ short:
 # into one entry per benchmark (best ns/bytes/allocs, iterations summed).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run=^$$ . | $(GO) run ./cmd/benchjson -min-iters 2 -out $(BENCHOUT)
+	$(GO) run ./cmd/loadgen -spec loadspecs/bench.yaml -out $(SERVEBENCH)
 
 # bench-regress compares the committed benchmark records: allocs/op in
 # $(BENCHOUT) must not regress against the BENCH_pr8.json baseline in any

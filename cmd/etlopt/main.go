@@ -121,6 +121,13 @@ func main() {
 	catalogDir := fs.String("catalog", "", "serve: statistics catalog directory")
 	drift := fs.Float64("drift", serve.DefaultDriftThreshold, "serve: max relative drift before cached solutions invalidate")
 	cache := fs.Bool("cache", true, "serve: cache solved responses (off still deduplicates concurrent solves)")
+	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "serve: solution-cache byte budget (LRU evicts beyond it)")
+	maxSolves := fs.Int("max-solves", 0, "serve: max concurrent solver executions (0 = unlimited)")
+	solveQueue := fs.Int("solve-queue", serve.DefaultSolveQueue, "serve: max requests waiting for a solve slot before shedding with 429 (with -max-solves)")
+	peers := fs.String("peers", "", "serve: comma-separated base URLs of every daemon instance (consistent-hash sharding; include this one)")
+	selfURL := fs.String("self", "", "serve: this daemon's own base URL as listed in -peers")
+	shardProxy := fs.Bool("shard-proxy", false, "serve: proxy requests to their shard owner instead of 307-redirecting")
+	warm := fs.Int("warm", 0, "serve: pre-solve this many of the hottest cataloged workflows at boot")
 	_ = fs.Parse(os.Args[2:])
 
 	inj, err := faults.Parse(*faultSpec)
@@ -172,7 +179,16 @@ func main() {
 			adaptiveOptions(*adaptive, *replanThreshold, *replanSkew),
 			distOptionsFor(*distributed, *workerAddrs, *heartbeat, *leaseTTL))
 	case "serve":
-		err = serveCmd(ctx, *addr, *catalogDir, *drift, *cache)
+		err = serveCmd(ctx, *addr, *catalogDir, serve.Options{
+			DriftThreshold: *drift,
+			DisableCache:   !*cache,
+			CacheBytes:     *cacheBytes,
+			MaxSolves:      *maxSolves,
+			SolveQueue:     *solveQueue,
+			Peers:          splitList(*peers),
+			Self:           *selfURL,
+			ShardProxy:     *shardProxy,
+		}, *warm)
 	case "worker":
 		err = workerCmd(ctx, *addr)
 	case "explain":
@@ -218,7 +234,7 @@ func usage() {
 // serveCmd runs the statistics-serving daemon until SIGINT/SIGTERM, then
 // drains and exits cleanly (exit code 0 — stopping a daemon is not an
 // error).
-func serveCmd(ctx context.Context, addr, catalogDir string, drift float64, cache bool) error {
+func serveCmd(ctx context.Context, addr, catalogDir string, opts serve.Options, warm int) error {
 	if catalogDir == "" {
 		return fmt.Errorf("serve needs -catalog <dir>")
 	}
@@ -226,10 +242,28 @@ func serveCmd(ctx context.Context, addr, catalogDir string, drift float64, cache
 	if err != nil {
 		return err
 	}
-	srv := serve.New(cat, nil, serve.Options{DriftThreshold: drift, DisableCache: !cache})
+	srv, err := serve.New(cat, nil, opts)
+	if err != nil {
+		return err
+	}
+	if warm > 0 {
+		n := srv.Warm(ctx, warm)
+		fmt.Fprintf(os.Stderr, "etlopt serve: warmed %d workflow(s)\n", n)
+	}
 	fmt.Fprintf(os.Stderr, "etlopt serve: listening on %s, catalog %s (%d workflow(s) with statistics)\n",
 		addr, catalogDir, len(cat.Workflows()))
 	return srv.ListenAndServe(ctx, addr)
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // loadWorkflow resolves the graph, catalog and database for run/explain —

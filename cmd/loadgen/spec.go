@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a parsed load specification.
+type Spec struct {
+	// Duration is the total driving time, including warmup.
+	Duration time.Duration
+	// Warmup excludes the leading part of the run from the report, so
+	// cold-cache solves and connection setup don't pollute tail latencies.
+	Warmup time.Duration
+	// Concurrency is the number of closed-loop workers.
+	Concurrency int
+	// QPS throttles the aggregate request rate; 0 drives as fast as the
+	// workers can (closed loop).
+	QPS float64
+	// Scale sizes the generated source data for the observed-statistics
+	// streams (suite scale units, like `etlopt run -scale`).
+	Scale float64
+	// Workflows lists the suite workflows to spread requests over.
+	Workflows []string
+	// Mix weights the request types: optimize, estimate, observe.
+	Mix map[string]int
+}
+
+// loadSpec reads a spec file in the tiny YAML subset the repo uses
+// (dependency-free): `key: value` lines, inline `[a, b]` lists, one
+// two-space-indented `mix:` block, and `#` comments.
+func loadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := parseSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func parseSpec(r io.Reader) (*Spec, error) {
+	s := &Spec{}
+	sc := bufio.NewScanner(r)
+	inMix := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		indented := strings.HasPrefix(raw, "  ")
+		key, val, ok := strings.Cut(strings.TrimSpace(raw), ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want `key: value`, got %q", line, raw)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+
+		if indented {
+			if !inMix {
+				return nil, fmt.Errorf("line %d: indented %q outside a mix: block", line, key)
+			}
+			w, err := strconv.Atoi(val)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("line %d: mix weight %q must be a positive integer", line, val)
+			}
+			switch key {
+			case "optimize", "estimate", "observe":
+				s.Mix[key] = w
+			default:
+				return nil, fmt.Errorf("line %d: unknown mix op %q (optimize|estimate|observe)", line, key)
+			}
+			continue
+		}
+		inMix = false
+
+		var err error
+		switch key {
+		case "duration":
+			s.Duration, err = time.ParseDuration(val)
+		case "warmup":
+			s.Warmup, err = time.ParseDuration(val)
+		case "concurrency":
+			s.Concurrency, err = strconv.Atoi(val)
+		case "qps":
+			s.QPS, err = strconv.ParseFloat(val, 64)
+		case "scale":
+			s.Scale, err = strconv.ParseFloat(val, 64)
+		case "workflows":
+			s.Workflows, err = parseList(val)
+		case "mix":
+			if val != "" {
+				return nil, fmt.Errorf("line %d: mix: starts an indented block, got inline %q", line, val)
+			}
+			s.Mix = map[string]int{}
+			inMix = true
+		default:
+			return nil, fmt.Errorf("line %d: unknown key %q", line, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %s: %v", line, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, s.finish()
+}
+
+func parseList(val string) ([]string, error) {
+	if !strings.HasPrefix(val, "[") || !strings.HasSuffix(val, "]") {
+		return nil, fmt.Errorf("want an inline list like [wf03, wf07], got %q", val)
+	}
+	var out []string
+	for _, p := range strings.Split(val[1:len(val)-1], ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// finish applies defaults and validates ranges.
+func (s *Spec) finish() error {
+	if s.Duration == 0 {
+		s.Duration = 5 * time.Second
+	}
+	if s.Concurrency == 0 {
+		s.Concurrency = 4
+	}
+	if s.Scale == 0 {
+		s.Scale = 0.002
+	}
+	if len(s.Workflows) == 0 {
+		s.Workflows = []string{"wf03"}
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = map[string]int{"optimize": 1}
+	}
+	switch {
+	case s.Duration < 0 || s.Warmup < 0:
+		return fmt.Errorf("durations must be positive")
+	case s.Warmup >= s.Duration:
+		return fmt.Errorf("warmup %v leaves nothing of duration %v to measure", s.Warmup, s.Duration)
+	case s.Concurrency < 1:
+		return fmt.Errorf("concurrency %d < 1", s.Concurrency)
+	case s.QPS < 0:
+		return fmt.Errorf("qps %v < 0", s.QPS)
+	case s.Scale <= 0:
+		return fmt.Errorf("scale %v <= 0", s.Scale)
+	}
+	return nil
+}
+
+// schedule expands the mix weights into a deterministic op sequence; each
+// worker walks it from a different offset so the interleaving covers the
+// mix without randomness.
+func (s *Spec) schedule() []string {
+	ops := make([]string, 0, len(s.Mix))
+	for op := range s.Mix {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var seq []string
+	for _, op := range ops {
+		for i := 0; i < s.Mix[op]; i++ {
+			seq = append(seq, op)
+		}
+	}
+	return seq
+}

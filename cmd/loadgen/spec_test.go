@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	in := `
+# bench profile
+duration: 10s
+warmup: 2s
+concurrency: 8
+qps: 50.5
+scale: 0.002
+workflows: [wf03, wf07, wf16]
+mix:
+  optimize: 6   # the hot path
+  estimate: 3
+  observe: 1
+`
+	s, err := parseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration != 10*time.Second || s.Warmup != 2*time.Second {
+		t.Fatalf("durations %v/%v", s.Duration, s.Warmup)
+	}
+	if s.Concurrency != 8 || s.QPS != 50.5 || s.Scale != 0.002 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if len(s.Workflows) != 3 || s.Workflows[1] != "wf07" {
+		t.Fatalf("workflows %v", s.Workflows)
+	}
+	if s.Mix["optimize"] != 6 || s.Mix["estimate"] != 3 || s.Mix["observe"] != 1 {
+		t.Fatalf("mix %v", s.Mix)
+	}
+	seq := s.schedule()
+	if len(seq) != 10 {
+		t.Fatalf("schedule %v", seq)
+	}
+	counts := map[string]int{}
+	for _, op := range seq {
+		counts[op]++
+	}
+	if counts["optimize"] != 6 || counts["estimate"] != 3 || counts["observe"] != 1 {
+		t.Fatalf("schedule counts %v", counts)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := parseSpec(strings.NewReader("duration: 3s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Concurrency != 4 || s.Scale != 0.002 || s.QPS != 0 {
+		t.Fatalf("defaults %+v", s)
+	}
+	if len(s.Workflows) != 1 || s.Workflows[0] != "wf03" {
+		t.Fatalf("default workflows %v", s.Workflows)
+	}
+	if len(s.Mix) != 1 || s.Mix["optimize"] != 1 {
+		t.Fatalf("default mix %v", s.Mix)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"unknown key":        "rate: 5\n",
+		"bad duration":       "duration: fast\n",
+		"unknown mix op":     "mix:\n  teleport: 1\n",
+		"zero mix weight":    "mix:\n  optimize: 0\n",
+		"indent outside mix": "duration: 1s\n  optimize: 1\n",
+		"inline mix":         "mix: optimize\n",
+		"bare word":          "duration\n",
+		"not a list":         "workflows: wf03\n",
+		"empty list":         "workflows: []\n",
+		"warmup too long":    "duration: 2s\nwarmup: 2s\n",
+		"negative qps":       "qps: -1\n",
+	} {
+		if _, err := parseSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

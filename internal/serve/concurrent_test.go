@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -79,7 +80,7 @@ func TestServedSolveSingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			launched <- struct{}{}
-			body, _, err := srv.solved("tiny", "k", func() ([]byte, error) {
+			body, _, err := srv.solved(context.Background(), "tiny", 1, "k", func() ([]byte, error) {
 				execs.Add(1)
 				<-release
 				return []byte(`{"x":1}`), nil
@@ -105,7 +106,7 @@ func TestServedSolveSingleflight(t *testing.T) {
 		}
 	}
 	// And the result is now cached.
-	_, hit, err := srv.solved("tiny", "k", func() ([]byte, error) {
+	_, hit, err := srv.solved(context.Background(), "tiny", 1, "k", func() ([]byte, error) {
 		t.Fatal("cached key re-solved")
 		return nil, nil
 	})

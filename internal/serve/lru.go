@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBytes bounds the solution cache when Options.CacheBytes is
+// unset: 64 MiB of response bodies, plenty for thousands of workflows'
+// optimize/estimate solutions while keeping a hard ceiling on daemon
+// memory.
+const DefaultCacheBytes = 64 << 20
+
+// entryOverhead is charged per cache entry on top of the payload bytes:
+// map slots, list element, string headers. The exact figure matters less
+// than charging something, so a flood of tiny entries cannot grow the
+// index without bound while the byte account reads near zero.
+const entryOverhead = 128
+
+// solutionCache is the daemon's solved-response cache: a size-aware LRU
+// in which every entry is bound to the statistics generation it was
+// solved from.
+//
+// The generation bound is the stale-generation race fix. The serving path
+// is check-then-act: a handler reads the workflow's catalog entry (say
+// generation G), solves — possibly for a long time — and only then
+// inserts the response. If a drifted /v1/observe upload lands in that
+// window, it bumps the generation to G+1 and invalidates the workflow's
+// cache; without the bound, the late insert would re-populate the cache
+// with a body derived from the superseded store and serve it forever.
+// Invalidate raises the workflow's minimum admissible generation, so the
+// late Put (gen G < bound G+1) is rejected, and Get double-checks the
+// bound so an entry can never outlive the snapshot that justified it.
+//
+// Below-threshold uploads keep the documented reuse behavior: they
+// advance the catalog generation without touching the bound, so solutions
+// from the still-standing snapshot keep serving.
+type solutionCache struct {
+	maxBytes int64
+
+	mu    sync.Mutex
+	bytes int64
+	order *list.List                          // front = most recently used
+	byWF  map[string]map[string]*list.Element // workflow → request key → element
+	bound map[string]int                      // min admissible generation per workflow
+}
+
+// cacheEntry is the list payload.
+type cacheEntry struct {
+	wf, key string
+	gen     int
+	body    []byte
+}
+
+func newSolutionCache(maxBytes int64) *solutionCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &solutionCache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		byWF:     make(map[string]map[string]*list.Element),
+		bound:    make(map[string]int),
+	}
+}
+
+func entrySize(e *cacheEntry) int64 {
+	return int64(len(e.body)+len(e.wf)+len(e.key)) + entryOverhead
+}
+
+// Get returns the cached body and the generation it was solved from,
+// refreshing recency. An entry solved from a generation below the
+// workflow's bound is dead: it is dropped and reported as a miss.
+func (c *solutionCache) Get(wf, key string) ([]byte, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byWF[wf][key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen < c.bound[wf] {
+		c.removeLocked(el)
+		return nil, 0, false
+	}
+	c.order.MoveToFront(el)
+	return e.body, e.gen, true
+}
+
+// Put inserts a solved body bound to the generation it was solved from.
+// The insert is rejected when the generation is below the workflow's
+// bound (a solve from a superseded snapshot), when a newer-generation
+// body is already cached under the key, or when the body alone exceeds
+// the byte budget. evicted reports how many LRU entries were dropped to
+// fit the new one.
+func (c *solutionCache) Put(wf, key string, gen int, body []byte) (inserted bool, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen < c.bound[wf] {
+		return false, 0
+	}
+	if el, ok := c.byWF[wf][key]; ok {
+		if el.Value.(*cacheEntry).gen > gen {
+			return false, 0
+		}
+		c.removeLocked(el)
+	}
+	e := &cacheEntry{wf: wf, key: key, gen: gen, body: body}
+	size := entrySize(e)
+	if size > c.maxBytes {
+		return false, 0
+	}
+	el := c.order.PushFront(e)
+	if c.byWF[wf] == nil {
+		c.byWF[wf] = make(map[string]*list.Element)
+	}
+	c.byWF[wf][key] = el
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		back := c.order.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeLocked(back)
+		evicted++
+	}
+	return true, evicted
+}
+
+// Invalidate drops every cached solution of a workflow and raises its
+// generation bound to newBound. The bound only ever moves forward, so two
+// racing invalidations cannot re-admit a superseded generation.
+func (c *solutionCache) Invalidate(wf string, newBound int) (dropped int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newBound > c.bound[wf] {
+		c.bound[wf] = newBound
+	}
+	for _, el := range c.byWF[wf] {
+		c.removeLocked(el)
+		dropped++
+	}
+	return dropped
+}
+
+// Bound returns the workflow's minimum admissible generation.
+func (c *solutionCache) Bound(wf string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bound[wf]
+}
+
+// Stats reports the cache's current entry count and byte account.
+func (c *solutionCache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
+}
+
+func (c *solutionCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	c.bytes -= entrySize(e)
+	if m := c.byWF[e.wf]; m != nil {
+		delete(m, e.key)
+		if len(m) == 0 {
+			delete(c.byWF, e.wf)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLRUEviction: inserting past the byte budget evicts the
+// least-recently-used entries, the byte account tracks exactly, and a Get
+// refreshes recency so hot entries survive.
+func TestLRUEviction(t *testing.T) {
+	body := make([]byte, 100)
+	size := entrySize(&cacheEntry{wf: "wf", key: "k0", gen: 1, body: body})
+	c := newSolutionCache(3 * size) // room for exactly three entries
+
+	for i := 0; i < 3; i++ {
+		ins, ev := c.Put("wf", fmt.Sprintf("k%d", i), 1, body)
+		if !ins || ev != 0 {
+			t.Fatalf("insert %d: inserted=%v evicted=%d", i, ins, ev)
+		}
+	}
+	if n, b := c.Stats(); n != 3 || b != 3*size {
+		t.Fatalf("after 3 inserts: %d entries, %d bytes (want 3, %d)", n, b, 3*size)
+	}
+
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, _, ok := c.Get("wf", "k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	ins, ev := c.Put("wf", "k3", 1, body)
+	if !ins || ev != 1 {
+		t.Fatalf("overflow insert: inserted=%v evicted=%d, want 1 eviction", ins, ev)
+	}
+	if _, _, ok := c.Get("wf", "k1"); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, _, ok := c.Get("wf", k); !ok {
+			t.Fatalf("%s evicted, want k1 only", k)
+		}
+	}
+	if n, b := c.Stats(); n != 3 || b != 3*size {
+		t.Fatalf("after eviction: %d entries, %d bytes", n, b)
+	}
+
+	// A body bigger than the whole budget is never cached.
+	if ins, _ := c.Put("wf", "huge", 1, make([]byte, 4*int(size))); ins {
+		t.Fatal("oversized body was cached")
+	}
+}
+
+// TestLRUGenerationBound: invalidation raises the workflow's generation
+// bound; a Put from a superseded generation is rejected, a Get of a
+// superseded entry misses, and the bound never moves backward.
+func TestLRUGenerationBound(t *testing.T) {
+	c := newSolutionCache(1 << 20)
+
+	if ins, _ := c.Put("wf", "k", 1, []byte("gen1")); !ins {
+		t.Fatal("gen-1 insert rejected with no bound set")
+	}
+	if dropped := c.Invalidate("wf", 2); dropped != 1 {
+		t.Fatalf("invalidate dropped %d, want 1", dropped)
+	}
+	if _, _, ok := c.Get("wf", "k"); ok {
+		t.Fatal("entry survived invalidation")
+	}
+
+	// The stale-generation race, distilled: a solve that started from the
+	// superseded generation completes after the invalidation ran. Its
+	// insert must be rejected.
+	if ins, _ := c.Put("wf", "k", 1, []byte("stale")); ins {
+		t.Fatal("superseded-generation insert was accepted")
+	}
+	if _, _, ok := c.Get("wf", "k"); ok {
+		t.Fatal("stale body is being served")
+	}
+
+	// A solve from the new generation caches fine.
+	if ins, _ := c.Put("wf", "k", 2, []byte("gen2")); !ins {
+		t.Fatal("current-generation insert rejected")
+	}
+	body, gen, ok := c.Get("wf", "k")
+	if !ok || gen != 2 || string(body) != "gen2" {
+		t.Fatalf("Get = %q gen %d ok %v", body, gen, ok)
+	}
+
+	// Out-of-order invalidations (two racing uploads acknowledged out of
+	// order) must not lower the bound.
+	c.Invalidate("wf", 5)
+	c.Invalidate("wf", 3)
+	if b := c.Bound("wf"); b != 5 {
+		t.Fatalf("bound moved backward: %d", b)
+	}
+	if ins, _ := c.Put("wf", "k", 4, []byte("gen4")); ins {
+		t.Fatal("gen-4 insert accepted under bound 5")
+	}
+
+	// A newer-generation entry is not replaced by an older valid one.
+	c2 := newSolutionCache(1 << 20)
+	c2.Put("wf", "k", 3, []byte("gen3"))
+	if ins, _ := c2.Put("wf", "k", 2, []byte("gen2")); ins {
+		t.Fatal("older generation replaced a newer cached body")
+	}
+}
+
+// TestLRUWorkflowIsolation: invalidating one workflow leaves the others'
+// entries and bounds alone.
+func TestLRUWorkflowIsolation(t *testing.T) {
+	c := newSolutionCache(1 << 20)
+	c.Put("a", "k", 1, []byte("a1"))
+	c.Put("b", "k", 1, []byte("b1"))
+	c.Invalidate("a", 2)
+	if _, _, ok := c.Get("a", "k"); ok {
+		t.Fatal("a survived its invalidation")
+	}
+	if _, _, ok := c.Get("b", "k"); !ok {
+		t.Fatal("b was dropped by a's invalidation")
+	}
+	if c.Bound("b") != 0 {
+		t.Fatal("b's bound moved")
+	}
+}

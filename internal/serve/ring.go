@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many points each peer contributes to the hash ring.
+// 64 virtual nodes keep the ownership spread within a few percent of even
+// for small fleets without making ring construction or lookup noticeable.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over daemon peers: every workflow name
+// hashes to a point, and the first peer point at or after it owns the
+// workflow. Adding or removing one peer moves only the workflows in the
+// arcs that peer owned — the property that lets a fleet scale without a
+// coordinated cache flush.
+//
+// Every peer builds the ring from the same -peers list, so ownership is
+// agreed upon without any coordination traffic: a daemon either owns a
+// workflow or knows exactly who does.
+type ring struct {
+	self   string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h    uint64
+	peer string
+}
+
+// newRing validates the peer list (which must include self) and builds
+// the ring. A nil return with nil error means sharding is off (no peers).
+func newRing(self string, peers []string) (*ring, error) {
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("serve: -peers needs -self (this daemon's own base URL)")
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &ring{self: self}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("serve: empty peer URL")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("serve: duplicate peer %q", p)
+		}
+		seen[p] = true
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{h: ringHash(fmt.Sprintf("%s|%d", p, i)), peer: p})
+		}
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("serve: -self %q is not in -peers", self)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// owner returns the peer that owns a workflow.
+func (r *ring) owner(workflow string) string {
+	h := ringHash(workflow)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].peer
+}
+
+// owns reports whether this daemon owns the workflow.
+func (r *ring) owns(workflow string) bool { return r.owner(workflow) == r.self }
+
+// ringHash hashes a key onto the ring: FNV-1a with a splitmix64-style
+// finalizer, the same recipe the deterministic fault injector uses —
+// FNV-1a alone clusters short keys, the finalizer spreads them.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/essential-stats/etlopt/internal/core"
+	"github.com/essential-stats/etlopt/internal/suite"
+)
+
+// TestRingDeterministicAndComplete: every peer computes the same owner for
+// every workflow, ownership spreads across peers, and removing a peer only
+// moves the workflows that peer owned.
+func TestRingDeterministicAndComplete(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := make([]*ring, len(peers))
+	for i, self := range peers {
+		r, err := newRing(self, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	owned := make(map[string]int)
+	var names []string
+	for _, w := range suite.All() {
+		names = append(names, w.Name)
+	}
+	for _, wf := range names {
+		owner := rings[0].owner(wf)
+		for i, r := range rings {
+			if got := r.owner(wf); got != owner {
+				t.Fatalf("peer %d disagrees on %s: %s vs %s", i, wf, got, owner)
+			}
+		}
+		owned[owner]++
+	}
+	if len(owned) != len(peers) {
+		t.Fatalf("only %d of %d peers own anything: %v", len(owned), len(peers), owned)
+	}
+
+	// Consistency: dropping peer c moves only c's workflows.
+	smaller, err := newRing(peers[0], peers[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wf := range names {
+		before, after := rings[0].owner(wf), smaller.owner(wf)
+		if before != peers[2] && after != before {
+			t.Fatalf("%s moved from %s to %s though its owner did not leave", wf, before, after)
+		}
+	}
+}
+
+// TestRingValidation: misconfigured shard options fail at construction.
+func TestRingValidation(t *testing.T) {
+	if _, err := newRing("", []string{"http://a:1"}); err == nil {
+		t.Fatal("peers without self accepted")
+	}
+	if _, err := newRing("http://x:1", []string{"http://a:1"}); err == nil {
+		t.Fatal("self outside peers accepted")
+	}
+	if _, err := newRing("http://a:1", []string{"http://a:1", "http://a:1"}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if r, err := newRing("", nil); r != nil || err != nil {
+		t.Fatalf("no peers should mean no ring, got %v, %v", r, err)
+	}
+}
+
+// shardedPair starts two daemons over one shared statistics catalog
+// directory layout (separate catalogs, same workflow set) whose -peers
+// lists name each other, and returns them with a workflow owned by each.
+func shardedPair(t *testing.T, proxy bool) (tsA, tsB *httptest.Server, wfA, wfB string) {
+	t.Helper()
+	// Listeners first: the peer URLs must be known before New.
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lA.Addr().String()
+	urlB := "http://" + lB.Addr().String()
+	peers := []string{urlA, urlB}
+
+	mk := func(self string, l net.Listener) *httptest.Server {
+		cat, err := OpenCatalog(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(cat, nil, Options{Self: self, Peers: peers, ShardProxy: proxy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	tsA = mk(urlA, lA)
+	tsB = mk(urlB, lB)
+
+	r, err := newRing(urlA, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range suite.All() {
+		if wfA == "" && r.owner(w.Name) == urlA {
+			wfA = w.Name
+		}
+		if wfB == "" && r.owner(w.Name) == urlB {
+			wfB = w.Name
+		}
+	}
+	if wfA == "" || wfB == "" {
+		t.Fatalf("ring did not spread the suite: A=%q B=%q", wfA, wfB)
+	}
+	return tsA, tsB, wfA, wfB
+}
+
+// suiteStream runs one instrumented cycle of a suite workflow at a small
+// scale and returns the statistics stream it would upload.
+func suiteStream(t *testing.T, name string) []byte {
+	t.Helper()
+	for _, w := range suite.All() {
+		if w.Name != name {
+			continue
+		}
+		cy, err := core.Run(w.Graph, w.Catalog, w.Data(0.002), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("core.Run(%s): %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := cy.SaveStats(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t.Fatalf("no suite workflow %q", name)
+	return nil
+}
+
+// TestShardRedirect: a non-owner answers 307 with a Location on the owner,
+// preserving path and query, and an owner serves locally.
+func TestShardRedirect(t *testing.T) {
+	tsA, tsB, wfA, wfB := shardedPair(t, false)
+
+	// A owns wfA: served locally (404: no statistics yet, but no redirect).
+	resp, _ := post(t, tsA.URL+"/v1/optimize", "application/json", []byte(fmt.Sprintf(`{"workflow":%q}`, wfA)))
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		t.Fatal("owner redirected its own workflow")
+	}
+
+	// A does not own wfB: 307 to B, body-preserving method semantics.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }}
+	req := bytes.NewReader([]byte(fmt.Sprintf(`{"workflow":%q}`, wfB)))
+	r, err := client.Post(tsA.URL+"/v1/optimize", "application/json", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner returned %d, want 307", r.StatusCode)
+	}
+	loc := r.Header.Get("Location")
+	if !strings.HasPrefix(loc, tsB.URL) || !strings.HasSuffix(loc, "/v1/optimize") {
+		t.Fatalf("Location %q does not point at the owner's endpoint", loc)
+	}
+	if own := r.Header.Get("X-Shard-Owner"); own != tsB.URL {
+		t.Fatalf("X-Shard-Owner %q, want %q", own, tsB.URL)
+	}
+
+	// Observe redirects too, with the query intact.
+	r2, err := client.Post(tsA.URL+"/v1/observe?workflow="+wfB, "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("observe on non-owner returned %d", r2.StatusCode)
+	}
+	if loc := r2.Header.Get("Location"); !strings.Contains(loc, "workflow="+wfB) {
+		t.Fatalf("redirect lost the query: %q", loc)
+	}
+}
+
+// TestShardProxy: in proxy mode the non-owner forwards to the owner and
+// relays the response verbatim — the client sees one hop, tagged
+// X-Shard-Proxied, byte-identical to asking the owner directly.
+func TestShardProxy(t *testing.T) {
+	tsA, tsB, _, wfB := shardedPair(t, true)
+
+	// Feed B (the owner) statistics for wfB through A: the proxy must carry
+	// the upload body across.
+	stream := suiteStream(t, wfB)
+	resp, body := post(t, tsA.URL+"/v1/observe?workflow="+wfB, "application/octet-stream", stream)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied observe: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Shard-Proxied") != tsB.URL {
+		t.Fatalf("X-Shard-Proxied = %q", resp.Header.Get("X-Shard-Proxied"))
+	}
+	var obs observeResponse
+	if err := json.Unmarshal(body, &obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Generation != 1 || obs.Workflow != wfB {
+		t.Fatalf("proxied observe response %+v", obs)
+	}
+
+	// Optimize through the proxy equals optimize at the owner.
+	req := []byte(fmt.Sprintf(`{"workflow":%q}`, wfB))
+	respA, bodyA := post(t, tsA.URL+"/v1/optimize", "application/json", req)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("proxied optimize: %d %s", respA.StatusCode, bodyA)
+	}
+	respB, bodyB := post(t, tsB.URL+"/v1/optimize", "application/json", req)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("direct optimize: %d %s", respB.StatusCode, bodyB)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("proxied body differs from the owner's")
+	}
+
+	// The proxy metric moved on A, not B.
+	_, mbody := get(t, tsA.URL+"/metrics")
+	if !strings.Contains(string(mbody), "etlopt_serve_shard_proxied_total 2") {
+		t.Fatalf("proxy metrics on A:\n%s", mbody)
+	}
+}

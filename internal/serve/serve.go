@@ -7,12 +7,26 @@
 // plan and estimate queries from those statistics without ever executing a
 // workflow itself.
 //
-// Solutions are cached and duplicate-suppressed: concurrent identical
-// requests solve once (singleflight), and a cached solution is served until
-// an uploaded store drifts past the configured threshold — the paper's
-// "re-optimize at some user defined interval" made data-driven, as a cache
-// invalidation rule. Responses are byte-identical whether they came from
-// the cache or a fresh solve; the X-Cache header is the only difference.
+// The daemon is built to be one instance of a multi-tenant control plane
+// (docs/SERVING.md):
+//
+//   - Solutions are cached in a size-aware LRU whose entries are bound to
+//     the statistics generation they were solved from. A drifted upload
+//     raises the workflow's generation bound, so a cached plan can never
+//     outlive the snapshot that justified it — not even when the solve was
+//     in flight while the invalidation ran. Below-threshold uploads keep
+//     serving the standing solutions: the paper's "re-optimize at some user
+//     defined interval" made data-driven, as a cache invalidation rule.
+//   - Concurrent identical requests solve once (singleflight), and a
+//     per-daemon solve limit with a bounded wait queue sheds overload as
+//     typed 429 responses with Retry-After instead of queueing without
+//     bound.
+//   - With -peers, workflows are consistent-hash sharded across daemon
+//     instances; a non-owner redirects (307) or proxies, so any instance
+//     can face the clients.
+//
+// Responses are byte-identical whether they came from the cache or a fresh
+// solve; the X-Cache header is the only difference.
 package serve
 
 import (
@@ -22,8 +36,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"github.com/essential-stats/etlopt/internal/core"
@@ -57,6 +73,26 @@ type Options struct {
 	// DisableCache turns the solution cache off: every request solves
 	// (still singleflighted). Responses stay byte-identical either way.
 	DisableCache bool
+	// CacheBytes bounds the solution cache (<= 0 selects
+	// DefaultCacheBytes). The LRU evicts the least-recently-used solution
+	// when the budget is exceeded.
+	CacheBytes int64
+	// MaxSolves caps concurrent solver executions (0 = unlimited). Cache
+	// hits and singleflight sharers do not occupy a slot.
+	MaxSolves int
+	// SolveQueue bounds how many requests may wait for a solve slot when
+	// MaxSolves is set (< 0 selects DefaultSolveQueue; 0 sheds
+	// immediately when every slot is busy).
+	SolveQueue int
+	// Peers shards workflows across daemon instances by consistent
+	// hashing of the workflow name over these base URLs. Empty = no
+	// sharding. When set, Self must name this instance's own entry.
+	Peers []string
+	// Self is this daemon's base URL as it appears in Peers.
+	Self string
+	// ShardProxy makes a non-owner proxy the request to the owner instead
+	// of returning a 307 redirect.
+	ShardProxy bool
 	// Config seeds the optimization configuration used for every request
 	// (CSS options, cost model default). The zero value means
 	// core.DefaultConfig.
@@ -69,6 +105,14 @@ type Document struct {
 	Catalog *workflow.Catalog
 }
 
+// UnknownWorkflowError reports a request for a workflow the daemon does
+// not serve.
+type UnknownWorkflowError struct{ Workflow string }
+
+func (e *UnknownWorkflowError) Error() string {
+	return fmt.Sprintf("serve: unknown workflow %q", e.Workflow)
+}
+
 // Server hosts the workflow catalog and the statistics catalog behind an
 // HTTP API.
 type Server struct {
@@ -79,18 +123,25 @@ type Server struct {
 	workflows map[string]*Document
 
 	// flight deduplicates concurrent identical solves; cache holds the
-	// solved response bytes per workflow until drift invalidates them.
+	// solved response bytes, each entry bound to the statistics
+	// generation it was solved from; adm is the concurrent-solve limiter;
+	// ring is nil unless Peers shards the workflow space.
 	flight group
-	mu     sync.Mutex
-	cache  map[string]map[string][]byte // workflow → request key → response
-	built  map[string]*css.Result       // workflow → generated CSS result
+	cache  *solutionCache
+	adm    *admission
+	ring   *ring
+	client *http.Client
+
+	mu    sync.Mutex
+	built map[string]*css.Result // workflow → generated CSS result
 
 	metrics *metrics
 }
 
 // New builds a server over a statistics catalog and a workflow set; a nil
-// workflow map serves the built-in 30-workflow suite.
-func New(cat *Catalog, workflows map[string]*Document, opts Options) *Server {
+// workflow map serves the built-in 30-workflow suite. It errors on an
+// inconsistent shard configuration (Peers without Self, Self not a peer).
+func New(cat *Catalog, workflows map[string]*Document, opts Options) (*Server, error) {
 	if workflows == nil {
 		workflows = make(map[string]*Document, 30)
 		for _, w := range suite.All() {
@@ -104,15 +155,22 @@ func New(cat *Catalog, workflows map[string]*Document, opts Options) *Server {
 	if opts.Config != nil {
 		cfg = *opts.Config
 	}
+	rg, err := newRing(opts.Self, opts.Peers)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		catalog:   cat,
 		opts:      opts,
 		cfg:       cfg,
 		workflows: workflows,
-		cache:     make(map[string]map[string][]byte),
+		cache:     newSolutionCache(opts.CacheBytes),
+		adm:       newAdmission(opts.MaxSolves, opts.SolveQueue),
+		ring:      rg,
+		client:    &http.Client{},
 		built:     make(map[string]*css.Result),
 		metrics:   newMetrics(),
-	}
+	}, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -135,7 +193,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 }
 
 // cssFor returns the workflow's generated CSS result, building it once per
-// workflow (singleflighted: concurrent first requests generate once).
+// workflow (singleflighted: concurrent first requests generate once). An
+// unknown name is a typed error, never a nil dereference inside the
+// flight closure.
 func (s *Server) cssFor(name string) (*css.Result, error) {
 	s.mu.Lock()
 	res, ok := s.built[name]
@@ -143,7 +203,10 @@ func (s *Server) cssFor(name string) (*css.Result, error) {
 	if ok {
 		return res, nil
 	}
-	doc := s.workflows[name]
+	doc, ok := s.workflows[name]
+	if !ok {
+		return nil, &UnknownWorkflowError{Workflow: name}
+	}
 	v, err, _ := s.flight.Do("css|"+name, func() (any, error) {
 		an, err := workflow.Analyze(doc.Graph, doc.Catalog)
 		if err != nil {
@@ -164,51 +227,111 @@ func (s *Server) cssFor(name string) (*css.Result, error) {
 	return v.(*css.Result), nil
 }
 
-// solved runs the solver for (workflow, key) at most once across concurrent
-// requests and returns the response bytes, consulting the cache unless
-// disabled. The bool reports a cache hit.
-func (s *Server) solved(workflow, key string, solve func() ([]byte, error)) ([]byte, bool, error) {
+// solved runs the solver for (workflow, generation, key) at most once
+// across concurrent requests and returns the response bytes, consulting
+// the cache unless disabled. The bool reports a cache hit.
+//
+// gen is the statistics generation the caller read from the catalog and
+// will solve from. It is folded into the flight key — two requests racing
+// across a drift invalidation read different generations and must not
+// share a solve — and it binds the cached entry: a Put from a superseded
+// generation is rejected by the LRU's bound, so an observe-upload
+// invalidation can never be undone by an in-flight solve.
+func (s *Server) solved(ctx context.Context, workflow string, gen int, key string, solve func() ([]byte, error)) ([]byte, bool, error) {
 	if !s.opts.DisableCache {
-		s.mu.Lock()
-		body, ok := s.cache[workflow][key]
-		s.mu.Unlock()
-		if ok {
+		if body, _, ok := s.cache.Get(workflow, key); ok {
 			s.metrics.cache(true)
 			return body, true, nil
 		}
 		s.metrics.cache(false)
 	}
-	v, err, shared := s.flight.Do(workflow+"|"+key, func() (any, error) {
+	fkey := fmt.Sprintf("%s|g%d|%s", workflow, gen, key)
+	v, err, shared := s.flight.Do(fkey, func() (any, error) {
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			if errors.As(err, new(*BusyError)) {
+				s.metrics.shed()
+			}
+			return nil, err
+		}
+		defer release()
 		body, err := solve()
 		if err != nil {
 			return nil, err
 		}
 		if !s.opts.DisableCache {
-			s.mu.Lock()
-			if s.cache[workflow] == nil {
-				s.cache[workflow] = make(map[string][]byte)
+			if _, evicted := s.cache.Put(workflow, key, gen, body); evicted > 0 {
+				s.metrics.evict(evicted)
 			}
-			s.cache[workflow][key] = body
-			s.mu.Unlock()
 		}
 		return body, nil
 	})
-	s.metrics.solve(shared)
 	if err != nil {
 		return nil, false, err
 	}
+	s.metrics.solve(shared)
 	return v.([]byte), false, nil
 }
 
-// invalidate drops a workflow's cached solutions, returning how many were
-// dropped.
-func (s *Server) invalidate(workflow string) int64 {
-	s.mu.Lock()
-	n := int64(len(s.cache[workflow]))
-	delete(s.cache, workflow)
-	s.mu.Unlock()
+// invalidate drops a workflow's cached solutions and raises its
+// generation bound to newBound, returning how many were dropped.
+func (s *Server) invalidate(workflow string, newBound int) int64 {
+	n := s.cache.Invalidate(workflow, newBound)
 	s.metrics.invalidate(n)
 	return n
+}
+
+// routeOwned reports whether this daemon answers for the workflow. When a
+// peer owns it, the request is redirected (307, preserving method and
+// body) or proxied there, depending on Options.ShardProxy. body carries
+// the already-consumed request body for proxying; nil streams r.Body.
+func (s *Server) routeOwned(w http.ResponseWriter, r *http.Request, workflow string, body []byte) bool {
+	if s.ring == nil || s.ring.owns(workflow) {
+		return true
+	}
+	owner := s.ring.owner(workflow)
+	if s.opts.ShardProxy {
+		s.metrics.shard(true)
+		s.proxyTo(w, r, owner, body)
+	} else {
+		s.metrics.shard(false)
+		w.Header().Set("X-Shard-Owner", owner)
+		http.Redirect(w, r, owner+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}
+	return false
+}
+
+// proxyTo forwards the request to the shard owner and relays its response
+// verbatim, tagging it X-Shard-Proxied so clients can see the extra hop.
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), rd)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Sprintf("proxy to shard owner %s: %v", owner, err))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		preq.Header.Set("Content-Type", ct)
+	}
+	resp, err := s.client.Do(preq)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Sprintf("proxy to shard owner %s: %v", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Shard-Proxied", owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +342,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.render(w)
+	// Live gauges read straight off the control plane's moving parts.
+	entries, cacheBytes := s.cache.Stats()
+	waiting, inflight := s.adm.depth()
+	fmt.Fprintf(w, "etlopt_serve_cache_entries %d\n", entries)
+	fmt.Fprintf(w, "etlopt_serve_cache_bytes %d\n", cacheBytes)
+	fmt.Fprintf(w, "etlopt_serve_solve_queue_depth %d\n", waiting)
+	fmt.Fprintf(w, "etlopt_serve_solves_inflight %d\n", inflight)
 }
 
 // workflowInfo is one row of GET /v1/workflows.
@@ -227,6 +357,9 @@ type workflowInfo struct {
 	Blocks     int    `json:"blocks"`
 	HasStats   bool   `json:"hasStats"`
 	Generation int    `json:"generation,omitempty"`
+	// Owner names the sharding peer that owns the workflow (omitted when
+	// the daemon runs unsharded).
+	Owner string `json:"owner,omitempty"`
 }
 
 func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +378,9 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 		if e, ok := s.catalog.Get(n); ok {
 			info.HasStats = true
 			info.Generation = e.Generation
+		}
+		if s.ring != nil {
+			info.Owner = s.ring.owner(n)
 		}
 		out = append(out, info)
 	}
@@ -290,9 +426,20 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", name))
 		return
 	}
+	if !s.routeOwned(w, r, name, nil) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		// Only an actually oversized body is 413; any other read failure —
+		// a client that disconnected mid-upload, a broken transfer — is a
+		// plain bad request.
+		if errors.As(err, new(*http.MaxBytesError)) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds %d bytes", maxUploadBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading upload: %v", err))
 		return
 	}
 	store, err := stats.ReadStore(bytes.NewReader(body))
@@ -325,10 +472,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	// First generation, or drift past threshold: whatever was solved before
-	// no longer stands.
+	// no longer stands. Raising the cache's generation bound (not just
+	// emptying it) is what makes this stick against in-flight solves.
 	if !hadPrev || drift.Exceeds(s.opts.DriftThreshold) {
 		resp.Reoptimize = true
-		resp.Invalidated = s.invalidate(name)
+		resp.Invalidated = s.invalidate(name, entry.Generation)
 	}
 	s.metrics.observe(name, entry.Generation, drift.MaxRel, int64(len(body)))
 	if hadPrev {
@@ -407,11 +555,15 @@ type planJSON struct {
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("optimize")
 	var req optimizeRequest
-	if !decodeJSON(w, r, &req) {
+	raw, ok := decodeJSON(w, r, &req)
+	if !ok {
 		return
 	}
 	if _, ok := s.workflows[req.Workflow]; !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", req.Workflow))
+		return
+	}
+	if !s.routeOwned(w, r, req.Workflow, raw) {
 		return
 	}
 	model := optimizer.Cout
@@ -432,51 +584,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The key deliberately omits the generation: an upload below the drift
-	// threshold keeps serving the solution it did not meaningfully change
-	// (the response's generation field names the generation it was solved
-	// from); a drifted upload empties the workflow's cache instead.
+	// The cache key deliberately omits the generation: an upload below the
+	// drift threshold keeps serving the solution it did not meaningfully
+	// change (the response's generation field names the generation it was
+	// solved from); a drifted upload raises the workflow's generation
+	// bound instead, which both empties the cache and blocks late inserts
+	// from solves still in flight against the superseded store.
 	key := fmt.Sprintf("optimize|%s|partial=%v", req.CostModel, req.AllowPartial)
-	body, hit, err := s.solved(req.Workflow, key, func() ([]byte, error) {
-		res, err := s.cssFor(req.Workflow)
-		if err != nil {
-			return nil, err
-		}
-		cfg := s.cfg
-		cfg.CostModel = model
-		cfg.AllowPartialStats = req.AllowPartial
-		_, plans, err := core.OptimizeFromStore(res, entry.Store, cfg)
-		if err != nil {
-			return nil, err
-		}
-		resp := optimizeResponse{
-			Workflow:         req.Workflow,
-			Generation:       entry.Generation,
-			CostModel:        req.CostModel,
-			TotalCost:        plans.TotalCost,
-			TotalInitialCost: plans.TotalInitialCost,
-			Improvement:      improvement(plans),
-			Fallbacks:        plans.Fallbacks,
-		}
-		for bi := range res.Analysis.Blocks {
-			blk := res.Analysis.Blocks[bi]
-			p, ok := plans.Plans[bi]
-			if !ok {
-				continue
-			}
-			pj := planJSON{Block: bi, Cost: p.Cost, InitialCost: p.InitialCost}
-			if blk.Initial != nil {
-				pj.Designed = blk.Initial.Render(blk)
-			}
-			if p.Tree != nil {
-				pj.Optimized = p.Tree.Render(blk)
-			}
-			resp.Blocks = append(resp.Blocks, pj)
-		}
-		sort.Slice(resp.Blocks, func(i, j int) bool { return resp.Blocks[i].Block < resp.Blocks[j].Block })
-		return marshalJSON(resp)
+	body, hit, err := s.solved(r.Context(), req.Workflow, entry.Generation, key, func() ([]byte, error) {
+		return s.solveOptimize(req, model, entry)
 	})
 	if err != nil {
+		var busy *BusyError
+		if errors.As(err, &busy) {
+			tooBusy(w, busy)
+			return
+		}
 		var miss *core.MissingStatsError
 		if errors.As(err, &miss) {
 			// The cataloged store cannot support a full optimization: a
@@ -493,6 +616,49 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeCached(w, body, hit)
+}
+
+// solveOptimize produces the optimize response body from one catalog
+// entry — the one solver path both the HTTP handler and the warm-start
+// loop use, so a warmed cache is byte-identical to a served solve.
+func (s *Server) solveOptimize(req optimizeRequest, model optimizer.CostModel, entry *Entry) ([]byte, error) {
+	res, err := s.cssFor(req.Workflow)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.CostModel = model
+	cfg.AllowPartialStats = req.AllowPartial
+	_, plans, err := core.OptimizeFromStore(res, entry.Store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := optimizeResponse{
+		Workflow:         req.Workflow,
+		Generation:       entry.Generation,
+		CostModel:        req.CostModel,
+		TotalCost:        plans.TotalCost,
+		TotalInitialCost: plans.TotalInitialCost,
+		Improvement:      improvement(plans),
+		Fallbacks:        plans.Fallbacks,
+	}
+	for bi := range res.Analysis.Blocks {
+		blk := res.Analysis.Blocks[bi]
+		p, ok := plans.Plans[bi]
+		if !ok {
+			continue
+		}
+		pj := planJSON{Block: bi, Cost: p.Cost, InitialCost: p.InitialCost}
+		if blk.Initial != nil {
+			pj.Designed = blk.Initial.Render(blk)
+		}
+		if p.Tree != nil {
+			pj.Optimized = p.Tree.Render(blk)
+		}
+		resp.Blocks = append(resp.Blocks, pj)
+	}
+	sort.Slice(resp.Blocks, func(i, j int) bool { return resp.Blocks[i].Block < resp.Blocks[j].Block })
+	return marshalJSON(resp)
 }
 
 func improvement(plans *optimizer.Result) float64 {
@@ -548,11 +714,15 @@ type cardJSON struct {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("estimate")
 	var req estimateRequest
-	if !decodeJSON(w, r, &req) {
+	raw, ok := decodeJSON(w, r, &req)
+	if !ok {
 		return
 	}
 	if _, ok := s.workflows[req.Workflow]; !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workflow %q", req.Workflow))
+		return
+	}
+	if !s.routeOwned(w, r, req.Workflow, raw) {
 		return
 	}
 	var method selector.Method
@@ -572,89 +742,128 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	gen := 0
 	entry, hasStats := s.catalog.Get(req.Workflow)
 	s.metrics.catalog(hasStats)
+	gen := 0
 	if hasStats {
 		gen = entry.Generation
 	}
 	key := fmt.Sprintf("estimate|%s|b%d", req.Method, req.Budget)
-	body, hit, err := s.solved(req.Workflow, key, func() ([]byte, error) {
-		res, err := s.cssFor(req.Workflow)
-		if err != nil {
-			return nil, err
-		}
-		coster := costmodel.NewMemoryCoster(res, res.Analysis.Cat)
-		u, err := selector.NewUniverse(res, coster)
-		if err != nil {
-			return nil, err
-		}
-		sel, err := selector.SelectUniverse(u, selector.Options{Method: method})
-		if err != nil {
-			return nil, err
-		}
-		resp := estimateResponse{
-			Workflow: req.Workflow,
-			Method:   req.Method,
-			Selection: selectionJSON{
-				Cost:    sel.Cost,
-				Memory:  sel.Memory,
-				Optimal: sel.Optimal,
-				Observe: make([]string, 0, len(sel.Observe)),
-			},
-			Generation: gen,
-		}
-		for _, st := range sel.Observe {
-			blk := res.Analysis.Blocks[st.Target.Block]
-			resp.Selection.Observe = append(resp.Selection.Observe,
-				fmt.Sprintf("block %d: %s", st.Target.Block, st.Label(blk)))
-		}
-		if req.Budget > 0 {
-			plan, err := schedule.Build(u, req.Budget)
-			if err != nil {
-				return nil, err
-			}
-			resp.ScheduledRuns = len(plan.Runs)
-		}
-		if hasStats {
-			derivable, total := estimate.Coverage(res, entry.Store)
-			resp.Coverage = &coverage{Derivable: derivable, Total: total}
-			est := estimate.New(res, entry.Store)
-			for bi, sp := range res.Spaces {
-				blk := res.Analysis.Blocks[bi]
-				for _, se := range sp.SEs {
-					card, err := est.CardOf(bi, se)
-					if err != nil {
-						continue // underivable: counted by Coverage
-					}
-					resp.Cardinalities = append(resp.Cardinalities,
-						cardJSON{Block: bi, SE: se.Label(blk), Card: card})
-				}
-			}
-		}
-		return marshalJSON(resp)
+	body, hit, err := s.solved(r.Context(), req.Workflow, gen, key, func() ([]byte, error) {
+		return s.solveEstimate(req, method, entry, hasStats)
 	})
 	if err != nil {
+		var busy *BusyError
+		if errors.As(err, &busy) {
+			tooBusy(w, busy)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeCached(w, body, hit)
 }
 
+// solveEstimate produces the estimate response body — shared by the HTTP
+// handler and the warm-start loop.
+func (s *Server) solveEstimate(req estimateRequest, method selector.Method, entry *Entry, hasStats bool) ([]byte, error) {
+	res, err := s.cssFor(req.Workflow)
+	if err != nil {
+		return nil, err
+	}
+	coster := costmodel.NewMemoryCoster(res, res.Analysis.Cat)
+	u, err := selector.NewUniverse(res, coster)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := selector.SelectUniverse(u, selector.Options{Method: method})
+	if err != nil {
+		return nil, err
+	}
+	resp := estimateResponse{
+		Workflow: req.Workflow,
+		Method:   req.Method,
+		Selection: selectionJSON{
+			Cost:    sel.Cost,
+			Memory:  sel.Memory,
+			Optimal: sel.Optimal,
+			Observe: make([]string, 0, len(sel.Observe)),
+		},
+	}
+	if hasStats {
+		resp.Generation = entry.Generation
+	}
+	for _, st := range sel.Observe {
+		blk := res.Analysis.Blocks[st.Target.Block]
+		resp.Selection.Observe = append(resp.Selection.Observe,
+			fmt.Sprintf("block %d: %s", st.Target.Block, st.Label(blk)))
+	}
+	if req.Budget > 0 {
+		plan, err := schedule.Build(u, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		resp.ScheduledRuns = len(plan.Runs)
+	}
+	if hasStats {
+		derivable, total := estimate.Coverage(res, entry.Store)
+		resp.Coverage = &coverage{Derivable: derivable, Total: total}
+		est := estimate.New(res, entry.Store)
+		for bi, sp := range res.Spaces {
+			blk := res.Analysis.Blocks[bi]
+			for _, se := range sp.SEs {
+				card, err := est.CardOf(bi, se)
+				if err != nil {
+					continue // underivable: counted by Coverage
+				}
+				resp.Cardinalities = append(resp.Cardinalities,
+					cardJSON{Block: bi, SE: se.Label(blk), Card: card})
+			}
+		}
+	}
+	return marshalJSON(resp)
+}
+
 // --- plumbing ---
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+// decodeJSON reads and strictly decodes a bounded JSON request body,
+// returning the raw bytes so sharding can proxy the request onward
+// without re-serializing.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return false
+		return nil, false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		if errors.As(err, new(*http.MaxBytesError)) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return nil, false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return false
+		return nil, false
 	}
-	return true
+	return raw, true
+}
+
+// tooBusy writes the typed 429: a Retry-After header plus a JSON body
+// naming the backoff, so shed clients know this is load, not failure.
+func tooBusy(w http.ResponseWriter, busy *BusyError) {
+	secs := int(math.Ceil(busy.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":      busy.Error(),
+		"retryAfter": secs,
+	})
 }
 
 // marshalJSON renders a response deterministically (struct field order plus

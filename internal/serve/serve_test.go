@@ -73,7 +73,10 @@ func newTestServer(t *testing.T, doc *Document, opts Options) (*Server, *httptes
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(cat, map[string]*Document{"tiny": doc}, opts)
+	srv, err := New(cat, map[string]*Document{"tiny": doc}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -439,7 +442,10 @@ func TestServeSuiteCatalogDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(cat, nil, Options{})
+	srv, err := New(cat, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	_, body := get(t, ts.URL+"/v1/workflows")

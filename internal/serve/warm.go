@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"sort"
+
+	"github.com/essential-stats/etlopt/internal/optimizer"
+	"github.com/essential-stats/etlopt/internal/selector"
+)
+
+// Warm preloads the solution cache at boot: it pre-solves the default
+// optimize and estimate requests for up to n cataloged workflows this
+// daemon owns, hottest first. Hotness is approximated by the catalog
+// generation — a workflow with more uploads has more runs behind it and
+// is the likeliest to be asked about first. Warming goes through the same
+// solved() path as live traffic, so a warmed entry is byte-identical to a
+// served solve and respects the admission limiter.
+//
+// It returns how many workflows were warmed; solve failures (e.g. a
+// partial store that cannot support a full optimization) skip the
+// workflow rather than failing the boot.
+func (s *Server) Warm(ctx context.Context, n int) int {
+	if n <= 0 || s.opts.DisableCache {
+		return 0
+	}
+	type cand struct {
+		name string
+		gen  int
+	}
+	var cands []cand
+	for _, wf := range s.catalog.Workflows() {
+		if _, ok := s.workflows[wf]; !ok {
+			continue // cataloged by a foreign deployment, not servable here
+		}
+		if s.ring != nil && !s.ring.owns(wf) {
+			continue // a peer owns it; warming it here would never be hit
+		}
+		if e, ok := s.catalog.Get(wf); ok {
+			cands = append(cands, cand{name: wf, gen: e.Generation})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gen != cands[j].gen {
+			return cands[i].gen > cands[j].gen
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	warmed := 0
+	for _, c := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		if s.warmOne(ctx, c.name) {
+			warmed++
+			s.metrics.warm()
+		}
+	}
+	return warmed
+}
+
+// warmOne pre-solves one workflow's default requests; true when at least
+// one solution landed in the cache.
+func (s *Server) warmOne(ctx context.Context, name string) bool {
+	entry, ok := s.catalog.Get(name)
+	if !ok {
+		return false
+	}
+	any := false
+	oreq := optimizeRequest{Workflow: name, CostModel: "cout"}
+	okey := "optimize|cout|partial=false"
+	if _, _, err := s.solved(ctx, name, entry.Generation, okey, func() ([]byte, error) {
+		return s.solveOptimize(oreq, optimizer.Cout, entry)
+	}); err == nil {
+		any = true
+	}
+	ereq := estimateRequest{Workflow: name, Method: "exact"}
+	ekey := "estimate|exact|b0"
+	if _, _, err := s.solved(ctx, name, entry.Generation, ekey, func() ([]byte, error) {
+		return s.solveEstimate(ereq, selector.MethodExact, entry, true)
+	}); err == nil {
+		any = true
+	}
+	return any
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWarmPreloadsCache: after Warm, the first live optimize and estimate
+// are cache hits, byte-identical to what a cold daemon would solve — warming
+// goes through the same solved() path, so it cannot ship different bytes.
+func TestWarmPreloadsCache(t *testing.T) {
+	doc, db := tinyWorkflow(t, 11, 600)
+	srv, ts := newTestServer(t, doc, Options{})
+	stream := observedStream(t, doc, db)
+	if resp, body := post(t, ts.URL+"/v1/observe?workflow=tiny", "application/octet-stream", stream); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+
+	if warmed := srv.Warm(context.Background(), 4); warmed != 1 {
+		t.Fatalf("Warm warmed %d workflows, want 1", warmed)
+	}
+
+	req := []byte(`{"workflow":"tiny"}`)
+	resp, warmOpt := post(t, ts.URL+"/v1/optimize", "application/json", req)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("first optimize after warm: %d X-Cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, warmEst := post(t, ts.URL+"/v1/estimate", "application/json", req)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("first estimate after warm: %d X-Cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	// A cold daemon over the same statistics produces the same bytes.
+	_, tsCold := newTestServer(t, doc, Options{})
+	if resp, body := post(t, tsCold.URL+"/v1/observe?workflow=tiny", "application/octet-stream", stream); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold observe: %d %s", resp.StatusCode, body)
+	}
+	_, coldOpt := post(t, tsCold.URL+"/v1/optimize", "application/json", req)
+	_, coldEst := post(t, tsCold.URL+"/v1/estimate", "application/json", req)
+	if !bytes.Equal(warmOpt, coldOpt) {
+		t.Fatal("warmed optimize bytes differ from a cold solve")
+	}
+	if !bytes.Equal(warmEst, coldEst) {
+		t.Fatal("warmed estimate bytes differ from a cold solve")
+	}
+
+	_, mbody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(mbody), "etlopt_serve_warmed_total 1") {
+		t.Fatalf("metrics missing warm count:\n%s", mbody)
+	}
+
+	// Warming is a no-op when the cache is off or nothing is cataloged.
+	srvOff, _ := newTestServer(t, doc, Options{DisableCache: true})
+	if n := srvOff.Warm(context.Background(), 4); n != 0 {
+		t.Fatalf("cache-off Warm warmed %d", n)
+	}
+	srvEmpty, _ := newTestServer(t, doc, Options{})
+	if n := srvEmpty.Warm(context.Background(), 4); n != 0 {
+		t.Fatalf("empty-catalog Warm warmed %d", n)
+	}
+}
